@@ -1,0 +1,1 @@
+bin/experiments_main.ml: Ablation Arg Cmd Cmdliner Counters Figures Filename List Printf Report String Sweep Table1 Term Uu_benchmarks Uu_harness

@@ -1,0 +1,1 @@
+bin/uu_main.ml: Arg Array Cmd Cmdliner Filename Format Func Int64 List Printer Printf Term Types Uu_analysis Uu_core Uu_frontend Uu_gpusim Uu_ir Uu_opt Uu_support Value

@@ -1,0 +1,1 @@
+bin/uu_main.mli:

@@ -1,0 +1,122 @@
+(* Regenerate every table and figure of the paper's evaluation:
+   `experiments all` writes text renderings to stdout and CSV data under
+   results/ (the artifact's equivalent of run_all.sh + plot scripts). *)
+
+open Cmdliner
+open Uu_harness
+
+let runs_arg =
+  Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N" ~doc:"Runs per config for Table I")
+
+let out_arg =
+  Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"CSV output directory")
+
+let apps_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "apps" ] ~docv:"NAMES" ~doc:"Comma-separated subset of applications")
+
+let select_apps = function
+  | None -> Uu_benchmarks.Registry.all
+  | Some names ->
+    let wanted = String.split_on_char ',' names in
+    List.filter_map
+      (fun n ->
+        match Uu_benchmarks.Registry.find (String.trim n) with
+        | Some a -> Some a
+        | None ->
+          Printf.eprintf "warning: unknown app %s\n" n;
+          None)
+      wanted
+
+let do_table1 ~runs ~out apps =
+  let rows = Table1.compute ~runs ~apps () in
+  print_string (Table1.render rows);
+  Report.write_csv
+    ~path:(Filename.concat out "table1.csv")
+    ~header:Table1.csv_header (Table1.to_csv rows)
+
+let with_sweep ~out apps k =
+  Printf.eprintf "running the per-loop sweep (%d apps)...\n%!" (List.length apps);
+  let sweep = Sweep.run ~apps () in
+  Report.write_csv
+    ~path:(Filename.concat out "fig6.csv")
+    ~header:Figures.fig6_csv_header (Figures.fig6_csv sweep);
+  Report.write_csv
+    ~path:(Filename.concat out "fig7.csv")
+    ~header:Figures.fig7_csv_header (Figures.fig7_csv sweep);
+  Report.write_csv
+    ~path:(Filename.concat out "fig8.csv")
+    ~header:Figures.fig8_csv_header (Figures.fig8_csv sweep);
+  k sweep
+
+let do_counters () =
+  print_endline "== In-depth counters (paper SV) ==";
+  print_string (Counters.render (Counters.analyze ()))
+
+let cmd name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ runs_arg $ out_arg $ apps_arg)
+
+let table1_cmd =
+  cmd "table1" "Regenerate Table I" (fun runs out apps ->
+      do_table1 ~runs ~out (select_apps apps))
+
+let fig_cmd name doc render =
+  cmd name doc (fun _ out apps ->
+      with_sweep ~out (select_apps apps) (fun sweep -> print_string (render sweep)))
+
+let fig6a_cmd = fig_cmd "fig6a" "Per-loop u&u speedups (Fig. 6a)" Figures.fig6a
+let fig6b_cmd = fig_cmd "fig6b" "Per-loop code-size increases (Fig. 6b)" Figures.fig6b
+let fig6c_cmd = fig_cmd "fig6c" "Per-loop compile-time increases (Fig. 6c)" Figures.fig6c
+let fig7_cmd = fig_cmd "fig7" "u&u vs unroll vs unmerge per app (Fig. 7)" Figures.fig7
+let fig8_cmd =
+  fig_cmd "fig8" "Per-loop scatter data (Figs. 8a/8b)" (fun sweep ->
+      "== Fig 8a (u&u vs unroll) ==\n" ^ Figures.fig8a sweep
+      ^ "\n== Fig 8b (u&u vs unmerge) ==\n" ^ Figures.fig8b sweep)
+
+let counters_cmd = cmd "counters" "In-depth counter analysis (SV)" (fun _ _ _ -> do_counters ())
+
+let do_ablations () =
+  print_endline "== Ablations (design decisions; see DESIGN.md) ==";
+  print_string (Ablation.render (Ablation.run ()))
+
+let ablations_cmd =
+  cmd "ablations" "Transform-design ablations (order, DBDS, selective)"
+    (fun _ _ _ -> do_ablations ())
+
+let all_cmd =
+  cmd "all" "Regenerate everything (Table I, Figs. 6-8, counters)"
+    (fun runs out apps ->
+      let apps = select_apps apps in
+      print_endline "== Table I ==";
+      do_table1 ~runs ~out apps;
+      with_sweep ~out apps (fun sweep ->
+          print_endline "== Fig 6a: per-loop u&u speedup ==";
+          print_string (Figures.fig6a sweep);
+          print_endline "== Fig 6b: per-loop code size increase ==";
+          print_string (Figures.fig6b sweep);
+          print_endline "== Fig 6c: per-loop compile time increase ==";
+          print_string (Figures.fig6c sweep);
+          print_endline "== Fig 7: per-app best speedups ==";
+          print_string (Figures.fig7 sweep);
+          print_endline "== Fig 8a: u&u vs unroll (per loop) ==";
+          print_string (Figures.fig8a sweep);
+          print_endline "== Fig 8b: u&u vs unmerge (per loop) ==";
+          print_string (Figures.fig8b sweep);
+          print_endline (Figures.geomean_summary sweep));
+      do_counters ();
+      do_ablations ();
+      Printf.printf "CSV data written under %s/\n" out)
+
+let () =
+  let info =
+    Cmd.info "experiments" ~version:"1.0"
+      ~doc:"Regenerate the paper's tables and figures on the SIMT simulator"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; fig6a_cmd; fig6b_cmd; fig6c_cmd; fig7_cmd; fig8_cmd;
+            counters_cmd; ablations_cmd; all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bezier.ml: Block Func Instr List Printf Uu_analysis Uu_benchmarks Uu_core Uu_frontend Uu_harness Uu_ir Value

@@ -1,0 +1,1 @@
+examples/divergence.ml: List Metrics Printf Uu_benchmarks Uu_core Uu_gpusim Uu_harness

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Int64 List Printf Uu_core Uu_frontend Uu_gpusim Uu_ir Uu_opt

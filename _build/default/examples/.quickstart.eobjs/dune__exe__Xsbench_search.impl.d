@@ -1,0 +1,1 @@
+examples/xsbench_search.ml: Block Format Func Instr List Printer Printf Uu_analysis Uu_benchmarks Uu_core Uu_frontend Uu_gpusim Uu_harness Uu_ir Value

@@ -1,0 +1,1 @@
+examples/xsbench_search.mli:

@@ -1,0 +1,40 @@
+(* The paper's §V slowdown anatomy: the `complex` kernel (Listing 7).
+
+   The `n & 1` test depends on the thread id, so after u&u the warp's
+   lanes walk long private paths: warp execution efficiency collapses,
+   instruction-fetch stalls explode with the duplicated code, and the
+   kernel slows down — the cost the paper proposes to dodge with a
+   divergence-aware heuristic (implemented here as
+   [Uu_heuristic_divergence]).
+
+   Run with: dune exec examples/divergence.exe *)
+
+open Uu_gpusim
+
+let app = Uu_benchmarks.Complex_app.app
+
+let measure config =
+  let m = Uu_harness.Runner.run_exn app config in
+  let eff = Metrics.warp_execution_efficiency m.Uu_harness.Runner.metrics ~warp_size:32 in
+  let stall = Metrics.stall_inst_fetch m.Uu_harness.Runner.metrics in
+  (m, eff, stall)
+
+let () =
+  Printf.printf "complex (Listing 7): binary exponentiation on n = thread id\n\n";
+  let base, beff, bstall = measure Uu_core.Pipelines.Baseline in
+  Printf.printf "%-20s %10s %8s %10s %9s\n" "config" "cycles(ms)" "eff" "stallfetch" "speedup";
+  List.iter
+    (fun config ->
+      let m, eff, stall = measure config in
+      Printf.printf "%-20s %10.3f %7.1f%% %9.1f%% %8.2fx\n"
+        (Uu_core.Pipelines.config_name config)
+        m.Uu_harness.Runner.kernel_ms (100.0 *. eff) (100.0 *. stall)
+        (base.Uu_harness.Runner.kernel_ms /. m.Uu_harness.Runner.kernel_ms))
+    Uu_core.Pipelines.
+      [ Baseline; Uu 2; Uu 4; Uu 8; Uu_heuristic; Uu_heuristic_divergence ];
+  Printf.printf
+    "\nbaseline: eff %.1f%%, fetch stalls %.1f%% — predicated selects keep the warp\n\
+     converged; u&u trades them for divergent paths with nothing to eliminate\n\
+     (paper: eff 100%% -> 19.37%%, stall_inst_fetch 3.72%% -> 79.59%%, slowdown up to 0.11x).\n\
+     The divergence-aware heuristic (SV future work) skips the loop entirely.\n"
+    (100.0 *. beff) (100.0 *. bstall)

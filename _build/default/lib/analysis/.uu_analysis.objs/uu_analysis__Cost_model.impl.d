@@ -1,0 +1,1 @@
+lib/analysis/cost_model.ml: Block Func Hashtbl Instr List Loops Uu_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/cost_model.mli: Func Loops Uu_ir

@@ -1,0 +1,1 @@
+lib/analysis/divergence.ml: Block Dominance Func Hashtbl Instr List Loops Uu_ir Value

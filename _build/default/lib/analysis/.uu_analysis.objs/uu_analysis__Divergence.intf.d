@@ -1,0 +1,1 @@
+lib/analysis/divergence.mli: Func Loops Uu_ir Value

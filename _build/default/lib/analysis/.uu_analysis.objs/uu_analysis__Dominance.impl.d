@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Array Block Cfg Func Hashtbl Instr List Uu_ir Value

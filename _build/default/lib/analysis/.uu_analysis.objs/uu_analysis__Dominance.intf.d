@@ -1,0 +1,1 @@
+lib/analysis/dominance.mli: Func Hashtbl Uu_ir Value

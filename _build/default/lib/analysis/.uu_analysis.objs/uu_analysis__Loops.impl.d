@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Block Cfg Dominance Func Hashtbl Instr List Uu_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/ssa_check.ml: Block Cfg Dominance Format Func Hashtbl Instr List Printer Printf Uu_ir Value

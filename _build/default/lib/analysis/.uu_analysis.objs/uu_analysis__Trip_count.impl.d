@@ -1,0 +1,1 @@
+lib/analysis/trip_count.ml: Block Func Instr Int64 List Loops Uu_ir Value

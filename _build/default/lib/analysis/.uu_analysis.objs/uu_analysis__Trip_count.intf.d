@@ -1,0 +1,1 @@
+lib/analysis/trip_count.mli: Func Loops Uu_ir

@@ -1,0 +1,71 @@
+open Uu_ir
+
+let loop_size f (loop : Loops.loop) =
+  Value.Label_set.fold
+    (fun l acc ->
+      let b = Func.block f l in
+      acc + 1 + List.length b.Block.phis
+      + List.fold_left (fun s i -> s + Instr.size_units i) 0 b.Block.instrs)
+    loop.blocks 0
+
+let path_cap = 4096
+
+let path_count f (loop : Loops.loop) =
+  (* Dynamic programming over the acyclic body: paths(l) = number of ways
+     to reach a latch terminator from l without re-entering the header.
+     Memoized; cycles via inner-loop back edges are cut by an in-progress
+     marker (a path may not revisit a block). *)
+  let latches = Value.Label_set.of_list loop.latches in
+  let memo : (Value.label, int) Hashtbl.t = Hashtbl.create 17 in
+  let in_progress : (Value.label, unit) Hashtbl.t = Hashtbl.create 17 in
+  let rec paths l =
+    match Hashtbl.find_opt memo l with
+    | Some n -> n
+    | None ->
+      if Hashtbl.mem in_progress l then 0
+      else begin
+        Hashtbl.replace in_progress l ();
+        let succs =
+          List.filter
+            (fun s -> Value.Label_set.mem s loop.blocks && s <> loop.header)
+            (Block.successors (Func.block f l))
+        in
+        let from_succs = List.fold_left (fun acc s -> acc + paths s) 0 succs in
+        let n =
+          if Value.Label_set.mem l latches then
+            (* Reaching a latch completes a path (plus any longer paths
+               continuing through other in-loop successors). *)
+            min path_cap (1 + from_succs)
+          else min path_cap from_succs
+        in
+        Hashtbl.remove in_progress l;
+        Hashtbl.replace memo l n;
+        n
+      end
+  in
+  max 1 (paths loop.header)
+
+let saturate = max_int / 2
+
+let duplicated_size ~p ~s ~u =
+  let rec go i p_pow acc =
+    if i >= u then acc
+    else
+      let acc = acc + (p_pow * s) in
+      if acc < 0 || acc > saturate then saturate
+      else
+        let p_pow' = if p_pow > saturate / max 1 p then saturate else p_pow * p in
+        go (i + 1) p_pow' acc
+  in
+  go 0 1 0
+
+let choose_unroll_factor ~p ~s ~c ~u_max =
+  let rec search u best =
+    if u > u_max then best
+    else
+      let best =
+        if duplicated_size ~p ~s ~u < c then Some u else best
+      in
+      search (u + 1) best
+  in
+  search 2 None

@@ -1,0 +1,26 @@
+(** The cost model behind the u&u heuristic (paper §III-A, §III-C).
+
+    The size of a loop after unrolling with factor [u] and unmerging is
+    bounded by [f(p,s,u) = Σ_{i=0}^{u-1} pⁱ·s] where [s] is the loop's
+    size under the instruction cost model and [p] the number of
+    control-flow paths through its body. The heuristic picks the largest
+    [u' ≤ u_max] with [u' ≥ 2] and [f(p,s,u') < c]. *)
+
+open Uu_ir
+
+val loop_size : Func.t -> Loops.loop -> int
+(** [s]: summed instruction size (see [Instr.size_units]) over the loop's
+    blocks, terminators and phis included. *)
+
+val path_count : Func.t -> Loops.loop -> int
+(** [p]: number of distinct acyclic paths from the loop header to a latch,
+    staying inside the loop and not re-entering the header. Back edges of
+    inner loops are ignored (their bodies count as one path segment per
+    acyclic route). Capped at 4096 to avoid overflow on pathological
+    CFGs. *)
+
+val duplicated_size : p:int -> s:int -> u:int -> int
+(** [f(p,s,u)], saturating at [max_int / 2]. *)
+
+val choose_unroll_factor : p:int -> s:int -> c:int -> u_max:int -> int option
+(** Largest [u'] with [2 ≤ u' ≤ u_max] and [f(p,s,u') < c], if any. *)

@@ -1,0 +1,79 @@
+open Uu_ir
+
+type t = { divergent : (Value.var, unit) Hashtbl.t }
+
+let analyze f =
+  let divergent = Hashtbl.create 64 in
+  let is_div_var v = Hashtbl.mem divergent v in
+  let is_div = function
+    | Value.Var v -> is_div_var v
+    | Value.Imm_int _ | Value.Imm_float _ | Value.Undef _ -> false
+  in
+  let mark changed v =
+    if not (Hashtbl.mem divergent v) then begin
+      Hashtbl.replace divergent v ();
+      changed := true
+    end
+  in
+  (* Fixpoint: data dependence plus sync dependence — a phi at the
+     reconvergence point (immediate post-dominator) of a divergent branch
+     mixes values produced under divergent control, so it is tainted. *)
+  let pdom = Dominance.compute_post f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let sync_points = Hashtbl.create 7 in
+    Func.iter_blocks
+      (fun b ->
+        match b.Block.term with
+        | Instr.Cond_br { cond; _ } when is_div cond -> (
+          match Dominance.idom pdom b.Block.label with
+          | Some r -> Hashtbl.replace sync_points r ()
+          | None -> ())
+        | Instr.Cond_br _ | Instr.Br _ | Instr.Ret _ | Instr.Unreachable -> ())
+      f;
+    Func.iter_blocks
+      (fun b ->
+        List.iter
+          (fun (p : Instr.phi) ->
+            let data = List.exists (fun (_, v) -> is_div v) p.incoming in
+            let sync =
+              List.length p.incoming > 1 && Hashtbl.mem sync_points b.Block.label
+            in
+            if data || sync then mark changed p.dst)
+          b.Block.phis;
+        List.iter
+          (fun i ->
+            let tainted =
+              match i with
+              | Instr.Special { op = Instr.Thread_idx; _ } -> true
+              | Instr.Special _ -> false
+              | Instr.Atomic_add _ -> true
+              | Instr.Load { addr; _ } -> is_div addr
+              | Instr.Alloca _ -> false
+              | Instr.Binop _ | Instr.Cmp _ | Instr.Unop _ | Instr.Select _
+              | Instr.Gep _ | Instr.Intrinsic _ ->
+                List.exists is_div (Instr.uses i)
+              | Instr.Store _ | Instr.Syncthreads -> false
+            in
+            match Instr.def i with
+            | Some d when tainted -> mark changed d
+            | Some _ | None -> ())
+          b.Block.instrs)
+      f
+  done;
+  { divergent }
+
+let is_divergent t v = Hashtbl.mem t.divergent v
+
+let value_divergent t = function
+  | Value.Var v -> is_divergent t v
+  | Value.Imm_int _ | Value.Imm_float _ | Value.Undef _ -> false
+
+let branch_divergent t f l =
+  match (Func.block f l).Block.term with
+  | Instr.Cond_br { cond; _ } -> value_divergent t cond
+  | Instr.Br _ | Instr.Ret _ | Instr.Unreachable -> false
+
+let loop_has_divergent_branch t f (loop : Loops.loop) =
+  Value.Label_set.exists (fun l -> branch_divergent t f l) loop.blocks

@@ -1,0 +1,8 @@
+(** The dominance property of SSA: every use is dominated by its
+    definition. Complements [Uu_ir.Verifier] (structure and types) and is
+    run by the pass manager after every transform. *)
+
+open Uu_ir
+
+val check : Func.t -> (unit, string list) result
+val check_exn : Func.t -> unit

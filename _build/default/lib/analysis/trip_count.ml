@@ -1,0 +1,90 @@
+open Uu_ir
+
+let as_const = function
+  | Value.Imm_int (n, _) -> Some n
+  | Value.Var _ | Value.Imm_float _ | Value.Undef _ -> None
+
+(* Find the instruction defining [v] anywhere in the function. *)
+let find_def f v =
+  Func.fold_blocks
+    (fun b acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        List.find_opt (fun i -> Instr.def i = Some v) b.Block.instrs)
+    f None
+
+let constant_trip_count f (loop : Loops.loop) =
+  match loop.latches, Loops.preheader f loop with
+  | [ latch ], Some pre -> (
+    let header = Func.block f loop.header in
+    match header.Block.term with
+    | Instr.Cond_br { cond = Value.Var cond; if_true; if_false } -> (
+      let exits_on_false = not (Value.Label_set.mem if_false loop.blocks) in
+      let exits_on_true = not (Value.Label_set.mem if_true loop.blocks) in
+      if exits_on_false = exits_on_true then None
+      else
+        (* The condition must compare an induction phi with a constant. *)
+        let cmp =
+          List.find_opt
+            (fun i -> Instr.def i = Some cond)
+            header.Block.instrs
+        in
+        match cmp with
+        | Some (Instr.Cmp { op; lhs = Value.Var iv; rhs; _ }) -> (
+          match as_const rhs with
+          | None -> None
+          | Some bound -> (
+            (* iv must be a header phi: [pre: init], [latch: iv + step]. *)
+            let phi =
+              List.find_opt (fun (p : Instr.phi) -> p.dst = iv) header.Block.phis
+            in
+            match phi with
+            | Some { incoming; _ } -> (
+              let init = List.assoc_opt pre incoming in
+              let next = List.assoc_opt latch incoming in
+              match init, next with
+              | Some init_v, Some (Value.Var next_v) -> (
+                match as_const init_v, find_def f next_v with
+                | ( Some init_c,
+                    Some (Instr.Binop { op = bop; lhs = Value.Var base; rhs = step_v; _ }) )
+                  when base = iv -> (
+                  match as_const step_v, bop with
+                  | Some step, Instr.Add | Some step, Instr.Sub -> (
+                    let step =
+                      if bop = Instr.Sub then Int64.neg step else step
+                    in
+                    if Int64.equal step 0L then None
+                    else
+                      (* Count iterations of: for (i = init; i OP bound; i += step).
+                         The body runs while the continue-condition holds. *)
+                      let continue_holds i =
+                        let c =
+                          match op with
+                          | Instr.Slt -> Int64.compare i bound < 0
+                          | Instr.Sle -> Int64.compare i bound <= 0
+                          | Instr.Sgt -> Int64.compare i bound > 0
+                          | Instr.Sge -> Int64.compare i bound >= 0
+                          | Instr.Ne -> not (Int64.equal i bound)
+                          | Instr.Eq -> Int64.equal i bound
+                          | Instr.Ult | Instr.Ule | Instr.Ugt | Instr.Uge
+                          | Instr.Foeq | Instr.Fone | Instr.Folt | Instr.Fole
+                          | Instr.Fogt | Instr.Foge ->
+                            raise Exit
+                        in
+                        if exits_on_false then c else not c
+                      in
+                      let rec count i n =
+                        if n > 1_000_000 then None
+                        else if continue_holds i then
+                          count (Int64.add i step) (n + 1)
+                        else Some n
+                      in
+                      try count init_c 0 with Exit -> None)
+                  | (Some _ | None), _ -> None)
+                | _, _ -> None)
+              | _, _ -> None)
+            | None -> None))
+        | Some _ | None -> None)
+    | Instr.Cond_br _ | Instr.Br _ | Instr.Ret _ | Instr.Unreachable -> None)
+  | _, _ -> None

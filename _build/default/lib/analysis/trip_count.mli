@@ -1,0 +1,15 @@
+(** Constant trip-count detection — a small slice of scalar evolution.
+
+    Recognizes canonical counted loops: a header phi
+    [i = phi [preheader: init] [latch: i + step]] controlling the header's
+    exit comparison against a loop-invariant constant bound. Used by the
+    baseline pipeline's full-unroll heuristic (whose interaction with u&u
+    the paper observes on [coordinates], §IV-C) and by the harness to
+    sanity-check workloads. *)
+
+open Uu_ir
+
+val constant_trip_count : Func.t -> Loops.loop -> int option
+(** Number of times the loop body executes, when it is a compile-time
+    constant and the loop has a single latch and a header exit. [None]
+    otherwise (unknown, runtime-dependent, or non-canonical shape). *)

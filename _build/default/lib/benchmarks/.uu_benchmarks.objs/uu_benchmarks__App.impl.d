@@ -1,0 +1,1 @@
+lib/benchmarks/app.ml: Array Float Int64 Kernel Memory Printf Rng Uu_gpusim Uu_support

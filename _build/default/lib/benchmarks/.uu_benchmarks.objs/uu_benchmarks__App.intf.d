@@ -1,0 +1,1 @@
+lib/benchmarks/app.mli: Kernel Memory Rng Uu_gpusim Uu_support

@@ -1,0 +1,1 @@
+lib/benchmarks/bn.ml: App Array Int64 Kernel Memory Rng Uu_gpusim Uu_support

@@ -1,0 +1,1 @@
+lib/benchmarks/qtclustering.ml: App Array Float Int64 Kernel Memory Rng Uu_gpusim Uu_support

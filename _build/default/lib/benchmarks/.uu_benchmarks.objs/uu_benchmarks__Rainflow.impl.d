@@ -1,0 +1,1 @@
+lib/benchmarks/rainflow.ml: App Array Int64 Kernel Memory Uu_gpusim

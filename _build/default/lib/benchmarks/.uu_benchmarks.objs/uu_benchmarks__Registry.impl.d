@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: App Bezier_surface Bn Bspline_vgh Ccs Clink Complex_app Contract Coordinates Haccmk Lavamd Libor List Mandelbrot Qtclustering Quicksort Rainflow Xsbench

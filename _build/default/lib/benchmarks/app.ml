@@ -1,0 +1,66 @@
+open Uu_support
+open Uu_gpusim
+
+type launch = {
+  kernel : string;
+  grid_dim : int;
+  block_dim : int;
+  args : Kernel.arg list;
+}
+
+type instance = {
+  mem : Memory.t;
+  launches : launch list;
+  transfer_bytes : int;
+  check : unit -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  category : string;
+  cli : string;
+  source : string;
+  rest_bytes : int;
+  setup : Rng.t -> instance;
+}
+
+let check_f64 ~name ~expected buf =
+  let got = Memory.read_f64 buf in
+  if Array.length got <> Array.length expected then
+    Error
+      (Printf.sprintf "%s: length mismatch (%d vs %d)" name (Array.length got)
+         (Array.length expected))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i g ->
+        if !bad = None then begin
+          let e = expected.(i) in
+          let tol = 1e-9 *. Float.max 1.0 (Float.max (Float.abs e) (Float.abs g)) in
+          if Float.abs (g -. e) > tol && not (Float.is_nan e && Float.is_nan g) then
+            bad := Some (i, e, g)
+        end)
+      got;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, g) ->
+      Error (Printf.sprintf "%s[%d]: expected %.17g, got %.17g" name i e g)
+  end
+
+let check_i64 ~name ~expected buf =
+  let got = Memory.read_i64 buf in
+  if Array.length got <> Array.length expected then
+    Error
+      (Printf.sprintf "%s: length mismatch (%d vs %d)" name (Array.length got)
+         (Array.length expected))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i g ->
+        if !bad = None && not (Int64.equal g expected.(i)) then
+          bad := Some (i, expected.(i), g))
+      got;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, g) -> Error (Printf.sprintf "%s[%d]: expected %Ld, got %Ld" name i e g)
+  end

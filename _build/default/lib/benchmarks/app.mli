@@ -1,0 +1,45 @@
+(** Benchmark applications: MiniCUDA ports of the 16 HeCBench programs the
+    paper evaluates (Table I). Each app carries its kernel source, a
+    workload generator (deterministic from a seed), the launch schedule,
+    a host-side oracle validating the device results, and the modeled
+    host-device transfer volume used for Table I's compute fraction.
+
+    Workload sizes are scaled down from the paper's command lines to
+    simulator-friendly sizes; the hot-loop idioms are kept faithful (see
+    DESIGN.md). *)
+
+open Uu_support
+open Uu_gpusim
+
+type launch = {
+  kernel : string;
+  grid_dim : int;
+  block_dim : int;
+  args : Kernel.arg list;
+}
+
+type instance = {
+  mem : Memory.t;
+  launches : launch list;
+  transfer_bytes : int;  (** modeled host<->device traffic *)
+  check : unit -> (unit, string) result;
+      (** oracle: compare device buffers against a host reference *)
+}
+
+type t = {
+  name : string;
+  category : string;
+  cli : string;          (** the paper's command line, reported in Table I *)
+  source : string;       (** MiniCUDA source of all kernels *)
+  rest_bytes : int;
+      (** size of the rest of the binary (code outside the kernels we
+          model), calibrating Fig. 6b's relative code-size increases *)
+  setup : Rng.t -> instance;
+}
+
+val check_f64 :
+  name:string -> expected:float array -> Memory.buffer -> (unit, string) result
+(** Elementwise comparison with relative tolerance 1e-9. *)
+
+val check_i64 :
+  name:string -> expected:int64 array -> Memory.buffer -> (unit, string) result

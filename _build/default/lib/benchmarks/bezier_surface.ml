@@ -1,0 +1,101 @@
+(* bezier-surface (CV and image processing, HeCBench `-n 4096`).
+
+   The hot loop is the paper's Listing 2: the binomial blend loop whose
+   kn/nkn condition checks become dead on the paths where they were false
+   in the previous iteration — the motivating example of §III-B. The
+   divisions guarded by those checks are the expensive part u&u removes.
+   Conditions are warp-uniform (every thread blends with the same n, k),
+   so unmerging costs no divergence. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel bezier_blend(float* restrict out, const float* restrict t, int npoints, int n, int k) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < npoints) {
+    float blend = 1.0;
+    int nn = n;
+    int kn = k;
+    int nkn = n - k;
+    while (nn >= 1) {
+      blend = blend * nn;
+      nn = nn - 1;
+      if (kn > 1) {
+        blend = blend / kn;
+        kn = kn - 1;
+      }
+      if (nkn > 1) {
+        blend = blend / nkn;
+        nkn = nkn - 1;
+      }
+    }
+    float u = t[tid];
+    out[tid] = blend * pow(u, (float)k) * pow(1.0 - u, (float)(n - k));
+  }
+}
+|}
+
+let host_blend n k =
+  let blend = ref 1.0 in
+  let nn = ref n and kn = ref k and nkn = ref (n - k) in
+  while !nn >= 1 do
+    blend := !blend *. float_of_int !nn;
+    decr nn;
+    if !kn > 1 then begin
+      blend := !blend /. float_of_int !kn;
+      decr kn
+    end;
+    if !nkn > 1 then begin
+      blend := !blend /. float_of_int !nkn;
+      decr nkn
+    end
+  done;
+  !blend
+
+let setup rng =
+  let npoints = 2048 in
+  let n = 12 and k = 5 in
+  let mem = Memory.create () in
+  let t = Array.init npoints (fun _ -> Rng.float rng 1.0) in
+  let tbuf = Memory.alloc_f64 mem t in
+  let out = Memory.zeros_f64 mem npoints in
+  let expected =
+    let blend = host_blend n k in
+    Array.map
+      (fun u ->
+        blend
+        *. Float.pow u (float_of_int k)
+        *. Float.pow (1.0 -. u) (float_of_int (n - k)))
+      t
+  in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "bezier_blend";
+          grid_dim = npoints / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf out; Kernel.Buf tbuf;
+              Kernel.Int_arg (Int64.of_int npoints);
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg (Int64.of_int k);
+            ];
+        };
+      ];
+    transfer_bytes = 3665;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"bezier.out" ~expected out);
+  }
+
+let app =
+  {
+    App.name = "bezier-surface";
+    category = "CV and image processing";
+    cli = "-n 4096";
+    source;
+    rest_bytes = 2048;
+    setup;
+  }

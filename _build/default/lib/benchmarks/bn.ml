@@ -1,0 +1,85 @@
+(* bn (machine learning, `result`).
+
+   Bayesian-network scoring: each thread accumulates a family score over
+   its feature column. The first [warm] samples go through the expensive
+   log-likelihood path, after which the warm counter is exhausted and the
+   cheap accumulation path runs — a countdown-guarded expensive operation
+   that u&u removes from the steady-state paths, while the baseline's
+   if-conversion speculates the log every iteration. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel bn_score(const float* restrict counts, float* restrict scores,
+                int n, int m, int warm) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float s = 0.0;
+    int w = warm;
+    int j = 0;
+    while (j < m) {
+      float c = counts[tid * m + j];
+      if (w > 0) {
+        s = s + log(c + 1.0);
+        w = w - 1;
+      } else {
+        s = s + c * 0.5;
+      }
+      j = j + 1;
+    }
+    scores[tid] = s;
+  }
+}
+|}
+
+let host n m warm counts =
+  Array.init n (fun tid ->
+      let s = ref 0.0 and w = ref warm in
+      for j = 0 to m - 1 do
+        let c = counts.((tid * m) + j) in
+        if !w > 0 then begin
+          s := !s +. log (c +. 1.0);
+          decr w
+        end
+        else s := !s +. (c *. 0.5)
+      done;
+      !s)
+
+let setup rng =
+  let n = 1024 and m = 40 and warm = 3 in
+  let mem = Memory.create () in
+  let counts = Array.init (n * m) (fun _ -> Rng.float rng 4.0) in
+  let cbuf = Memory.alloc_f64 mem counts in
+  let sbuf = Memory.zeros_f64 mem n in
+  let expected = host n m warm counts in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "bn_score";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf cbuf; Kernel.Buf sbuf;
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg (Int64.of_int m);
+              Kernel.Int_arg (Int64.of_int warm);
+            ];
+        };
+      ];
+    transfer_bytes = 1238;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"bn.scores" ~expected sbuf);
+  }
+
+let app =
+  {
+    App.name = "bn";
+    category = "Machine learning";
+    cli = "result";
+    source;
+    rest_bytes = 4096;
+    setup;
+  }

@@ -1,0 +1,112 @@
+(* bspline-vgh (simulation, HeCBench, no CLI input).
+
+   Value-gradient-Hessian evaluation along a spline: the hot loop walks
+   the support points; the first [refine] points go through an expensive
+   normalization (division), after which the refine flag is off for the
+   rest of the loop. Once u&u unrolls and unmerges, the refined/plain
+   status is known per path and the guarded division disappears from the
+   steady-state paths — the shape behind the paper's largest speedup
+   (1.81x). Most of the application's end-to-end time is host transfer
+   (11.69% compute in Table I), modeled by a large transfer volume. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel bspline_vgh(const float* restrict coefs, const float* restrict pos,
+                   float* restrict vals, float* restrict grads,
+                   int n, int width, int support, int refine0, float scale) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float x = pos[tid];
+    int i0 = (int)x;
+    float fx = x - (float)i0;
+    float v = 0.0;
+    float g = 0.0;
+    int refine = refine0;
+    int j = 0;
+    while (j < support) {
+      int idx = i0 + j;
+      float c = coefs[idx];
+      if (refine > 0) {
+        c = c / scale;
+        refine = refine - 1;
+      }
+      v = v + c * (fx - (float)j);
+      g = g + c;
+      j = j + 1;
+    }
+    vals[tid] = v;
+    grads[tid] = g;
+  }
+}
+|}
+
+let host n support refine0 scale coefs pos =
+  let vals = Array.make n 0.0 and grads = Array.make n 0.0 in
+  for tid = 0 to n - 1 do
+    let x = pos.(tid) in
+    let i0 = int_of_float x in
+    let fx = x -. float_of_int i0 in
+    let v = ref 0.0 and g = ref 0.0 in
+    let refine = ref refine0 in
+    for j = 0 to support - 1 do
+      let c = coefs.(i0 + j) in
+      let c = if !refine > 0 then begin decr refine; c /. scale end else c in
+      v := !v +. (c *. (fx -. float_of_int j));
+      g := !g +. c
+    done;
+    vals.(tid) <- !v;
+    grads.(tid) <- !g
+  done;
+  (vals, grads)
+
+let setup rng =
+  let n = 2048 and width = 512 and support = 16 and refine0 = 2 in
+  let scale = 1.5 in
+  let mem = Memory.create () in
+  let coefs = Array.init (width + support) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let pos = Array.init n (fun _ -> Rng.float rng (float_of_int (width - 1))) in
+  let cbuf = Memory.alloc_f64 mem coefs in
+  let pbuf = Memory.alloc_f64 mem pos in
+  let vals = Memory.zeros_f64 mem n in
+  let grads = Memory.zeros_f64 mem n in
+  let evals, egrads = host n support refine0 scale coefs pos in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "bspline_vgh";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf cbuf; Kernel.Buf pbuf; Kernel.Buf vals; Kernel.Buf grads;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int width);
+              Kernel.Int_arg (Int64.of_int support);
+              Kernel.Int_arg (Int64.of_int refine0);
+              Kernel.Float_arg scale;
+            ];
+        };
+      ];
+    (* Mostly a transfer-bound app: large coefficient and result arrays. *)
+    transfer_bytes = 99763;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_f64 ~name:"bspline.vals" ~expected:evals vals with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"bspline.grads" ~expected:egrads grads);
+  }
+
+let app =
+  {
+    App.name = "bspline-vgh";
+    category = "Simulation";
+    cli = "(no CLI input)";
+    source;
+    rest_bytes = 1024;
+    setup;
+  }

@@ -1,0 +1,86 @@
+(* ccs (bioinformatics, `-t 0.9 -i Data_Constant_100_1_bicluster.txt ...`).
+
+   Bicluster scoring over many small fixed-trip loops whose branch depends
+   on the thread id — the worst case for u&u (Table I: the heuristic makes
+   ccs 2.1x slower). The baseline fully unrolls the small constant-trip
+   loops; u&u tags them no-unroll and replaces the predicated row test
+   with per-thread divergent paths, paying serialization and code growth
+   for no enabled optimization. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel ccs_score(const float* restrict data, float* restrict scores,
+                 int rows, int cols) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < rows) {
+    float s = 0.0;
+    int c = 0;
+    while (c < cols) {
+      float v = data[tid * cols + c];
+      int k = 0;
+      while (k < 4) {
+        if ((tid + k) & 1) {
+          s = s + v * 0.25;
+        } else {
+          s = s - v * 0.125;
+        }
+        k = k + 1;
+      }
+      c = c + 1;
+    }
+    scores[tid] = s;
+  }
+}
+|}
+
+let host rows cols data =
+  Array.init rows (fun tid ->
+      let s = ref 0.0 in
+      for c = 0 to cols - 1 do
+        let v = data.((tid * cols) + c) in
+        for k = 0 to 3 do
+          if (tid + k) land 1 = 1 then s := !s +. (v *. 0.25)
+          else s := !s -. (v *. 0.125)
+        done
+      done;
+      !s)
+
+let setup rng =
+  let rows = 1024 and cols = 24 in
+  let mem = Memory.create () in
+  let data = Array.init (rows * cols) (fun _ -> Rng.float rng 2.0) in
+  let dbuf = Memory.alloc_f64 mem data in
+  let sbuf = Memory.zeros_f64 mem rows in
+  let expected = host rows cols data in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "ccs_score";
+          grid_dim = rows / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf dbuf; Kernel.Buf sbuf;
+              Kernel.Int_arg (Int64.of_int rows);
+              Kernel.Int_arg (Int64.of_int cols);
+            ];
+        };
+      ];
+    transfer_bytes = 7;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"ccs.scores" ~expected sbuf);
+  }
+
+let app =
+  {
+    App.name = "ccs";
+    category = "Bioinformatics";
+    cli = "-t 0.9 -i Data_Constant_100_1_bicluster.txt -m 50 -p 1 -g 100.0 -r 100";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -1,0 +1,86 @@
+(* clink (machine learning, no CLI input).
+
+   A recurrent-cell evaluation: the first [gate] steps apply the expensive
+   nonlinearity (exp-based sigmoid), after which the gate counter runs out
+   and the cell decays linearly. Only 27% of the end-to-end time is in
+   kernels (Table I), modeled via the transfer volume. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel clink_cell(const float* restrict xs, float* restrict hs,
+                  int n, int steps, int gate0, float decay) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float h = 0.0;
+    int gate = gate0;
+    int t = 0;
+    while (t < steps) {
+      float x = xs[tid * steps + t];
+      if (gate > 0) {
+        h = 1.0 / (1.0 + exp(0.0 - (h + x)));
+        gate = gate - 1;
+      } else {
+        h = h * decay + x;
+      }
+      t = t + 1;
+    }
+    hs[tid] = h;
+  }
+}
+|}
+
+let host n steps gate0 decay xs =
+  Array.init n (fun tid ->
+      let h = ref 0.0 and gate = ref gate0 in
+      for t = 0 to steps - 1 do
+        let x = xs.((tid * steps) + t) in
+        if !gate > 0 then begin
+          h := 1.0 /. (1.0 +. exp (0.0 -. (!h +. x)));
+          decr gate
+        end
+        else h := (!h *. decay) +. x
+      done;
+      !h)
+
+let setup rng =
+  let n = 1024 and steps = 32 and gate0 = 4 in
+  let decay = 0.75 in
+  let mem = Memory.create () in
+  let xs = Array.init (n * steps) (fun _ -> Rng.float rng 1.0 -. 0.5) in
+  let xbuf = Memory.alloc_f64 mem xs in
+  let hbuf = Memory.zeros_f64 mem n in
+  let expected = host n steps gate0 decay xs in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "clink_cell";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf xbuf; Kernel.Buf hbuf;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int steps);
+              Kernel.Int_arg (Int64.of_int gate0);
+              Kernel.Float_arg decay;
+            ];
+        };
+      ];
+    transfer_bytes = 104234;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"clink.hs" ~expected hbuf);
+  }
+
+let app =
+  {
+    App.name = "clink";
+    category = "Machine learning";
+    cli = "(no CLI input)";
+    source;
+    rest_bytes = 2048;
+    setup;
+  }

@@ -1,0 +1,104 @@
+(* complex (math, HeCBench `10000000 1000`).
+
+   The paper's Listing 7: binary exponentiation where the `n & 1` bit test
+   depends on the global thread id, so the branch diverges almost every
+   iteration. The baseline predicates the small body (selp-style selects);
+   u&u replaces predication with long divergent paths and enables no
+   compensating eliminations — the paper's outlier slowdown (§V). *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel complex_pow(float* restrict outa, float* restrict outc,
+                   const float* restrict as_, const float* restrict cs, int count) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < count) {
+    float a = as_[tid];
+    float c = cs[tid];
+    float a_new = 1.0;
+    float c_new = 0.0;
+    int n = tid;
+    while (n > 0) {
+      if (n & 1) {
+        a_new = a_new * a;
+        c_new = c_new * a + c;
+        c_new = c_new + a_new * 0.0001;
+        a_new = a_new * (1.0 + c * 0.00001);
+      }
+      c = c * (a + 1.0);
+      a = a * a;
+      n = n >> 1;
+    }
+    outa[tid] = a_new;
+    outc[tid] = c_new;
+  }
+}
+|}
+
+let host count as_ cs =
+  let outa = Array.make count 1.0 and outc = Array.make count 0.0 in
+  for tid = 0 to count - 1 do
+    let a = ref as_.(tid) and c = ref cs.(tid) in
+    let a_new = ref 1.0 and c_new = ref 0.0 in
+    let n = ref tid in
+    while !n > 0 do
+      if !n land 1 = 1 then begin
+        a_new := !a_new *. !a;
+        c_new := (!c_new *. !a) +. !c;
+        c_new := !c_new +. (!a_new *. 0.0001);
+        a_new := !a_new *. (1.0 +. (!c *. 0.00001))
+      end;
+      c := !c *. (!a +. 1.0);
+      a := !a *. !a;
+      n := !n asr 1
+    done;
+    outa.(tid) <- !a_new;
+    outc.(tid) <- !c_new
+  done;
+  (outa, outc)
+
+let setup rng =
+  let count = 4096 in
+  let mem = Memory.create () in
+  (* Magnitudes near 1 keep repeated squaring finite. *)
+  let as_ = Array.init count (fun _ -> 0.9 +. Rng.float rng 0.2) in
+  let cs = Array.init count (fun _ -> Rng.float rng 0.1) in
+  let abuf = Memory.alloc_f64 mem as_ in
+  let cbuf = Memory.alloc_f64 mem cs in
+  let outa = Memory.zeros_f64 mem count in
+  let outc = Memory.zeros_f64 mem count in
+  let ea, ec = host count as_ cs in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "complex_pow";
+          grid_dim = count / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf outa; Kernel.Buf outc; Kernel.Buf abuf; Kernel.Buf cbuf;
+              Kernel.Int_arg (Int64.of_int count);
+            ];
+        };
+      ];
+    transfer_bytes = 13;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_f64 ~name:"complex.a" ~expected:ea outa with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"complex.c" ~expected:ec outc);
+  }
+
+let app =
+  {
+    App.name = "complex";
+    category = "Math";
+    cli = "10000000 1000";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -1,0 +1,96 @@
+(* contract (data compression/reduction, `64 5`).
+
+   Small tensor contractions: a short runtime-trip inner reduction inside
+   a column loop, with a thread-parity sign test inside the inner loop.
+   Like ccs this diverges under unmerging with nothing to eliminate; the
+   heuristic does not avoid the slowdown but contains it by choosing a
+   small unrolling factor (paper §IV-C, RQ1). *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel contract_dim(const float* restrict a, const float* restrict b,
+                    float* restrict out, int n, int cols, int kdim) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float acc = 0.0;
+    int c = 0;
+    while (c < cols) {
+      float partial = 0.0;
+      int k = 0;
+      while (k < kdim) {
+        float term = a[tid * 5 + k] * b[c * 5 + k];
+        if ((tid + k) & 1) {
+          partial = partial + term;
+        } else {
+          partial = partial - term;
+        }
+        k = k + 1;
+      }
+      if (c & 1) {
+        acc = acc - partial;
+      } else {
+        acc = acc + partial;
+      }
+      c = c + 1;
+    }
+    out[tid] = acc;
+  }
+}
+|}
+
+let host n cols kdim a b =
+  Array.init n (fun tid ->
+      let acc = ref 0.0 in
+      for c = 0 to cols - 1 do
+        let partial = ref 0.0 in
+        for k = 0 to kdim - 1 do
+          let term = a.((tid * 5) + k) *. b.((c * 5) + k) in
+          if (tid + k) land 1 = 1 then partial := !partial +. term
+          else partial := !partial -. term
+        done;
+        if c land 1 = 1 then acc := !acc -. !partial else acc := !acc +. !partial
+      done;
+      !acc)
+
+let setup rng =
+  let n = 1024 and cols = 16 in
+  let mem = Memory.create () in
+  let a = Array.init (n * 5) (fun _ -> Rng.float rng 1.0) in
+  let b = Array.init (cols * 5) (fun _ -> Rng.float rng 1.0) in
+  let abuf = Memory.alloc_f64 mem a in
+  let bbuf = Memory.alloc_f64 mem b in
+  let obuf = Memory.zeros_f64 mem n in
+  let expected = host n cols 5 a b in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "contract_dim";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf abuf; Kernel.Buf bbuf; Kernel.Buf obuf;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int cols);
+              Kernel.Int_arg 5L;
+            ];
+        };
+      ];
+    transfer_bytes = 182;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"contract.out" ~expected obuf);
+  }
+
+let app =
+  {
+    App.name = "contract";
+    category = "Data compression/reduction";
+    cli = "64 5";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -1,0 +1,95 @@
+(* coordinates (geographic information system, `10000000 1000`).
+
+   A datum-shift transform applying a fixed number of refinement
+   iterations per point. The loop carries an explicit #pragma unroll
+   annotation, so the u&u heuristic refuses to touch it (§III-C) and the
+   whole-app heuristic time matches the baseline, as in Table I; the
+   per-loop experiments still target it explicitly and show the small
+   unroll win of §IV-C. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel datum_shift(float* restrict lat, float* restrict lon,
+                   const float* restrict dlat, const float* restrict dlon,
+                   int n, int iters) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float la = lat[tid];
+    float lo = lon[tid];
+    int iter = 0;
+    #pragma unroll 2
+    while (iter < iters) {
+      float f = la * 0.9996 + dlat[tid] * 0.0001;
+      float g = lo * 0.9996 + dlon[tid] * 0.0001;
+      la = la + (f - la) * 0.5;
+      lo = lo + (g - lo) * 0.5;
+      iter = iter + 1;
+    }
+    lat[tid] = la;
+    lon[tid] = lo;
+  }
+}
+|}
+
+let host n lat lon dlat dlon =
+  let la_out = Array.copy lat and lo_out = Array.copy lon in
+  for tid = 0 to n - 1 do
+    let la = ref lat.(tid) and lo = ref lon.(tid) in
+    for _ = 0 to 9 do
+      let f = (!la *. 0.9996) +. (dlat.(tid) *. 0.0001) in
+      let g = (!lo *. 0.9996) +. (dlon.(tid) *. 0.0001) in
+      la := !la +. ((f -. !la) *. 0.5);
+      lo := !lo +. ((g -. !lo) *. 0.5)
+    done;
+    la_out.(tid) <- !la;
+    lo_out.(tid) <- !lo
+  done;
+  (la_out, lo_out)
+
+let setup rng =
+  let n = 4096 in
+  let mem = Memory.create () in
+  let lat = Array.init n (fun _ -> Rng.float rng 180.0 -. 90.0) in
+  let lon = Array.init n (fun _ -> Rng.float rng 360.0 -. 180.0) in
+  let dlat = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let dlon = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let blat = Memory.alloc_f64 mem lat in
+  let blon = Memory.alloc_f64 mem lon in
+  let bdlat = Memory.alloc_f64 mem dlat in
+  let bdlon = Memory.alloc_f64 mem dlon in
+  let elat, elon = host n lat lon dlat dlon in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "datum_shift";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf blat; Kernel.Buf blon; Kernel.Buf bdlat; Kernel.Buf bdlon;
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg 10L;
+            ];
+        };
+      ];
+    transfer_bytes = 1472;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_f64 ~name:"coordinates.lat" ~expected:elat blat with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"coordinates.lon" ~expected:elon blon);
+  }
+
+let app =
+  {
+    App.name = "coordinates";
+    category = "Geographic information system";
+    cli = "10000000 1000";
+    source;
+    rest_bytes = 1024;
+    setup;
+  }

@@ -1,0 +1,89 @@
+(* haccmk (simulation, `2000`).
+
+   The HACC short-force kernel: a branch-free O(n) inner loop per thread
+   accumulating pairwise forces. With a single path (p = 1) unmerging is
+   a no-op and u&u degenerates to unrolling, whose win is amortized loop
+   overhead; at large factors the inflated body starts paying instruction
+   fetch — matching the paper's "unroll slightly better than u&u" note. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel haccmk_force(const float* restrict xx, const float* restrict yy,
+                    const float* restrict zz, const float* restrict mass,
+                    float* restrict fx, int n, int m, float eps) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float x = xx[tid];
+    float y = yy[tid];
+    float z = zz[tid];
+    float f = 0.0;
+    int j = 0;
+    while (j < m) {
+      float dx = xx[j] - x;
+      float dy = yy[j] - y;
+      float dz = zz[j] - z;
+      float r2 = dx * dx + dy * dy + dz * dz + eps;
+      f = f + mass[j] * dx / r2;
+      j = j + 1;
+    }
+    fx[tid] = f;
+  }
+}
+|}
+
+let host n m eps xx yy zz mass =
+  Array.init n (fun tid ->
+      let x = xx.(tid) and y = yy.(tid) and z = zz.(tid) in
+      let f = ref 0.0 in
+      for j = 0 to m - 1 do
+        let dx = xx.(j) -. x and dy = yy.(j) -. y and dz = zz.(j) -. z in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. eps in
+        f := !f +. (mass.(j) *. dx /. r2)
+      done;
+      !f)
+
+let setup rng =
+  let n = 1024 and m = 64 in
+  let eps = 0.01 in
+  let mem = Memory.create () in
+  let coord () = Array.init n (fun _ -> Rng.float rng 10.0) in
+  let xx = coord () and yy = coord () and zz = coord () in
+  let mass = Array.init n (fun _ -> 0.5 +. Rng.float rng 1.0) in
+  let bx = Memory.alloc_f64 mem xx in
+  let by = Memory.alloc_f64 mem yy in
+  let bz = Memory.alloc_f64 mem zz in
+  let bm = Memory.alloc_f64 mem mass in
+  let bf = Memory.zeros_f64 mem n in
+  let expected = host n m eps xx yy zz mass in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "haccmk_force";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf bx; Kernel.Buf by; Kernel.Buf bz; Kernel.Buf bm;
+              Kernel.Buf bf; Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int m); Kernel.Float_arg eps;
+            ];
+        };
+      ];
+    transfer_bytes = 85;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"haccmk.fx" ~expected bf);
+  }
+
+let app =
+  {
+    App.name = "haccmk";
+    category = "Simulation";
+    cli = "2000";
+    source;
+    rest_bytes = 768;
+    setup;
+  }

@@ -1,0 +1,83 @@
+(* libor (finance, `100`).
+
+   Swaption path evaluation over maturities: the first [delay] maturities
+   apply a discounting division, then the path switches to plain accrual.
+   A small countdown-guarded win (Table I: 1.06x). *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel libor_path(const float* restrict rates, float* restrict values,
+                  int n, int maturities, int delay0) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float v = 1.0;
+    int delay = delay0;
+    int i = 0;
+    while (i < maturities) {
+      float r = rates[tid * maturities + i];
+      if (delay > 0) {
+        v = v / (1.0 + r);
+        delay = delay - 1;
+      } else {
+        v = v + v * r * 0.25;
+      }
+      i = i + 1;
+    }
+    values[tid] = v;
+  }
+}
+|}
+
+let host n maturities delay0 rates =
+  Array.init n (fun tid ->
+      let v = ref 1.0 and delay = ref delay0 in
+      for i = 0 to maturities - 1 do
+        let r = rates.((tid * maturities) + i) in
+        if !delay > 0 then begin
+          v := !v /. (1.0 +. r);
+          decr delay
+        end
+        else v := !v +. (!v *. r *. 0.25)
+      done;
+      !v)
+
+let setup rng =
+  let n = 1024 and maturities = 40 and delay0 = 4 in
+  let mem = Memory.create () in
+  let rates = Array.init (n * maturities) (fun _ -> Rng.float rng 0.06) in
+  let rbuf = Memory.alloc_f64 mem rates in
+  let vbuf = Memory.zeros_f64 mem n in
+  let expected = host n maturities delay0 rates in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "libor_path";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf rbuf; Kernel.Buf vbuf;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int maturities);
+              Kernel.Int_arg (Int64.of_int delay0);
+            ];
+        };
+      ];
+    transfer_bytes = 4;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_f64 ~name:"libor.values" ~expected vbuf);
+  }
+
+let app =
+  {
+    App.name = "libor";
+    category = "Finance";
+    cli = "100";
+    source;
+    rest_bytes = 3072;
+    setup;
+  }

@@ -1,0 +1,124 @@
+(* mandelbrot (CV and image processing, `100`).
+
+   Escape-time iteration with a per-tile shading flag tested twice in each
+   iteration. The flag is loop-invariant, but the merge point after the
+   first test hides it from branch-condition propagation; unmerging makes
+   the second test fold on every path without any unrolling — mandelbrot
+   is the one benchmark where the paper found unmerge alone beating both
+   unroll and u&u (Fig. 7), the escape branch being divergent per pixel so
+   unrolling deepens divergence. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel mandelbrot(int* restrict iters, float* restrict smooth,
+                  const float* restrict cxs, const float* restrict cys,
+                  const int* restrict region,
+                  int n, int maxiter, float limit) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float cx = cxs[tid];
+    float cy = cys[tid];
+    int reg = region[tid];
+    float x = 0.0;
+    float y = 0.0;
+    float acc = 0.0;
+    int it = 0;
+    while (it < maxiter) {
+      float norm = x * x + y * y;
+      if (norm > limit) {
+        break;
+      }
+      if (reg > 0) {
+        acc = acc + norm;
+      }
+      float t = x * x - y * y + cx;
+      y = 2.0 * x * y + cy;
+      x = t;
+      if (reg > 0) {
+        acc = acc + 0.5;
+      }
+      it = it + 1;
+    }
+    iters[tid] = it;
+    smooth[tid] = acc;
+  }
+}
+|}
+
+let host n maxiter limit cxs cys region =
+  let iters = Array.make n 0L and smooth = Array.make n 0.0 in
+  for tid = 0 to n - 1 do
+    let cx = cxs.(tid) and cy = cys.(tid) in
+    let reg = region.(tid) in
+    let x = ref 0.0 and y = ref 0.0 and acc = ref 0.0 in
+    let it = ref 0 in
+    (try
+       while !it < maxiter do
+         let norm = (!x *. !x) +. (!y *. !y) in
+         if norm > limit then raise Exit;
+         if Int64.compare reg 0L > 0 then acc := !acc +. norm;
+         let t = (!x *. !x) -. (!y *. !y) +. cx in
+         y := (2.0 *. !x *. !y) +. cy;
+         x := t;
+         if Int64.compare reg 0L > 0 then acc := !acc +. 0.5;
+         incr it
+       done
+     with Exit -> ());
+    iters.(tid) <- Int64.of_int !it;
+    smooth.(tid) <- !acc
+  done;
+  (iters, smooth)
+
+let setup rng =
+  let n = 2048 and maxiter = 48 in
+  let limit = 4.0 in
+  let mem = Memory.create () in
+  let cxs = Array.init n (fun _ -> Rng.float rng 3.0 -. 2.0) in
+  let cys = Array.init n (fun _ -> Rng.float rng 2.4 -. 1.2) in
+  (* Tile-level region flags: constant per warp (tiles of 32 pixels). *)
+  let region = Array.init n (fun i -> if i / 32 mod 2 = 0 then 1L else 0L) in
+  let bx = Memory.alloc_f64 mem cxs in
+  let by = Memory.alloc_f64 mem cys in
+  let breg = Memory.alloc_i64 mem region in
+  let biters = Memory.zeros_i64 mem n in
+  let bsmooth = Memory.zeros_f64 mem n in
+  let eit, esm = host n maxiter limit cxs cys region in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "mandelbrot";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf biters; Kernel.Buf bsmooth; Kernel.Buf bx; Kernel.Buf by;
+              Kernel.Buf breg;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int maxiter);
+              Kernel.Float_arg limit;
+            ];
+        };
+      ];
+    (* The paper reports only 14.47% of time in compute kernels. *)
+    transfer_bytes = 149874;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_i64 ~name:"mandelbrot.iters" ~expected:eit biters with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"mandelbrot.smooth" ~expected:esm bsmooth);
+  }
+
+let app =
+  {
+    App.name = "mandelbrot";
+    category = "CV and image processing";
+    cli = "100";
+    source;
+    rest_bytes = 640;
+    setup;
+  }

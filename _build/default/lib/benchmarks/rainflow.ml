@@ -1,0 +1,117 @@
+(* rainflow (simulation, `100000 100`).
+
+   The two-condition cycle-counting loop of the paper's Listing 6: each
+   iteration compares the signal sample x[i] against the running stack top
+   y[j] and against the next sample x[i+1]; the conditions exclude and
+   imply one another across paths (a => not c, etc.), and x[i+1] loaded in
+   one iteration is x[i] of the next — exactly the partial redundancies
+   u&u exposes for load and check elimination (§V). Threads process the
+   same load-history pattern at different amplitudes, so branches are
+   warp-uniform (comparisons are scale-invariant). *)
+
+open Uu_gpusim
+
+let source =
+  {|
+kernel rainflow(const float* restrict x, float* restrict y,
+                int* restrict counts, int nthreads, int m) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < nthreads) {
+    int base = tid * m;
+    int j = 0;
+    int cnt = 0;
+    int i = base;
+    int last = base + m - 1;
+    while (i < last) {
+      if (x[i] > y[base + j]) {
+        if (x[i] > x[i + 1]) {
+          j = j + 1;
+          y[base + j] = x[i];
+        } else {
+          if (x[i] < x[i + 1]) {
+            cnt = cnt + 1;
+          }
+        }
+      } else {
+        if (x[i] < y[base + j]) {
+          if (x[i] < x[i + 1]) {
+            cnt = cnt + 2;
+          }
+        }
+      }
+      i = i + 1;
+    }
+    counts[tid] = cnt + j;
+  }
+}
+|}
+
+let host nthreads m x =
+  let counts = Array.make nthreads 0L in
+  let y = Array.make (nthreads * m) 0.0 in
+  for tid = 0 to nthreads - 1 do
+    let base = tid * m in
+    let j = ref 0 and cnt = ref 0 in
+    for i = base to base + m - 2 do
+      if x.(i) > y.(base + !j) then begin
+        if x.(i) > x.(i + 1) then begin
+          incr j;
+          y.(base + !j) <- x.(i)
+        end
+        else if x.(i) < x.(i + 1) then incr cnt
+      end
+      else if x.(i) < y.(base + !j) then
+        if x.(i) < x.(i + 1) then cnt := !cnt + 2
+    done;
+    counts.(tid) <- Int64.of_int (!cnt + !j)
+  done;
+  counts
+
+let setup _rng =
+  let nthreads = 1024 and m = 48 in
+  let mem = Memory.create () in
+  (* One shared zigzag load pattern, scaled per thread: comparisons are
+     scale-invariant, so warps stay converged. *)
+  let pattern =
+    Array.init m (fun i ->
+        let phase = float_of_int i *. 0.9 in
+        (sin phase *. (1.0 +. (0.3 *. sin (phase *. 0.31)))) +. 0.01)
+  in
+  let x =
+    Array.init (nthreads * m) (fun k ->
+        let tid = k / m and i = k mod m in
+        pattern.(i) *. (1.0 +. (float_of_int (tid mod 7) /. 10.0)))
+  in
+  let xbuf = Memory.alloc_f64 mem x in
+  let ybuf = Memory.zeros_f64 mem (nthreads * m) in
+  let cbuf = Memory.zeros_i64 mem nthreads in
+  let expected = host nthreads m x in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "rainflow";
+          grid_dim = nthreads / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf xbuf; Kernel.Buf ybuf; Kernel.Buf cbuf;
+              Kernel.Int_arg (Int64.of_int nthreads);
+              Kernel.Int_arg (Int64.of_int m);
+            ];
+        };
+      ];
+    transfer_bytes = 431;  (* calibrated to the paper's compute fraction *)
+    check = (fun () -> App.check_i64 ~name:"rainflow.counts" ~expected cbuf);
+  }
+
+let app =
+  {
+    App.name = "rainflow";
+    category = "Simulation";
+    cli = "100000 100";
+    source;
+    rest_bytes = 1536;
+    setup;
+  }

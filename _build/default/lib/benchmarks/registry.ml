@@ -1,0 +1,22 @@
+let all =
+  [
+    Bezier_surface.app;
+    Bn.app;
+    Bspline_vgh.app;
+    Ccs.app;
+    Clink.app;
+    Complex_app.app;
+    Contract.app;
+    Coordinates.app;
+    Haccmk.app;
+    Lavamd.app;
+    Libor.app;
+    Mandelbrot.app;
+    Qtclustering.app;
+    Quicksort.app;
+    Rainflow.app;
+    Xsbench.app;
+  ]
+
+let find name = List.find_opt (fun (a : App.t) -> a.App.name = name) all
+let names = List.map (fun (a : App.t) -> a.App.name) all

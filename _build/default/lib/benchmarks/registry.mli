@@ -1,0 +1,5 @@
+(** The 16 benchmark applications of the paper's Table I, in its order. *)
+
+val all : App.t list
+val find : string -> App.t option
+val names : string list

@@ -1,0 +1,134 @@
+(* XSBench (simulation, `-s small -m event`).
+
+   The binary search of the paper's Listing 1/3: the unionized energy grid
+   lookup. In event mode, lookups are processed in sorted order (a common
+   XSBench optimization), so threads of a warp search for neighboring
+   energies and the `grid[mid] > quarry` branch is warp-uniform until the
+   last levels. u&u eliminates the subtraction and the selp-movs along
+   each known-outcome path (§V). A second kernel consumes the found index
+   with a short interpolation loop, giving the app more than one loop. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel grid_search(const float* restrict grid, const float* restrict quarries,
+                   int* restrict idx_out, int n, int len) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    float quarry = quarries[tid];
+    int lowerLimit = 0;
+    int upperLimit = len;
+    int length = len;
+    while (length > 1) {
+      int mid = lowerLimit + (length >> 1);
+      if (grid[mid] > quarry) {
+        upperLimit = mid;
+      } else {
+        lowerLimit = mid;
+      }
+      length = upperLimit - lowerLimit;
+    }
+    idx_out[tid] = lowerLimit;
+  }
+}
+
+kernel xs_lookup(const float* restrict grid, const float* restrict xs,
+                 const int* restrict idx_in, float* restrict out,
+                 int n, int nuclides) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) {
+    int base = idx_in[tid];
+    float acc = 0.0;
+    int j = 0;
+    while (j < nuclides) {
+      acc = acc + xs[base + j] * grid[base];
+      j = j + 1;
+    }
+    out[tid] = acc;
+  }
+}
+|}
+
+let host_search grid len quarry =
+  let lower = ref 0 and upper = ref len and length = ref len in
+  while !length > 1 do
+    let mid = !lower + (!length asr 1) in
+    if grid.(mid) > quarry then upper := mid else lower := mid;
+    length := !upper - !lower
+  done;
+  !lower
+
+let setup rng =
+  let len = 4096 and n = 2048 and nuclides = 6 in
+  let mem = Memory.create () in
+  let grid = Array.init len (fun i -> float_of_int i) in
+  (* Event mode with sorted lookups: warps get clustered energies. *)
+  let quarries =
+    Array.init n (fun i ->
+        let warp = i / 32 in
+        let base = float_of_int (warp * 5003 mod (len - 2)) in
+        base +. (float_of_int (i mod 32) /. 512.) +. Rng.float rng 0.01)
+  in
+  let xs = Array.init (len + nuclides) (fun _ -> Rng.float rng 1.0) in
+  let gbuf = Memory.alloc_f64 mem grid in
+  let qbuf = Memory.alloc_f64 mem quarries in
+  let ibuf = Memory.zeros_i64 mem n in
+  let xbuf = Memory.alloc_f64 mem xs in
+  let obuf = Memory.zeros_f64 mem n in
+  let eidx = Array.map (fun q -> Int64.of_int (host_search grid len q)) quarries in
+  let eout =
+    Array.map
+      (fun idx ->
+        let base = Int64.to_int idx in
+        let acc = ref 0.0 in
+        for j = 0 to nuclides - 1 do
+          acc := !acc +. (xs.(base + j) *. grid.(base))
+        done;
+        !acc)
+      eidx
+  in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "grid_search";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf gbuf; Kernel.Buf qbuf; Kernel.Buf ibuf;
+              Kernel.Int_arg (Int64.of_int n); Kernel.Int_arg (Int64.of_int len);
+            ];
+        };
+        {
+          App.kernel = "xs_lookup";
+          grid_dim = n / 128;
+          block_dim = 128;
+          args =
+            [
+              Kernel.Buf gbuf; Kernel.Buf xbuf; Kernel.Buf ibuf; Kernel.Buf obuf;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int nuclides);
+            ];
+        };
+      ];
+    transfer_bytes = 1210;  (* calibrated to the paper's compute fraction *)
+    check =
+      (fun () ->
+        match App.check_i64 ~name:"xsbench.idx" ~expected:eidx ibuf with
+        | Error _ as e -> e
+        | Ok () -> App.check_f64 ~name:"xsbench.out" ~expected:eout obuf);
+  }
+
+let app =
+  {
+    App.name = "XSBench";
+    category = "Simulation";
+    cli = "-s small -m event";
+    source;
+    rest_bytes = 24 * 1024;
+    setup;
+  }

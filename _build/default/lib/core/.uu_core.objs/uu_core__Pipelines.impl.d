@@ -1,0 +1,1 @@
+lib/core/pipelines.ml: Cond_prop Dce Gvn If_convert Instcombine Licm List Mem2reg Pass Printf Sccp Simplify_cfg Unroll Uu Uu_analysis Uu_ir Uu_opt Value

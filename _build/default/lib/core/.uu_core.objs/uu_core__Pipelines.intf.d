@@ -1,0 +1,1 @@
+lib/core/pipelines.mli: Func Uu_ir Uu_opt Value

@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Array Block Buffer Cfg Dominance Format Func Hashtbl Instr Int64 List Printer Printf String Uu_analysis Uu_ir Value

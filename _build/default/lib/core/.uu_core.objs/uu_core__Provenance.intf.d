@@ -1,0 +1,1 @@
+lib/core/provenance.mli: Func Uu_ir Value

@@ -1,0 +1,1 @@
+lib/core/unmerge.ml: Block Cfg Clone Func Hashtbl Instr List Loops Option Printf Uu_analysis Uu_ir Uu_opt Value

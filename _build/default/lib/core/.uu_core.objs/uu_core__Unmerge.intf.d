@@ -1,0 +1,1 @@
+lib/core/unmerge.mli: Func Uu_ir Value

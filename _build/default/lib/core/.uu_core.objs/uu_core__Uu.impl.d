@@ -1,0 +1,1 @@
+lib/core/uu.ml: Cost_model Divergence Func Hashtbl List Loops Unmerge Uu_analysis Uu_ir Uu_opt Value

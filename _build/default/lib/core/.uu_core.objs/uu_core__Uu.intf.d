@@ -1,0 +1,1 @@
+lib/core/uu.mli: Func Uu_ir Uu_opt Value

@@ -1,0 +1,32 @@
+(** Condition provenance — the paper's Figure 5 labels.
+
+    After unroll-and-unmerge, each duplicated block lies on a path on
+    which some of the loop's conditions have known outcomes. The paper
+    visualizes this as per-node labels over the loop's conditions: [T] /
+    [F] when the condition is known to have evaluated true/false on every
+    path to the block, [X] when unknown.
+
+    The analysis identifies the distinct comparison sites of a loop
+    (grouped across duplicates by their operand shape, so copies of the
+    same source-level condition share a column) and walks the dominator
+    tree collecting edge facts, exactly like [Uu_opt.Cond_prop] but
+    reporting instead of rewriting. *)
+
+open Uu_ir
+
+type label = Unknown | Known_true | Known_false
+
+type report = {
+  conditions : string list;
+      (** printable description of each condition column, in order *)
+  per_block : (Value.label * label array) list;
+      (** per reachable block, one label per condition column *)
+}
+
+val analyze : Func.t -> report
+
+val label_string : label array -> string
+(** "TFX" -style string, as in Figure 5. *)
+
+val render : Func.t -> report -> string
+(** Figure-5-like text rendering: each block with its label vector. *)

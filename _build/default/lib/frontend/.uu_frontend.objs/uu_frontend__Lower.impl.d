@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Block Builder Format Func Hashtbl Instr List Parser Types Uu_ir Value Verifier

@@ -1,0 +1,66 @@
+type pos = { line : int; col : int }
+
+type ty = Tint | Tfloat | Tbool | Tptr of ty
+
+type builtin =
+  | Thread_idx | Block_idx | Block_dim | Grid_dim
+
+type unop = Neg | Not | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Land | Lor
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of expr * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Cast of ty * expr
+  | Call of string * expr list
+  | Builtin of builtin
+  | Addr_of_index of expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr
+  | Assign of string * expr
+  | Store_stmt of expr * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of pragma option * expr * stmt list
+  | For of pragma option * stmt option * expr * stmt option * stmt list
+  | Break
+  | Continue
+  | Return
+  | Expr_stmt of expr
+  | Sync
+
+and pragma = Unroll_pragma of int | Nounroll_pragma
+
+type param = { p_ty : ty; p_name : string; p_const : bool; p_restrict : bool }
+
+type kernel = { k_name : string; k_params : param list; k_body : stmt list }
+
+type program = kernel list
+
+let rec pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tbool -> Format.pp_print_string ppf "bool"
+  | Tptr t -> Format.fprintf ppf "%a*" pp_ty t
+
+let rec ty_equal a b =
+  match a, b with
+  | Tint, Tint | Tfloat, Tfloat | Tbool, Tbool -> true
+  | Tptr x, Tptr y -> ty_equal x y
+  | (Tint | Tfloat | Tbool | Tptr _), _ -> false

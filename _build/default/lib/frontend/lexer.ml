@@ -1,0 +1,160 @@
+type token =
+  | Tok_int of int64
+  | Tok_float of float
+  | Tok_ident of string
+  | Tok_kw of string
+  | Tok_punct of string
+  | Tok_pragma of string
+  | Tok_eof
+
+type t = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    "kernel"; "int"; "float"; "bool"; "void"; "if"; "else"; "while"; "for";
+    "break"; "continue"; "return"; "true"; "false"; "const"; "restrict";
+    "__restrict__"; "__global__"; "__syncthreads"; "threadIdx"; "blockIdx";
+    "blockDim"; "gridDim";
+  ]
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "&&"; "||"; "=="; "!="; "<="; ">="; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->"; "+"; "-"; "*"; "/";
+    "%"; "<"; ">"; "="; "!"; "&"; "|"; "^"; "~"; "?"; ":"; ";"; ","; "("; ")";
+    "{"; "}"; "["; "]"; ".";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit tok p = toks := { tok; pos = p } :: !toks in
+  let starts_with s =
+    let l = String.length s in
+    !i + l <= n && String.sub src !i l = s
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if starts_with "//" then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if starts_with "/*" then begin
+      let p = pos () in
+      advance 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if starts_with "*/" then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then raise (Error ("unterminated comment", p))
+    end
+    else if c = '#' then begin
+      (* #pragma line: capture its contents up to end of line. *)
+      let p = pos () in
+      let start = !i in
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      let text = String.trim text in
+      if String.length text >= 7 && String.sub text 0 7 = "#pragma" then
+        emit (Tok_pragma (String.trim (String.sub text 7 (String.length text - 7)))) p
+      else raise (Error ("unknown preprocessor directive: " ^ text, p))
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let p = pos () in
+      let start = !i in
+      if
+        c = '0' && !i + 1 < n
+        && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then begin
+        (* Hexadecimal integer. *)
+        advance 2;
+        let is_hex_digit ch =
+          is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+        in
+        while !i < n && is_hex_digit src.[!i] do
+          advance 1
+        done;
+        let text = String.sub src start (!i - start) in
+        match Int64.of_string_opt text with
+        | Some v -> emit (Tok_int v) p
+        | None -> raise (Error ("bad integer literal: " ^ text, p))
+      end
+      else begin
+        let is_float = ref false in
+        while
+          !i < n
+          && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E'
+             || ((src.[!i] = '+' || src.[!i] = '-')
+                && !i > start
+                && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+        do
+          if src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E' then is_float := true;
+          advance 1
+        done;
+        let text = String.sub src start (!i - start) in
+        (* Trailing f suffix. *)
+        let is_float =
+          if !i < n && (src.[!i] = 'f' || src.[!i] = 'F') then begin
+            advance 1;
+            true
+          end
+          else !is_float
+        in
+        if is_float then (
+          match float_of_string_opt text with
+          | Some f -> emit (Tok_float f) p
+          | None -> raise (Error ("bad float literal: " ^ text, p)))
+        else (
+          match Int64.of_string_opt text with
+          | Some v -> emit (Tok_int v) p
+          | None -> raise (Error ("bad integer literal: " ^ text, p)))
+      end
+    end
+    else if is_ident_start c then begin
+      let p = pos () in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      if List.mem text keywords then emit (Tok_kw text) p else emit (Tok_ident text) p
+    end
+    else begin
+      let p = pos () in
+      match List.find_opt starts_with puncts with
+      | Some s ->
+        emit (Tok_punct s) p;
+        advance (String.length s)
+      | None -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+    end
+  done;
+  emit Tok_eof (pos ());
+  List.rev !toks

@@ -1,0 +1,463 @@
+open Uu_ir
+
+exception Error of string * Ast.pos
+
+let fail pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+let rec ir_ty = function
+  | Ast.Tint -> Types.I64
+  | Ast.Tfloat -> Types.F64
+  | Ast.Tbool -> Types.I1
+  | Ast.Tptr t -> Types.Ptr (ir_ty t)
+
+(* A binding is either a mutable stack slot or an immutable value
+   (pointer parameters). *)
+type binding =
+  | Slot of Value.t * Types.t
+  | Direct of Value.t * Types.t
+
+type loop_ctx = { break_to : Block.t; continue_to : Block.t }
+
+type env = {
+  bindings : (string * binding) list list;  (* scope stack *)
+  loops : loop_ctx list;
+}
+
+let lookup env name pos =
+  let rec find = function
+    | [] -> fail pos "unknown variable %s" name
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some b -> b | None -> find rest)
+  in
+  find env.bindings
+
+type ctx = {
+  fn : Func.t;
+  bld : Builder.t;
+  mutable allocas : (Value.var * Types.t) list;  (* hoisted to entry *)
+}
+
+let new_slot ctx name ty =
+  let v = Func.fresh_var ~hint:name ctx.fn in
+  ctx.allocas <- (v, ty) :: ctx.allocas;
+  Value.Var v
+
+(* Implicit conversions: int -> float; bool/int in conditions. *)
+let promote_to_float ctx pos (v, ty) =
+  match ty with
+  | Types.F64 -> v
+  | Types.I64 | Types.I32 -> Builder.unop ctx.bld Instr.Sitofp v
+  | Types.I1 | Types.Ptr _ | Types.Void ->
+    fail pos "cannot convert %s to float" (Types.to_string ty)
+
+let as_condition ctx pos (v, ty) =
+  match ty with
+  | Types.I1 -> v
+  | Types.I64 -> Builder.cmp ~hint:"tobool" ctx.bld Instr.Ne Types.I64 v (Value.i64 0L)
+  | Types.I32 -> Builder.cmp ~hint:"tobool" ctx.bld Instr.Ne Types.I32 v (Value.i32 0)
+  | Types.F64 | Types.Ptr _ | Types.Void ->
+    fail pos "condition must be bool or int, found %s" (Types.to_string ty)
+
+let int_binop_of = function
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Sdiv
+  | Ast.Rem -> Instr.Srem
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> Instr.Ashr
+  | Ast.Band -> Instr.And
+  | Ast.Bor -> Instr.Or
+  | Ast.Bxor -> Instr.Xor
+  | Ast.Land | Ast.Lor | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    invalid_arg "int_binop_of"
+
+let float_binop_of pos = function
+  | Ast.Add -> Instr.Fadd
+  | Ast.Sub -> Instr.Fsub
+  | Ast.Mul -> Instr.Fmul
+  | Ast.Div -> Instr.Fdiv
+  | Ast.Rem | Ast.Shl | Ast.Shr | Ast.Band | Ast.Bor | Ast.Bxor ->
+    fail pos "operator not defined on float"
+  | Ast.Land | Ast.Lor | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    invalid_arg "float_binop_of"
+
+let int_cmp_of = function
+  | Ast.Lt -> Instr.Slt
+  | Ast.Le -> Instr.Sle
+  | Ast.Gt -> Instr.Sgt
+  | Ast.Ge -> Instr.Sge
+  | Ast.Eq -> Instr.Eq
+  | Ast.Ne -> Instr.Ne
+  | _ -> invalid_arg "int_cmp_of"
+
+let float_cmp_of = function
+  | Ast.Lt -> Instr.Folt
+  | Ast.Le -> Instr.Fole
+  | Ast.Gt -> Instr.Fogt
+  | Ast.Ge -> Instr.Foge
+  | Ast.Eq -> Instr.Foeq
+  | Ast.Ne -> Instr.Fone
+  | _ -> invalid_arg "float_cmp_of"
+
+let rec lower_expr ctx env (e : Ast.expr) : Value.t * Types.t =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Int_lit n -> (Value.i64 n, Types.I64)
+  | Ast.Float_lit f -> (Value.f64 f, Types.F64)
+  | Ast.Bool_lit b -> (Value.i1 b, Types.I1)
+  | Ast.Var name -> (
+    match lookup env name pos with
+    | Direct (v, ty) -> (v, ty)
+    | Slot (addr, ty) -> (Builder.load ~hint:name ctx.bld ty addr, ty))
+  | Ast.Builtin b ->
+    let op =
+      match b with
+      | Ast.Thread_idx -> Instr.Thread_idx
+      | Ast.Block_idx -> Instr.Block_idx
+      | Ast.Block_dim -> Instr.Block_dim
+      | Ast.Grid_dim -> Instr.Grid_dim
+    in
+    let raw = Builder.special ctx.bld op in
+    (Builder.unop ctx.bld Instr.Sext_i64 raw, Types.I64)
+  | Ast.Index (arr, idx) ->
+    let addr, elt = lower_address ctx env arr idx pos in
+    (Builder.load ctx.bld elt addr, elt)
+  | Ast.Addr_of_index (arr, idx) ->
+    let addr, elt = lower_address ctx env arr idx pos in
+    (addr, Types.Ptr elt)
+  | Ast.Unary (op, sub) -> (
+    let v, ty = lower_expr ctx env sub in
+    match op, ty with
+    | Ast.Neg, Types.F64 -> (Builder.unop ctx.bld Instr.Fneg v, Types.F64)
+    | Ast.Neg, Types.I64 ->
+      (Builder.binop ctx.bld Instr.Sub Types.I64 (Value.i64 0L) v, Types.I64)
+    | Ast.Not, _ ->
+      let c = as_condition ctx pos (v, ty) in
+      (Builder.binop ctx.bld Instr.Xor Types.I1 c (Value.i1 true), Types.I1)
+    | Ast.Bnot, Types.I64 -> (Builder.unop ctx.bld Instr.Not v, Types.I64)
+    | (Ast.Neg | Ast.Bnot), _ ->
+      fail pos "unary operator not defined on %s" (Types.to_string ty))
+  | Ast.Binary ((Ast.Land | Ast.Lor) as op, a, b) ->
+    let va = as_condition ctx pos (lower_expr ctx env a) in
+    let vb = as_condition ctx pos (lower_expr ctx env b) in
+    let iop = if op = Ast.Land then Instr.And else Instr.Or in
+    (Builder.binop ctx.bld iop Types.I1 va vb, Types.I1)
+  | Ast.Binary ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op, a, b) -> (
+    let va, ta = lower_expr ctx env a in
+    let vb, tb = lower_expr ctx env b in
+    match ta, tb with
+    | Types.F64, _ | _, Types.F64 ->
+      let fa = promote_to_float ctx pos (va, ta)
+      and fb = promote_to_float ctx pos (vb, tb) in
+      (Builder.cmp ctx.bld (float_cmp_of op) Types.F64 fa fb, Types.I1)
+    | Types.I64, Types.I64 ->
+      (Builder.cmp ctx.bld (int_cmp_of op) Types.I64 va vb, Types.I1)
+    | Types.I1, Types.I1 when op = Ast.Eq || op = Ast.Ne ->
+      (Builder.cmp ctx.bld (int_cmp_of op) Types.I1 va vb, Types.I1)
+    | _, _ ->
+      fail pos "cannot compare %s with %s" (Types.to_string ta) (Types.to_string tb))
+  | Ast.Binary (op, a, b) -> (
+    let va, ta = lower_expr ctx env a in
+    let vb, tb = lower_expr ctx env b in
+    match ta, tb with
+    | Types.F64, _ | _, Types.F64 ->
+      let fa = promote_to_float ctx pos (va, ta)
+      and fb = promote_to_float ctx pos (vb, tb) in
+      (Builder.binop ctx.bld (float_binop_of pos op) Types.F64 fa fb, Types.F64)
+    | Types.I64, Types.I64 ->
+      (Builder.binop ctx.bld (int_binop_of op) Types.I64 va vb, Types.I64)
+    | _, _ ->
+      fail pos "operator not defined on %s and %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | Ast.Ternary (c, a, b) -> (
+    let vc = as_condition ctx pos (lower_expr ctx env c) in
+    let va, ta = lower_expr ctx env a in
+    let vb, tb = lower_expr ctx env b in
+    match ta, tb with
+    | ta, tb when Types.equal ta tb ->
+      (Builder.select ctx.bld ta ~cond:vc ~if_true:va ~if_false:vb, ta)
+    | Types.F64, _ | _, Types.F64 ->
+      let fa = promote_to_float ctx pos (va, ta)
+      and fb = promote_to_float ctx pos (vb, tb) in
+      (Builder.select ctx.bld Types.F64 ~cond:vc ~if_true:fa ~if_false:fb, Types.F64)
+    | _, _ ->
+      fail pos "ternary branches have types %s and %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | Ast.Cast (ast_ty, sub) -> (
+    let v, ty = lower_expr ctx env sub in
+    let target = ir_ty ast_ty in
+    match ty, target with
+    | a, b when Types.equal a b -> (v, target)
+    | (Types.I64 | Types.I32), Types.F64 ->
+      (Builder.unop ctx.bld Instr.Sitofp v, Types.F64)
+    | Types.F64, Types.I64 -> (Builder.unop ctx.bld Instr.Fptosi v, Types.I64)
+    | Types.I1, Types.I64 -> (Builder.unop ctx.bld Instr.Zext_i64 v, Types.I64)
+    | Types.I64, Types.I1 ->
+      (Builder.cmp ctx.bld Instr.Ne Types.I64 v (Value.i64 0L), Types.I1)
+    | _, _ ->
+      fail pos "cannot cast %s to %s" (Types.to_string ty) (Types.to_string target))
+  | Ast.Call (name, args) -> lower_call ctx env name args pos
+
+and lower_address ctx env arr idx pos =
+  let base, bty = lower_expr ctx env arr in
+  let elt =
+    match bty with
+    | Types.Ptr elt -> elt
+    | _ -> fail pos "indexing a non-pointer of type %s" (Types.to_string bty)
+  in
+  let vi, ti = lower_expr ctx env idx in
+  if not (Types.is_int ti) then fail pos "array index must be an integer";
+  (Builder.gep ctx.bld elt ~base ~index:vi, elt)
+
+and lower_call ctx env name args pos =
+  let vals = List.map (lower_expr ctx env) args in
+  let float1 op =
+    match vals with
+    | [ a ] -> (Builder.intrinsic ctx.bld op [ promote_to_float ctx pos a ], Types.F64)
+    | _ -> fail pos "%s expects 1 argument" name
+  in
+  let float2 op =
+    match vals with
+    | [ a; b ] ->
+      ( Builder.intrinsic ctx.bld op
+          [ promote_to_float ctx pos a; promote_to_float ctx pos b ],
+        Types.F64 )
+    | _ -> fail pos "%s expects 2 arguments" name
+  in
+  match name, vals with
+  | "sqrt", _ | "sqrtf", _ -> float1 Instr.Sqrt
+  | "exp", _ | "expf", _ -> float1 Instr.Exp
+  | "log", _ | "logf", _ -> float1 Instr.Log
+  | "sin", _ | "sinf", _ -> float1 Instr.Sin
+  | "cos", _ | "cosf", _ -> float1 Instr.Cos
+  | "fabs", _ | "fabsf", _ -> float1 Instr.Fabs
+  | "pow", _ | "powf", _ -> float2 Instr.Pow
+  | ("fmin" | "fminf"), _ -> float2 Instr.Fmin
+  | ("fmax" | "fmaxf"), _ -> float2 Instr.Fmax
+  | ("min" | "max"), [ (va, ta); (vb, tb) ] -> (
+    match ta, tb with
+    | Types.I64, Types.I64 ->
+      let op = if name = "min" then Instr.Imin else Instr.Imax in
+      (Builder.intrinsic ctx.bld op [ va; vb ], Types.I64)
+    | _, _ ->
+      let op = if name = "min" then Instr.Fmin else Instr.Fmax in
+      ( Builder.intrinsic ctx.bld op
+          [ promote_to_float ctx pos (va, ta); promote_to_float ctx pos (vb, tb) ],
+        Types.F64 ))
+  | "abs", [ (va, Types.I64) ] -> (Builder.intrinsic ctx.bld Instr.Iabs [ va ], Types.I64)
+  | "atomicAdd", [ (addr, Types.Ptr elt); (v, vty) ] ->
+    let v =
+      if Types.equal elt vty then v
+      else if Types.equal elt Types.F64 then promote_to_float ctx pos (v, vty)
+      else fail pos "atomicAdd value type mismatch"
+    in
+    (Builder.atomic_add ctx.bld elt ~addr ~value:v, elt)
+  | _, _ -> fail pos "unknown function %s" name
+
+let pragma_of = function
+  | Ast.Unroll_pragma n -> Func.Pragma_unroll n
+  | Ast.Nounroll_pragma -> Func.Pragma_nounroll
+
+let rec lower_stmts ctx env (stmts : Ast.stmt list) =
+  match stmts with
+  | [] -> env
+  | s :: rest ->
+    let env = lower_stmt ctx env s in
+    lower_stmts ctx env rest
+
+and lower_block ctx env stmts =
+  (* A nested scope: new bindings are dropped afterwards. *)
+  let inner = { env with bindings = [] :: env.bindings } in
+  ignore (lower_stmts ctx inner stmts)
+
+and bind env name binding =
+  match env.bindings with
+  | scope :: rest -> { env with bindings = ((name, binding) :: scope) :: rest }
+  | [] -> { env with bindings = [ [ (name, binding) ] ] }
+
+and lower_stmt ctx env (s : Ast.stmt) =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Decl (ast_ty, name, init) ->
+    let ty = ir_ty ast_ty in
+    let v, vty = lower_expr ctx env init in
+    let v =
+      if Types.equal ty vty then v
+      else if Types.equal ty Types.F64 && Types.is_int vty then
+        promote_to_float ctx pos (v, vty)
+      else
+        fail pos "initializing %s %s with %s" (Types.to_string ty) name
+          (Types.to_string vty)
+    in
+    let slot = new_slot ctx name ty in
+    Builder.store ctx.bld ty ~addr:slot ~value:v;
+    bind env name (Slot (slot, ty))
+  | Ast.Assign (name, e) -> (
+    match lookup env name pos with
+    | Direct _ -> fail pos "%s is not assignable" name
+    | Slot (addr, ty) ->
+      let v, vty = lower_expr ctx env e in
+      let v =
+        if Types.equal ty vty then v
+        else if Types.equal ty Types.F64 && Types.is_int vty then
+          promote_to_float ctx pos (v, vty)
+        else
+          fail pos "assigning %s to %s %s" (Types.to_string vty) (Types.to_string ty)
+            name
+      in
+      Builder.store ctx.bld ty ~addr ~value:v;
+      env)
+  | Ast.Store_stmt (arr, idx, e) ->
+    let addr, elt = lower_address ctx env arr idx pos in
+    let v, vty = lower_expr ctx env e in
+    let v =
+      if Types.equal elt vty then v
+      else if Types.equal elt Types.F64 && Types.is_int vty then
+        promote_to_float ctx pos (v, vty)
+      else
+        fail pos "storing %s into %s array" (Types.to_string vty) (Types.to_string elt)
+    in
+    Builder.store ctx.bld elt ~addr ~value:v;
+    env
+  | Ast.If (cond, then_, else_) ->
+    let c = as_condition ctx pos (lower_expr ctx env cond) in
+    let then_b = Builder.append_block ~hint:"then" ctx.bld in
+    let merge_b = Builder.append_block ~hint:"endif" ctx.bld in
+    let else_b =
+      if else_ = [] then merge_b else Builder.append_block ~hint:"else" ctx.bld
+    in
+    Builder.cond_br ctx.bld c then_b else_b;
+    Builder.set_position ctx.bld then_b;
+    lower_block ctx env then_;
+    Builder.br ctx.bld merge_b;
+    if else_ <> [] then begin
+      Builder.set_position ctx.bld else_b;
+      lower_block ctx env else_;
+      Builder.br ctx.bld merge_b
+    end;
+    Builder.set_position ctx.bld merge_b;
+    env
+  | Ast.While (pragma, cond, body) ->
+    let header = Builder.append_block ~hint:"while.head" ctx.bld in
+    let body_b = Builder.append_block ~hint:"while.body" ctx.bld in
+    let exit_b = Builder.append_block ~hint:"while.end" ctx.bld in
+    (match pragma with
+    | Some p -> Hashtbl.replace ctx.fn.Func.pragmas header.Block.label (pragma_of p)
+    | None -> ());
+    Builder.br ctx.bld header;
+    Builder.set_position ctx.bld header;
+    let c = as_condition ctx pos (lower_expr ctx env cond) in
+    Builder.cond_br ctx.bld c body_b exit_b;
+    Builder.set_position ctx.bld body_b;
+    let loop_env =
+      { env with loops = { break_to = exit_b; continue_to = header } :: env.loops }
+    in
+    lower_block ctx loop_env body;
+    Builder.br ctx.bld header;
+    Builder.set_position ctx.bld exit_b;
+    env
+  | Ast.For (pragma, init, cond, step, body) ->
+    let env_for =
+      match init with
+      | Some s -> lower_stmt ctx env s
+      | None -> env
+    in
+    let header = Builder.append_block ~hint:"for.head" ctx.bld in
+    let body_b = Builder.append_block ~hint:"for.body" ctx.bld in
+    let step_b = Builder.append_block ~hint:"for.step" ctx.bld in
+    let exit_b = Builder.append_block ~hint:"for.end" ctx.bld in
+    (match pragma with
+    | Some p -> Hashtbl.replace ctx.fn.Func.pragmas header.Block.label (pragma_of p)
+    | None -> ());
+    Builder.br ctx.bld header;
+    Builder.set_position ctx.bld header;
+    let c = as_condition ctx pos (lower_expr ctx env_for cond) in
+    Builder.cond_br ctx.bld c body_b exit_b;
+    Builder.set_position ctx.bld body_b;
+    let loop_env =
+      {
+        env_for with
+        loops = { break_to = exit_b; continue_to = step_b } :: env_for.loops;
+      }
+    in
+    lower_block ctx loop_env body;
+    Builder.br ctx.bld step_b;
+    Builder.set_position ctx.bld step_b;
+    (match step with
+    | Some s -> ignore (lower_stmt ctx env_for s)
+    | None -> ());
+    Builder.br ctx.bld header;
+    Builder.set_position ctx.bld exit_b;
+    env
+  | Ast.Break -> (
+    match env.loops with
+    | [] -> fail pos "break outside a loop"
+    | { break_to; _ } :: _ ->
+      Builder.br ctx.bld break_to;
+      let dead = Builder.append_block ~hint:"dead" ctx.bld in
+      Builder.set_position ctx.bld dead;
+      env)
+  | Ast.Continue -> (
+    match env.loops with
+    | [] -> fail pos "continue outside a loop"
+    | { continue_to; _ } :: _ ->
+      Builder.br ctx.bld continue_to;
+      let dead = Builder.append_block ~hint:"dead" ctx.bld in
+      Builder.set_position ctx.bld dead;
+      env)
+  | Ast.Return ->
+    Builder.ret ctx.bld None;
+    let dead = Builder.append_block ~hint:"dead" ctx.bld in
+    Builder.set_position ctx.bld dead;
+    env
+  | Ast.Sync ->
+    Builder.syncthreads ctx.bld;
+    env
+  | Ast.Expr_stmt e ->
+    ignore (lower_expr ctx env e);
+    env
+
+let lower_kernel (k : Ast.kernel) =
+  let params =
+    List.map
+      (fun (p : Ast.param) -> (p.Ast.p_name, ir_ty p.Ast.p_ty, p.Ast.p_restrict))
+      k.Ast.k_params
+  in
+  let fn = Func.create ~name:k.Ast.k_name ~params ~ret_ty:Types.Void in
+  let ctx = { fn; bld = Builder.create fn; allocas = [] } in
+  (* Scalar parameters become mutable slots (CUDA parameters are local
+     copies); pointer parameters stay immutable bindings. *)
+  let env0 =
+    List.fold_left2
+      (fun env (p : Ast.param) (fp : Func.param) ->
+        let ty = ir_ty p.Ast.p_ty in
+        if Types.is_pointer ty then
+          bind env p.Ast.p_name (Direct (Value.Var fp.Func.pvar, ty))
+        else begin
+          let slot = new_slot ctx p.Ast.p_name ty in
+          Builder.store ctx.bld ty ~addr:slot ~value:(Value.Var fp.Func.pvar);
+          bind env p.Ast.p_name (Slot (slot, ty))
+        end)
+      { bindings = [ [] ]; loops = [] }
+      k.Ast.k_params fn.Func.params
+  in
+  ignore (lower_stmts ctx env0 k.Ast.k_body);
+  (match (Builder.position ctx.bld).Block.term with
+  | Instr.Unreachable -> Builder.ret ctx.bld None
+  | Instr.Br _ | Instr.Cond_br _ | Instr.Ret _ -> ());
+  (* Hoist allocas to the top of the entry block. *)
+  let entry = Func.block fn fn.Func.entry in
+  let alloca_instrs =
+    List.rev_map (fun (dst, ty) -> Instr.Alloca { dst; ty }) ctx.allocas
+  in
+  entry.Block.instrs <- alloca_instrs @ entry.Block.instrs;
+  Verifier.check_exn fn;
+  fn
+
+let lower_program ~name prog =
+  let m = Func.create_module name in
+  List.iter (fun k -> Func.add_func m (lower_kernel k)) prog;
+  m
+
+let compile ~name src = lower_program ~name (Parser.parse src)

@@ -1,0 +1,412 @@
+exception Error of string * Ast.pos
+
+type state = { toks : Lexer.t array; mutable idx : int }
+
+let peek st = st.toks.(st.idx)
+let advance st = if st.idx + 1 < Array.length st.toks then st.idx <- st.idx + 1
+
+let fail st msg = raise (Error (msg, (peek st).Lexer.pos))
+
+let describe = function
+  | Lexer.Tok_int n -> Printf.sprintf "integer %Ld" n
+  | Lexer.Tok_float f -> Printf.sprintf "float %g" f
+  | Lexer.Tok_ident s -> Printf.sprintf "identifier %s" s
+  | Lexer.Tok_kw s -> Printf.sprintf "keyword %s" s
+  | Lexer.Tok_punct s -> Printf.sprintf "'%s'" s
+  | Lexer.Tok_pragma s -> Printf.sprintf "#pragma %s" s
+  | Lexer.Tok_eof -> "end of input"
+
+let expect_punct st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_punct p when p = s -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" s (describe t))
+
+let expect_kw st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_kw k when k = s -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" s (describe t))
+
+let accept_punct st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_punct p when p = s ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_kw k when k = s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_ident name ->
+    advance st;
+    name
+  | t -> fail st (Printf.sprintf "expected an identifier, found %s" (describe t))
+
+let parse_base_ty st =
+  if accept_kw st "int" then Ast.Tint
+  else if accept_kw st "float" then Ast.Tfloat
+  else if accept_kw st "bool" then Ast.Tbool
+  else fail st "expected a type"
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  let rec stars t = if accept_punct st "*" then stars (Ast.Tptr t) else t in
+  stars base
+
+let is_type_start st =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_kw ("int" | "float" | "bool") -> true
+  | _ -> false
+
+(* Binary operator levels, loosest first. *)
+let binop_levels =
+  [|
+    [ ("||", Ast.Lor) ];
+    [ ("&&", Ast.Land) ];
+    [ ("|", Ast.Bor) ];
+    [ ("^", Ast.Bxor) ];
+    [ ("&", Ast.Band) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<", Ast.Lt); ("<=", Ast.Le); (">", Ast.Gt); (">=", Ast.Ge) ];
+    [ ("<<", Ast.Shl); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem) ];
+  |]
+
+(* Expressions: precedence climbing. *)
+
+let builtin_of_field base field pos =
+  if field <> "x" then raise (Error ("only .x components are supported", pos));
+  match base with
+  | "threadIdx" -> Ast.Thread_idx
+  | "blockIdx" -> Ast.Block_idx
+  | "blockDim" -> Ast.Block_dim
+  | "gridDim" -> Ast.Grid_dim
+  | _ -> raise (Error ("unknown builtin " ^ base, pos))
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if accept_punct st "?" then begin
+    let t = parse_expr st in
+    expect_punct st ":";
+    let f = parse_ternary st in
+    { Ast.desc = Ast.Ternary (cond, t, f); pos = cond.Ast.pos }
+  end
+  else cond
+
+and parse_binary st level =
+  if level >= Array.length binop_levels then parse_unary st
+  else begin
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match (peek st).Lexer.tok with
+      | Lexer.Tok_punct p -> (
+        match List.assoc_opt p binop_levels.(level) with
+        | Some op ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := { Ast.desc = Ast.Binary (op, !lhs, rhs); pos = (!lhs).Ast.pos }
+        | None -> continue := false)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  let pos = (peek st).Lexer.pos in
+  if accept_punct st "-" then
+    { Ast.desc = Ast.Unary (Ast.Neg, parse_unary st); pos }
+  else if accept_punct st "!" then
+    { Ast.desc = Ast.Unary (Ast.Not, parse_unary st); pos }
+  else if accept_punct st "~" then
+    { Ast.desc = Ast.Unary (Ast.Bnot, parse_unary st); pos }
+  else if accept_punct st "&" then begin
+    (* Address-of, for atomicAdd(&a[i], v). *)
+    let e = parse_postfix st in
+    match e.Ast.desc with
+    | Ast.Index (a, i) -> { Ast.desc = Ast.Addr_of_index (a, i); pos }
+    | _ -> raise (Error ("'&' is only supported on an array element", pos))
+  end
+  else parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    if accept_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := { Ast.desc = Ast.Index (!e, idx); pos = (!e).Ast.pos }
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_primary st =
+  let { Lexer.tok; pos } = peek st in
+  match tok with
+  | Lexer.Tok_int n ->
+    advance st;
+    { Ast.desc = Ast.Int_lit n; pos }
+  | Lexer.Tok_float f ->
+    advance st;
+    { Ast.desc = Ast.Float_lit f; pos }
+  | Lexer.Tok_kw "true" ->
+    advance st;
+    { Ast.desc = Ast.Bool_lit true; pos }
+  | Lexer.Tok_kw "false" ->
+    advance st;
+    { Ast.desc = Ast.Bool_lit false; pos }
+  | Lexer.Tok_kw (("threadIdx" | "blockIdx" | "blockDim" | "gridDim") as base) ->
+    advance st;
+    expect_punct st ".";
+    let field = expect_ident st in
+    { Ast.desc = Ast.Builtin (builtin_of_field base field pos); pos }
+  | Lexer.Tok_punct "(" -> (
+    advance st;
+    (* Either a cast "(int) e" or a parenthesized expression. *)
+    if is_type_start st then begin
+      let ty = parse_ty st in
+      expect_punct st ")";
+      let e = parse_unary st in
+      { Ast.desc = Ast.Cast (ty, e); pos }
+    end
+    else begin
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+    end)
+  | Lexer.Tok_ident name ->
+    advance st;
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        let rec loop () =
+          args := parse_expr st :: !args;
+          if accept_punct st "," then loop () else expect_punct st ")"
+        in
+        loop ()
+      end;
+      { Ast.desc = Ast.Call (name, List.rev !args); pos }
+    end
+    else { Ast.desc = Ast.Var name; pos }
+  | t -> fail st (Printf.sprintf "expected an expression, found %s" (describe t))
+
+(* Statements. *)
+
+let compound_ops =
+  [
+    ("+=", Ast.Add); ("-=", Ast.Sub); ("*=", Ast.Mul); ("/=", Ast.Div);
+    ("%=", Ast.Rem); ("&=", Ast.Band); ("|=", Ast.Bor); ("^=", Ast.Bxor);
+    ("<<=", Ast.Shl); (">>=", Ast.Shr);
+  ]
+
+let parse_pragma_opt st =
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_pragma text ->
+    advance st;
+    let parts =
+      String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+    in
+    (match parts with
+    | [ "nounroll" ] -> Some Ast.Nounroll_pragma
+    | [ "unroll" ] -> Some (Ast.Unroll_pragma 0)
+    | [ "unroll"; n ] -> (
+      match int_of_string_opt n with
+      | Some k -> Some (Ast.Unroll_pragma k)
+      | None -> fail st ("bad #pragma unroll count: " ^ n))
+    | _ -> fail st ("unknown pragma: " ^ text))
+  | _ -> None
+
+let rec parse_stmt st =
+  let pos = (peek st).Lexer.pos in
+  let mk sdesc = { Ast.sdesc; spos = pos } in
+  let pragma = parse_pragma_opt st in
+  match (peek st).Lexer.tok with
+  | Lexer.Tok_kw "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block st in
+    mk (Ast.While (pragma, cond, body))
+  | Lexer.Tok_kw "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond =
+      if (peek st).Lexer.tok = Lexer.Tok_punct ";" then
+        { Ast.desc = Ast.Bool_lit true; pos }
+      else parse_expr st
+    in
+    expect_punct st ";";
+    let step =
+      if (peek st).Lexer.tok = Lexer.Tok_punct ")" then None
+      else Some (parse_simple_stmt st)
+    in
+    expect_punct st ")";
+    let body = parse_block st in
+    mk (Ast.For (pragma, init, cond, step, body))
+  | _ when pragma <> None -> fail st "#pragma must precede a loop"
+  | Lexer.Tok_kw "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if accept_kw st "else" then
+        if (peek st).Lexer.tok = Lexer.Tok_kw "if" then [ parse_stmt st ]
+        else parse_block st
+      else []
+    in
+    mk (Ast.If (cond, then_, else_))
+  | Lexer.Tok_kw "break" ->
+    advance st;
+    expect_punct st ";";
+    mk Ast.Break
+  | Lexer.Tok_kw "continue" ->
+    advance st;
+    expect_punct st ";";
+    mk Ast.Continue
+  | Lexer.Tok_kw "return" ->
+    advance st;
+    expect_punct st ";";
+    mk Ast.Return
+  | Lexer.Tok_kw "__syncthreads" ->
+    advance st;
+    expect_punct st "(";
+    expect_punct st ")";
+    expect_punct st ";";
+    mk Ast.Sync
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+(* A statement without its trailing ';': declaration, assignment, store,
+   increment, or expression statement. Used directly in for-headers. *)
+and parse_simple_stmt st =
+  let pos = (peek st).Lexer.pos in
+  let mk sdesc = { Ast.sdesc; spos = pos } in
+  if is_type_start st then begin
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    expect_punct st "=";
+    let e = parse_expr st in
+    mk (Ast.Decl (ty, name, e))
+  end
+  else begin
+    let lhs = parse_postfix_or_builtin st in
+    match lhs.Ast.desc with
+    | Ast.Var name ->
+      if accept_punct st "=" then mk (Ast.Assign (name, parse_expr st))
+      else if accept_punct st "++" then
+        mk
+          (Ast.Assign
+             ( name,
+               {
+                 Ast.desc = Ast.Binary (Ast.Add, lhs, { Ast.desc = Ast.Int_lit 1L; pos });
+                 pos;
+               } ))
+      else if accept_punct st "--" then
+        mk
+          (Ast.Assign
+             ( name,
+               {
+                 Ast.desc = Ast.Binary (Ast.Sub, lhs, { Ast.desc = Ast.Int_lit 1L; pos });
+                 pos;
+               } ))
+      else begin
+        match compound_op st with
+        | Some op -> mk (Ast.Assign (name, { Ast.desc = Ast.Binary (op, lhs, parse_expr st); pos }))
+        | None -> fail st "expected an assignment"
+      end
+    | Ast.Index (arr, idx) ->
+      if accept_punct st "=" then mk (Ast.Store_stmt (arr, idx, parse_expr st))
+      else begin
+        match compound_op st with
+        | Some op ->
+          mk (Ast.Store_stmt (arr, idx, { Ast.desc = Ast.Binary (op, lhs, parse_expr st); pos }))
+        | None -> fail st "expected an assignment to an array element"
+      end
+    | Ast.Call _ -> mk (Ast.Expr_stmt lhs)
+    | _ -> fail st "expected a statement"
+  end
+
+and compound_op st =
+  let found =
+    List.find_opt (fun (p, _) -> (peek st).Lexer.tok = Lexer.Tok_punct p) compound_ops
+  in
+  match found with
+  | Some (p, op) ->
+    expect_punct st p;
+    Some op
+  | None -> None
+
+and parse_postfix_or_builtin st = parse_postfix st
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+let parse_param st =
+  let p_const = accept_kw st "const" in
+  let base = parse_base_ty st in
+  let rec stars t = if accept_punct st "*" then stars (Ast.Tptr t) else t in
+  let p_ty = stars base in
+  let p_restrict = accept_kw st "restrict" || accept_kw st "__restrict__" in
+  let p_name = expect_ident st in
+  { Ast.p_ty; p_name; p_const; p_restrict }
+
+let parse_kernel_decl st =
+  if accept_kw st "__global__" then expect_kw st "void"
+  else expect_kw st "kernel";
+  let k_name = expect_ident st in
+  expect_punct st "(";
+  let params = ref [] in
+  if not (accept_punct st ")") then begin
+    let rec loop () =
+      params := parse_param st :: !params;
+      if accept_punct st "," then loop () else expect_punct st ")"
+    in
+    loop ()
+  end;
+  let k_body = parse_block st in
+  { Ast.k_name; k_params = List.rev !params; k_body }
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); idx = 0 } in
+  let kernels = ref [] in
+  while (peek st).Lexer.tok <> Lexer.Tok_eof do
+    kernels := parse_kernel_decl st :: !kernels
+  done;
+  List.rev !kernels
+
+let parse_kernel src =
+  match parse src with
+  | [ k ] -> k
+  | ks ->
+    raise
+      (Error
+         ( Printf.sprintf "expected exactly one kernel, found %d" (List.length ks),
+           { Ast.line = 1; col = 1 } ))

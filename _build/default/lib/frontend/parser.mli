@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniCUDA.
+
+    Bodies of [if]/[while]/[for] must be brace-delimited blocks (the
+    [else if] chain is the one exception). Assignment sugar ([+=], [-=],
+    [*=], [/=], [%=], [&=], [|=], [^=], [<<=], [>>=], [++], [--]) is
+    desugared during parsing. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** @raise Error on a syntax error, with position. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parse a source containing exactly one kernel. *)

@@ -1,0 +1,1 @@
+lib/gpusim/kernel.ml: Cache Device Eval Func Layout List Memory Metrics Printf Types Uu_analysis Uu_ir Warp

@@ -1,0 +1,1 @@
+lib/gpusim/kernel.mli: Device Func Memory Metrics Rng Trace Uu_ir Uu_support

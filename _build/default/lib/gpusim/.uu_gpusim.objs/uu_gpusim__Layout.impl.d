@@ -1,0 +1,1 @@
+lib/gpusim/layout.ml: Block Cache Cfg Device Func Hashtbl List Uu_ir Value

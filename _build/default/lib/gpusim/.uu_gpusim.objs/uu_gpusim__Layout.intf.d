@@ -1,0 +1,1 @@
+lib/gpusim/layout.mli: Device Func Uu_ir Value

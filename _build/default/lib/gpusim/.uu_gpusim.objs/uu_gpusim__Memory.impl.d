@@ -1,0 +1,1 @@
+lib/gpusim/memory.ml: Array Eval Hashtbl Int64 Printf Types Uu_ir

@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Buffer Format Hashtbl List Mask Printer Uu_ir Uu_support Value

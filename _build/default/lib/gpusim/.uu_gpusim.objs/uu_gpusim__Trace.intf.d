@@ -1,0 +1,1 @@
+lib/gpusim/trace.mli: Func Mask Uu_ir Uu_support Value

@@ -1,0 +1,1 @@
+lib/gpusim/warp.ml: Array Block Cache Device Eval Float Func Hashtbl Instr Int64 Layout List Mask Memory Metrics Printf Rng Trace Types Uu_ir Uu_support Value

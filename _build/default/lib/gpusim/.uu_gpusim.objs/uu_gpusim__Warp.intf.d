@@ -1,0 +1,1 @@
+lib/gpusim/warp.mli: Cache Device Eval Func Layout Memory Metrics Rng Trace Uu_ir Uu_support Value

@@ -1,0 +1,34 @@
+type 'k t = {
+  capacity : int;
+  entries : ('k, int) Hashtbl.t;  (* key -> last use *)
+  mutable clock : int;
+}
+
+let create ~capacity = { capacity = max 1 capacity; entries = Hashtbl.create 64; clock = 0 }
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k at acc ->
+        match acc with
+        | Some (_, best) when best <= at -> acc
+        | Some _ | None -> Some (k, at))
+      t.entries None
+  in
+  match victim with
+  | Some (k, _) -> Hashtbl.remove t.entries k
+  | None -> ()
+
+let touch t key =
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem t.entries key then begin
+    Hashtbl.replace t.entries key t.clock;
+    false
+  end
+  else begin
+    if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+    Hashtbl.replace t.entries key t.clock;
+    true
+  end
+
+let mem t key = Hashtbl.mem t.entries key

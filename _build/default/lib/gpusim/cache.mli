@@ -1,0 +1,13 @@
+(** A generic LRU cache over hashable keys, used for both the instruction
+    cache (keyed by line address) and the L1 data cache (keyed by
+    buffer/segment pairs). *)
+
+type 'k t
+
+val create : capacity:int -> 'k t
+
+val touch : 'k t -> 'k -> bool
+(** Access a key, inserting it (and evicting the least recently used entry
+    if full). Returns [true] on a miss. *)
+
+val mem : 'k t -> 'k -> bool

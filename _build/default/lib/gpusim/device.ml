@@ -1,0 +1,52 @@
+type t = {
+  warp_size : int;
+  alu_cost : int;
+  fpu_cost : int;
+  div_cost : int;
+  intrinsic_cost : int;
+  branch_cost : int;
+  divergence_penalty : int;
+  mem_issue_cost : int;
+  mem_transaction_cost : int;
+  mem_dep_latency : int;
+  l1_hit_latency : int;
+  l1_lines : int;
+  l1_hit_cost : int;
+  atomic_cost : int;
+  sync_cost : int;
+  transaction_bytes : int;
+  instr_bytes : int;
+  icache_bytes : int;
+  icache_line_bytes : int;
+  fetch_miss_penalty : int;
+  max_resident_warps : int;
+  its_latency_hiding : bool;
+}
+
+let v100 =
+  {
+    warp_size = 32;
+    alu_cost = 1;
+    fpu_cost = 2;
+    div_cost = 8;
+    intrinsic_cost = 8;
+    branch_cost = 1;
+    divergence_penalty = 2;
+    mem_issue_cost = 1;
+    mem_transaction_cost = 8;
+    mem_dep_latency = 48;
+    l1_hit_latency = 2;
+    l1_lines = 1024;
+    l1_hit_cost = 1;
+    atomic_cost = 8;
+    sync_cost = 4;
+    transaction_bytes = 128;
+    instr_bytes = 8;
+    icache_bytes = 12 * 1024;
+    icache_line_bytes = 128;
+    fetch_miss_penalty = 8;
+    max_resident_warps = 64;
+    its_latency_hiding = true;
+  }
+
+let pre_volta = { v100 with its_latency_hiding = false }

@@ -1,0 +1,54 @@
+(** Device model: a simplified SIMT GPU in the spirit of the paper's
+    NVIDIA V100 testbed.
+
+    Only relative magnitudes matter for reproducing the paper's shapes:
+    warps execute one instruction per issue for all active lanes;
+    divergence serializes path groups via a reconvergence stack; global
+    memory costs per 128-byte transaction (so coalescing matters); an LRU
+    instruction cache makes heavily duplicated code pay fetch stalls (the
+    [complex]/[haccmk] effect); and a bounded number of resident warps
+    divides total warp cycles into kernel time. *)
+
+type t = {
+  warp_size : int;                 (** threads per warp (32) *)
+  alu_cost : int;                  (** simple int ALU / compare / select / phi / gep *)
+  fpu_cost : int;                  (** float add/sub/mul *)
+  div_cost : int;                  (** integer or float division, remainder *)
+  intrinsic_cost : int;            (** transcendental / min / max *)
+  branch_cost : int;               (** terminator issue *)
+  divergence_penalty : int;        (** extra cycles when a branch diverges *)
+  mem_issue_cost : int;            (** load/store issue *)
+  mem_transaction_cost : int;      (** per 128-byte transaction *)
+  mem_dep_latency : int;           (** exposed DRAM latency of a dependent
+                                       load that misses L1; divided by the
+                                       number of live path groups (Volta
+                                       independent thread scheduling hides
+                                       latency across divergent groups of
+                                       one warp) *)
+  l1_hit_latency : int;            (** exposed latency when all of a load's
+                                       segments hit L1; also divided by the
+                                       live group count *)
+  l1_lines : int;                  (** L1 data cache capacity in
+                                       [transaction_bytes] segments *)
+  l1_hit_cost : int;               (** bandwidth cost per L1-hit segment *)
+  atomic_cost : int;               (** per atomic transaction *)
+  sync_cost : int;
+  transaction_bytes : int;         (** memory coalescing granularity (128) *)
+  instr_bytes : int;               (** code size per instruction (8) *)
+  icache_bytes : int;              (** instruction cache capacity *)
+  icache_line_bytes : int;
+  fetch_miss_penalty : int;        (** cycles per icache line miss *)
+  max_resident_warps : int;        (** concurrency used to convert summed
+                                       warp cycles into kernel time *)
+  its_latency_hiding : bool;
+      (** Volta independent thread scheduling: when set, exposed load
+          latency is divided by the number of live divergent groups of the
+          warp; when clear (pre-Volta), every group pays full latency *)
+}
+
+val v100 : t
+(** The default device used throughout the evaluation. *)
+
+val pre_volta : t
+(** The same machine without independent thread scheduling — the ablation
+    showing why the paper's XSBench result needs a Volta-class device. *)

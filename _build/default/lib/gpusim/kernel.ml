@@ -1,0 +1,82 @@
+open Uu_ir
+
+type arg =
+  | Buf of Memory.buffer
+  | Int_arg of int64
+  | Float_arg of float
+
+type result = {
+  metrics : Metrics.t;
+  kernel_cycles : float;
+  code_bytes : int;
+}
+
+let bind_args fn args =
+  let params = fn.Func.params in
+  if List.length params <> List.length args then
+    invalid_arg
+      (Printf.sprintf "launch @%s: %d arguments for %d parameters" fn.Func.name
+         (List.length args) (List.length params));
+  List.map2
+    (fun (p : Func.param) arg ->
+      match arg, p.pty with
+      | Buf b, Types.Ptr elt when Types.equal (Memory.buffer_elt b) elt ->
+        (p.pvar, Eval.Ptr { buffer = Memory.buffer_id b; offset = 0 })
+      | Buf b, Types.Ptr elt ->
+        invalid_arg
+          (Printf.sprintf "launch @%s: parameter %s is %s* but buffer is %s"
+             fn.Func.name p.pname (Types.to_string elt)
+             (Types.to_string (Memory.buffer_elt b)))
+      | Buf _, ty ->
+        invalid_arg
+          (Printf.sprintf "launch @%s: parameter %s is %s, got a buffer"
+             fn.Func.name p.pname (Types.to_string ty))
+      | Int_arg n, (Types.I64 | Types.I32 | Types.I1) -> (p.pvar, Eval.Int n)
+      | Float_arg x, Types.F64 -> (p.pvar, Eval.Float x)
+      | (Int_arg _ | Float_arg _), ty ->
+        invalid_arg
+          (Printf.sprintf "launch @%s: scalar argument mismatch for %s (%s)"
+             fn.Func.name p.pname (Types.to_string ty)))
+    params args
+
+let launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000) ?tracer mem
+    fn ~grid_dim ~block_dim ~args =
+  let bound = bind_args fn args in
+  let layout = Layout.compute device fn in
+  let icache = Layout.icache_create device in
+  let dcache = Cache.create ~capacity:device.Device.l1_lines in
+  let post = Uu_analysis.Dominance.compute_post fn in
+  let env =
+    {
+      Warp.device;
+      fn;
+      mem;
+      layout;
+      icache;
+      ipdom = (fun l -> Uu_analysis.Dominance.idom post l);
+      args = bound;
+      block_dim;
+      grid_dim;
+      noise;
+      max_warp_cycles;
+      dcache;
+      tracer;
+    }
+  in
+  let total = Metrics.create () in
+  let warps_per_block = (block_dim + device.Device.warp_size - 1) / device.Device.warp_size in
+  for block_id = 0 to grid_dim - 1 do
+    for warp_id = 0 to warps_per_block - 1 do
+      let base = warp_id * device.Device.warp_size in
+      let lanes = min device.Device.warp_size (block_dim - base) in
+      if lanes > 0 then begin
+        let m = Warp.run env ~block_id ~warp_id ~lanes in
+        Metrics.add total m
+      end
+    done
+  done;
+  {
+    metrics = total;
+    kernel_cycles = Metrics.kernel_time total ~device;
+    code_bytes = Layout.code_bytes layout;
+  }

@@ -1,0 +1,32 @@
+(** Kernel launching: argument binding, grid iteration, and metric
+    aggregation — the simulator's replacement for [cudaLaunchKernel]
+    plus nvprof. *)
+
+open Uu_ir
+open Uu_support
+
+type arg =
+  | Buf of Memory.buffer
+  | Int_arg of int64
+  | Float_arg of float
+
+type result = {
+  metrics : Metrics.t;               (** aggregated over all warps *)
+  kernel_cycles : float;             (** summed warp cycles / concurrency *)
+  code_bytes : int;                  (** laid-out size of this kernel *)
+}
+
+val launch :
+  ?device:Device.t ->
+  ?noise:Rng.t ->
+  ?max_warp_cycles:int ->
+  ?tracer:Trace.t ->
+  Memory.t ->
+  Func.t ->
+  grid_dim:int ->
+  block_dim:int ->
+  args:arg list ->
+  result
+(** Execute the kernel over [grid_dim] blocks of [block_dim] threads.
+    @raise Invalid_argument when arguments do not match the kernel's
+    parameters; @raise Failure on interpreter errors. *)

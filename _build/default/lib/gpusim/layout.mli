@@ -1,0 +1,27 @@
+(** Code layout and instruction cache.
+
+    Blocks are laid out linearly in reverse postorder, [instr_bytes] per
+    instruction (phis and the terminator included). The LRU instruction
+    cache charges [fetch_miss_penalty] per missed line when a warp enters
+    a block — the mechanism by which heavily duplicated loops (u&u with
+    large factors) lose performance to fetch stalls, as the paper observes
+    for [complex] and [haccmk] (§V). *)
+
+open Uu_ir
+
+type t
+
+val compute : Device.t -> Func.t -> t
+
+val code_bytes : t -> int
+(** Total laid-out code size of the function. *)
+
+val block_extent : t -> Value.label -> int * int
+(** (start address, byte length) of a block. *)
+
+type icache
+
+val icache_create : Device.t -> icache
+
+val touch_block : icache -> t -> Value.label -> int
+(** Fetch a block's lines; returns the number of missed lines. *)

@@ -1,0 +1,97 @@
+open Uu_ir
+
+type buffer = { id : int; elt : Types.t; data : Eval.rvalue array }
+
+type t = {
+  buffers : (int, buffer) Hashtbl.t;
+  mutable next_id : int;
+  mutable transferred : int;
+}
+
+let create () = { buffers = Hashtbl.create 17; next_id = 0; transferred = 0 }
+
+let alloc t elt data =
+  let b = { id = t.next_id; elt; data } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.buffers b.id b;
+  t.transferred <- t.transferred + (Array.length data * Types.size_bytes elt);
+  b
+
+let alloc_f64 t host = alloc t Types.F64 (Array.map (fun x -> Eval.Float x) host)
+let alloc_i64 t host = alloc t Types.I64 (Array.map (fun x -> Eval.Int x) host)
+let zeros_f64 t n = alloc t Types.F64 (Array.make n (Eval.Float 0.0))
+let zeros_i64 t n = alloc t Types.I64 (Array.make n (Eval.Int 0L))
+
+let alloc_scratch t elt n =
+  let b =
+    {
+      id = t.next_id;
+      elt;
+      data =
+        Array.make n
+          (match elt with
+          | Types.F64 -> Eval.Float 0.0
+          | Types.I1 | Types.I32 | Types.I64 -> Eval.Int 0L
+          | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
+          | Types.Void -> Eval.Int 0L);
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.buffers b.id b;
+  b
+
+let buffer_id b = b.id
+let buffer_len b = Array.length b.data
+let buffer_elt b = b.elt
+
+let find t id =
+  match Hashtbl.find_opt t.buffers id with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "simulated memory: unknown buffer %d" id)
+
+let read_f64 b =
+  Array.map
+    (function
+      | Eval.Float x -> x
+      | Eval.Int _ | Eval.Ptr _ -> invalid_arg "Memory.read_f64: not an f64 buffer")
+    b.data
+
+let read_i64 b =
+  Array.map
+    (function
+      | Eval.Int x -> x
+      | Eval.Float _ | Eval.Ptr _ -> invalid_arg "Memory.read_i64: not an i64 buffer")
+    b.data
+
+let bytes_moved t = t.transferred
+
+let check b offset =
+  if offset < 0 || offset >= Array.length b.data then
+    failwith
+      (Printf.sprintf "simulated memory: buffer %d access out of bounds (%d of %d)"
+         b.id offset (Array.length b.data))
+
+let load t ~buffer_id ~offset =
+  let b = find t buffer_id in
+  check b offset;
+  b.data.(offset)
+
+let store t ~buffer_id ~offset v =
+  let b = find t buffer_id in
+  check b offset;
+  b.data.(offset) <- v
+
+let atomic_add t ~buffer_id ~offset v =
+  let b = find t buffer_id in
+  check b offset;
+  let old = b.data.(offset) in
+  let nw =
+    match old, v with
+    | Eval.Int a, Eval.Int x -> Eval.Int (Int64.add a x)
+    | Eval.Float a, Eval.Float x -> Eval.Float (a +. x)
+    | _, _ -> failwith "simulated memory: atomic_add type mismatch"
+  in
+  b.data.(offset) <- nw;
+  old
+
+let elt_size t ~buffer_id = Types.size_bytes (find t buffer_id).elt

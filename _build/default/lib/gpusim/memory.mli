@@ -1,0 +1,50 @@
+(** Simulated global memory: typed element buffers addressed by
+    (buffer id, element offset) pointers. The host side creates buffers,
+    passes them as kernel arguments, and reads results back. *)
+
+open Uu_ir
+
+type buffer
+
+type t
+(** A device memory space. *)
+
+val create : unit -> t
+
+val alloc_f64 : t -> float array -> buffer
+(** Copy a host array into a fresh f64 buffer. *)
+
+val alloc_i64 : t -> int64 array -> buffer
+
+val zeros_f64 : t -> int -> buffer
+val zeros_i64 : t -> int -> buffer
+
+val alloc_scratch : t -> Types.t -> int -> buffer
+(** Device-side scratch (backs [Alloca] when unoptimized IR is simulated);
+    not counted as host transfer. *)
+
+val buffer_id : buffer -> int
+val buffer_len : buffer -> int
+val buffer_elt : buffer -> Types.t
+
+val read_f64 : buffer -> float array
+(** Copy a buffer back to the host. @raise Invalid_argument on non-f64. *)
+
+val read_i64 : buffer -> int64 array
+
+val bytes_moved : t -> int
+(** Total bytes copied between host and device (both directions) —
+    the memory-transfer side of Table I's compute fraction. *)
+
+(** {1 Device-side access (used by the interpreter)} *)
+
+val load : t -> buffer_id:int -> offset:int -> Eval.rvalue
+(** @raise Failure on out-of-bounds or unknown buffer. *)
+
+val store : t -> buffer_id:int -> offset:int -> Eval.rvalue -> unit
+
+val atomic_add : t -> buffer_id:int -> offset:int -> Eval.rvalue -> Eval.rvalue
+(** Adds and returns the previous value. *)
+
+val elt_size : t -> buffer_id:int -> int
+(** Element size in bytes, for coalescing computations. *)

@@ -1,0 +1,79 @@
+type t = {
+  mutable cycles : int;
+  mutable warp_instrs : int;
+  mutable thread_instrs : int;
+  mutable active_lane_sum : int;
+  mutable inst_misc : int;
+  mutable inst_control : int;
+  mutable inst_memory : int;
+  mutable gld_bytes : int;
+  mutable gst_bytes : int;
+  mutable mem_transactions : int;
+  mutable fetch_stall_cycles : int;
+  mutable divergent_branches : int;
+  mutable warps_launched : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    warp_instrs = 0;
+    thread_instrs = 0;
+    active_lane_sum = 0;
+    inst_misc = 0;
+    inst_control = 0;
+    inst_memory = 0;
+    gld_bytes = 0;
+    gst_bytes = 0;
+    mem_transactions = 0;
+    fetch_stall_cycles = 0;
+    divergent_branches = 0;
+    warps_launched = 0;
+  }
+
+let add acc m =
+  acc.cycles <- acc.cycles + m.cycles;
+  acc.warp_instrs <- acc.warp_instrs + m.warp_instrs;
+  acc.thread_instrs <- acc.thread_instrs + m.thread_instrs;
+  acc.active_lane_sum <- acc.active_lane_sum + m.active_lane_sum;
+  acc.inst_misc <- acc.inst_misc + m.inst_misc;
+  acc.inst_control <- acc.inst_control + m.inst_control;
+  acc.inst_memory <- acc.inst_memory + m.inst_memory;
+  acc.gld_bytes <- acc.gld_bytes + m.gld_bytes;
+  acc.gst_bytes <- acc.gst_bytes + m.gst_bytes;
+  acc.mem_transactions <- acc.mem_transactions + m.mem_transactions;
+  acc.fetch_stall_cycles <- acc.fetch_stall_cycles + m.fetch_stall_cycles;
+  acc.divergent_branches <- acc.divergent_branches + m.divergent_branches;
+  acc.warps_launched <- acc.warps_launched + m.warps_launched
+
+let warp_execution_efficiency t ~warp_size =
+  if t.warp_instrs = 0 then 1.0
+  else
+    float_of_int t.active_lane_sum
+    /. (float_of_int t.warp_instrs *. float_of_int warp_size)
+
+let ipc t =
+  if t.cycles = 0 then 0.0 else float_of_int t.warp_instrs /. float_of_int t.cycles
+
+let stall_inst_fetch t =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.fetch_stall_cycles /. float_of_int t.cycles
+
+let gld_throughput t =
+  if t.cycles = 0 then 0.0 else float_of_int t.gld_bytes /. float_of_int t.cycles
+
+let kernel_time t ~device =
+  let concurrency =
+    max 1 (min t.warps_launched device.Device.max_resident_warps)
+  in
+  float_of_int t.cycles /. float_of_int concurrency
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cycles=%d warp_instrs=%d thread_instrs=%d eff=%.2f%% ipc=%.2f misc=%d \
+     control=%d mem=%d gld=%dB stall_fetch=%.2f%% div_branches=%d"
+    t.cycles t.warp_instrs t.thread_instrs
+    (100.0 *. warp_execution_efficiency t ~warp_size:32)
+    (ipc t) t.inst_misc t.inst_control t.inst_memory t.gld_bytes
+    (100.0 *. stall_inst_fetch t)
+    t.divergent_branches

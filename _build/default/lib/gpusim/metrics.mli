@@ -1,0 +1,42 @@
+(** nvprof-style counters collected during simulation, matching the ones
+    the paper analyses in §V: [warp_execution_efficiency], [inst_misc],
+    [inst_control], [ipc], [stall_inst_fetch], [gld_throughput]. *)
+
+type t = {
+  mutable cycles : int;               (** summed warp cycles *)
+  mutable warp_instrs : int;          (** instructions issued per warp *)
+  mutable thread_instrs : int;        (** instructions x active lanes *)
+  mutable active_lane_sum : int;      (** Σ active lanes per issued instr *)
+  mutable inst_misc : int;            (** selects + phi moves (thread count) *)
+  mutable inst_control : int;         (** branch instructions (thread count) *)
+  mutable inst_memory : int;          (** load/store/atomic (thread count) *)
+  mutable gld_bytes : int;            (** bytes read from global memory *)
+  mutable gst_bytes : int;
+  mutable mem_transactions : int;
+  mutable fetch_stall_cycles : int;
+  mutable divergent_branches : int;
+  mutable warps_launched : int;
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+(** Accumulate the second into the first. *)
+
+val warp_execution_efficiency : t -> warp_size:int -> float
+(** Average active lanes per issued instruction over the warp width,
+    in [0, 1]. *)
+
+val ipc : t -> float
+(** Issued warp instructions per cycle. *)
+
+val stall_inst_fetch : t -> float
+(** Fraction of cycles lost to instruction fetch. *)
+
+val gld_throughput : t -> float
+(** Global load bytes per cycle. *)
+
+val kernel_time : t -> device:Device.t -> float
+(** Simulated kernel time in cycles after dividing the summed warp cycles
+    by the achievable concurrency. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+open Uu_ir
+open Uu_support
+
+type event = {
+  block_id : int;
+  warp_id : int;
+  label : Value.label;
+  mask : Mask.t;
+}
+
+type t = { mutable events : event list; mutable count : int; limit : int }
+
+let create ?(limit = 100_000) () = { events = []; count = 0; limit }
+
+let record t e =
+  if t.count < t.limit then begin
+    t.events <- e :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.events
+
+let warp_events t ~block_id ~warp_id =
+  List.filter (fun e -> e.block_id = block_id && e.warp_id = warp_id) (events t)
+
+let max_concurrent_groups t ~block_id ~warp_id =
+  let evs = warp_events t ~block_id ~warp_id in
+  (* Count distinct masks in sliding windows delimited by full-mask events. *)
+  let best = ref 1 in
+  let seen = Hashtbl.create 8 in
+  let full = match evs with e :: _ -> e.mask | [] -> Mask.empty in
+  List.iter
+    (fun e ->
+      if Mask.equal e.mask full then begin
+        Hashtbl.reset seen;
+        Hashtbl.replace seen e.mask ()
+      end
+      else begin
+        Hashtbl.replace seen e.mask ();
+        if Hashtbl.length seen > !best then best := Hashtbl.length seen
+      end)
+    evs;
+  !best
+
+let render f t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Format.asprintf "b%d.w%d %a %a\n" e.block_id e.warp_id (Printer.pp_label f)
+           e.label Mask.pp e.mask))
+    (events t);
+  Buffer.contents buf

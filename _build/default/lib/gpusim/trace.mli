@@ -1,0 +1,34 @@
+(** Execution tracing: records the sequence of (block, active-mask) steps
+    each warp takes — the raw SIMT schedule. Used by tests to assert
+    reconvergence behaviour and by humans to see divergence happen.
+
+    Attach a fresh trace to {!Kernel.launch} via [?tracer]; each executed
+    block appends one event. *)
+
+open Uu_ir
+open Uu_support
+
+type event = {
+  block_id : int;    (** CUDA block *)
+  warp_id : int;
+  label : Value.label;
+  mask : Mask.t;
+}
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Recording stops silently after [limit] events (default 100_000). *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** In execution order. *)
+
+val warp_events : t -> block_id:int -> warp_id:int -> event list
+
+val max_concurrent_groups : t -> block_id:int -> warp_id:int -> int
+(** Rough divergence witness: the maximum number of distinct masks seen
+    between two visits of the same full-mask block for that warp. *)
+
+val render : Func.t -> t -> string
+(** One line per event: "b0.w1 bb12.body 11110000...". *)

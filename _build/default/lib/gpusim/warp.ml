@@ -1,0 +1,320 @@
+open Uu_ir
+open Uu_support
+
+type launch_env = {
+  device : Device.t;
+  fn : Func.t;
+  mem : Memory.t;
+  layout : Layout.t;
+  icache : Layout.icache;
+  ipdom : Value.label -> Value.label option;
+  args : (Value.var * Eval.rvalue) list;
+  block_dim : int;
+  grid_dim : int;
+  noise : Rng.t option;
+  max_warp_cycles : int;
+  dcache : (int * int) Cache.t;  (* L1 over (buffer, segment) *)
+  tracer : Trace.t option;
+}
+
+type entry = {
+  mutable block : Value.label;
+  mutable mask : Mask.t;
+  rpc : Value.label option;
+}
+
+let default_of_ty = function
+  | Types.F64 -> Eval.Float 0.0
+  | Types.I1 | Types.I32 | Types.I64 -> Eval.Int 0L
+  | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
+  | Types.Void -> Eval.Int 0L
+
+let run env ~block_id ~warp_id ~lanes =
+  let d = env.device in
+  let fn = env.fn in
+  let m = Metrics.create () in
+  m.Metrics.warps_launched <- 1;
+  let nvars = fn.Func.next_var in
+  let regs = Array.init d.Device.warp_size (fun _ -> Array.make nvars (Eval.Int 0L)) in
+  List.iter
+    (fun (v, value) -> Array.iter (fun r -> r.(v) <- value) regs)
+    env.args;
+  let prev = Array.make d.Device.warp_size (-1) in
+  let retired = ref Mask.empty in
+  (* Per-warp memory jitter factor, the source of run-to-run variance. *)
+  let mem_factor =
+    match env.noise with
+    | Some rng -> Float.max 0.5 (Rng.gaussian rng ~mean:1.0 ~stddev:0.03)
+    | None -> 1.0
+  in
+  let mem_cost transactions =
+    int_of_float
+      (Float.round
+         (mem_factor *. float_of_int (d.Device.mem_transaction_cost * transactions)))
+  in
+  let eval lane v =
+    match v with
+    | Value.Var x -> regs.(lane).(x)
+    | Value.Imm_int (n, ty) -> Eval.Int (Eval.normalize ty n)
+    | Value.Imm_float x -> Eval.Float x
+    | Value.Undef ty -> default_of_ty ty
+  in
+  let charge ?(misc = 0) ?(control = 0) ?(memory = 0) ~cycles ~active () =
+    m.Metrics.cycles <- m.Metrics.cycles + cycles;
+    m.Metrics.warp_instrs <- m.Metrics.warp_instrs + 1;
+    m.Metrics.thread_instrs <- m.Metrics.thread_instrs + active;
+    m.Metrics.active_lane_sum <- m.Metrics.active_lane_sum + active;
+    m.Metrics.inst_misc <- m.Metrics.inst_misc + misc;
+    m.Metrics.inst_control <- m.Metrics.inst_control + control;
+    m.Metrics.inst_memory <- m.Metrics.inst_memory + memory
+  in
+  (* Distinct memory segments for the given per-lane pointers, split into
+     L1 hits and misses. *)
+  let transactions_of ptrs =
+    let segs = Hashtbl.create 8 in
+    List.iter
+      (fun (buffer, offset) ->
+        let esz = Memory.elt_size env.mem ~buffer_id:buffer in
+        let seg = offset * esz / d.Device.transaction_bytes in
+        Hashtbl.replace segs (buffer, seg) ())
+      ptrs;
+    Hashtbl.fold
+      (fun key () (hits, misses) ->
+        if Cache.touch env.dcache key then (hits, misses + 1) else (hits + 1, misses))
+      segs (0, 0)
+  in
+  let expect_ptr = function
+    | Eval.Ptr { buffer; offset } -> (buffer, offset)
+    | Eval.Int _ | Eval.Float _ -> failwith "simulator: address is not a pointer"
+  in
+  let live_streams = ref 1 in
+  let exec_instr mask instr =
+    let active = Mask.popcount mask in
+    match instr with
+    | Instr.Binop { dst; op; ty; lhs; rhs } ->
+      Mask.iter
+        (fun lane -> regs.(lane).(dst) <- Eval.binop op ty (eval lane lhs) (eval lane rhs))
+        mask;
+      let cycles =
+        match op with
+        | Instr.Sdiv | Instr.Udiv | Instr.Srem | Instr.Fdiv -> d.Device.div_cost
+        | Instr.Fadd | Instr.Fsub | Instr.Fmul -> d.Device.fpu_cost
+        | _ -> d.Device.alu_cost
+      in
+      charge ~cycles ~active ()
+    | Instr.Cmp { dst; op; lhs; rhs; _ } ->
+      Mask.iter
+        (fun lane -> regs.(lane).(dst) <- Eval.cmp op (eval lane lhs) (eval lane rhs))
+        mask;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Unop { dst; op; src } ->
+      Mask.iter (fun lane -> regs.(lane).(dst) <- Eval.unop op (eval lane src)) mask;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Select { dst; cond; if_true; if_false; _ } ->
+      Mask.iter
+        (fun lane ->
+          let c = eval lane cond in
+          regs.(lane).(dst) <-
+            (if Eval.is_true c then eval lane if_true else eval lane if_false))
+        mask;
+      (* selp-style predication: counted as a miscellaneous instruction,
+         like the movs/selps of §V. *)
+      charge ~misc:active ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Gep { dst; base; index; _ } ->
+      Mask.iter
+        (fun lane ->
+          let buffer, offset = expect_ptr (eval lane base) in
+          let idx =
+            match eval lane index with
+            | Eval.Int n -> Int64.to_int n
+            | Eval.Float _ | Eval.Ptr _ -> failwith "simulator: gep index not an int"
+          in
+          regs.(lane).(dst) <- Eval.Ptr { buffer; offset = offset + idx })
+        mask;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Load { dst; ty; addr } ->
+      let ptrs = ref [] in
+      Mask.iter
+        (fun lane ->
+          let buffer, offset = expect_ptr (eval lane addr) in
+          ptrs := (buffer, offset) :: !ptrs;
+          regs.(lane).(dst) <- Memory.load env.mem ~buffer_id:buffer ~offset)
+        mask;
+      let hits, misses = transactions_of !ptrs in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gld_bytes <-
+        m.Metrics.gld_bytes + (active * Types.size_bytes ty);
+      (* Dependent-load latency: DRAM on any miss, L1 otherwise; hidden
+         across the live divergent groups of this warp (Volta independent
+         thread scheduling). *)
+      let latency =
+        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+      in
+      let exposed =
+        if d.Device.its_latency_hiding then latency / max 1 !live_streams
+        else latency
+      in
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses + exposed)
+        ~active ()
+    | Instr.Store { ty; addr; value } ->
+      let ptrs = ref [] in
+      Mask.iter
+        (fun lane ->
+          let buffer, offset = expect_ptr (eval lane addr) in
+          ptrs := (buffer, offset) :: !ptrs;
+          Memory.store env.mem ~buffer_id:buffer ~offset (eval lane value))
+        mask;
+      let hits, misses = transactions_of !ptrs in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * Types.size_bytes ty);
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+        ~active ()
+    | Instr.Atomic_add { dst; addr; value; _ } ->
+      (* Atomics serialize per lane. *)
+      Mask.iter
+        (fun lane ->
+          let buffer, offset = expect_ptr (eval lane addr) in
+          regs.(lane).(dst) <-
+            Memory.atomic_add env.mem ~buffer_id:buffer ~offset (eval lane value))
+        mask;
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + active;
+      charge ~memory:active ~cycles:(d.Device.atomic_cost * max 1 active) ~active ()
+    | Instr.Intrinsic { dst; op; args } ->
+      Mask.iter
+        (fun lane ->
+          regs.(lane).(dst) <- Eval.intrinsic op (List.map (eval lane) args))
+        mask;
+      charge ~cycles:d.Device.intrinsic_cost ~active ()
+    | Instr.Special { dst; op } ->
+      Mask.iter
+        (fun lane ->
+          let v =
+            match op with
+            | Instr.Thread_idx -> (warp_id * d.Device.warp_size) + lane
+            | Instr.Block_idx -> block_id
+            | Instr.Block_dim -> env.block_dim
+            | Instr.Grid_dim -> env.grid_dim
+          in
+          regs.(lane).(dst) <- Eval.Int (Int64.of_int v))
+        mask;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Alloca { dst; ty } ->
+      (* One cell per lane, so each lane gets a private slot. *)
+      let buf =
+        Memory.alloc_scratch env.mem ty d.Device.warp_size
+      in
+      Mask.iter
+        (fun lane ->
+          regs.(lane).(dst) <- Eval.Ptr { buffer = Memory.buffer_id buf; offset = lane })
+        mask;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Instr.Syncthreads -> charge ~cycles:d.Device.sync_cost ~active ()
+  in
+  let exec_phis mask b =
+    match b.Block.phis with
+    | [] -> ()
+    | phis ->
+      (* Parallel evaluation: gather all new values before writing. *)
+      let updates = ref [] in
+      List.iter
+        (fun (p : Instr.phi) ->
+          Mask.iter
+            (fun lane ->
+              let pred = prev.(lane) in
+              match List.assoc_opt pred p.incoming with
+              | Some v -> updates := (lane, p.dst, eval lane v) :: !updates
+              | None ->
+                failwith
+                  (Printf.sprintf
+                     "simulator: phi in bb%d has no incoming for predecessor bb%d"
+                     b.Block.label pred))
+            mask;
+          let active = Mask.popcount mask in
+          charge ~misc:active ~cycles:d.Device.alu_cost ~active ())
+        phis;
+      List.iter (fun (lane, dst, v) -> regs.(lane).(dst) <- v) !updates
+  in
+  let stack : entry list ref =
+    ref [ { block = fn.Func.entry; mask = Mask.full ~width:lanes; rpc = None } ]
+  in
+  let set_prev mask cur = Mask.iter (fun lane -> prev.(lane) <- cur) mask in
+  let pop () = match !stack with [] -> () | _ :: rest -> stack := rest in
+  let push e = stack := e :: !stack in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | top :: _ ->
+      if m.Metrics.cycles > env.max_warp_cycles then
+        failwith
+          (Printf.sprintf
+             "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
+             env.max_warp_cycles fn.Func.name);
+      let mask = Mask.diff top.mask !retired in
+      if Mask.is_empty mask then pop ()
+      else if Some top.block = top.rpc then pop ()
+      else begin
+        live_streams := List.length !stack;
+        (match env.tracer with
+        | Some t ->
+          Trace.record t { Trace.block_id; warp_id; label = top.block; mask }
+        | None -> ());
+        let b = Func.block fn top.block in
+        let misses = Layout.touch_block env.icache env.layout top.block in
+        if misses > 0 then begin
+          let stall = misses * d.Device.fetch_miss_penalty in
+          m.Metrics.cycles <- m.Metrics.cycles + stall;
+          m.Metrics.fetch_stall_cycles <- m.Metrics.fetch_stall_cycles + stall
+        end;
+        exec_phis mask b;
+        List.iter (exec_instr mask) b.Block.instrs;
+        let cur = top.block in
+        let active = Mask.popcount mask in
+        match b.Block.term with
+        | Instr.Ret _ ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          retired := Mask.union !retired mask;
+          pop ()
+        | Instr.Unreachable ->
+          failwith (Printf.sprintf "simulator: reached unreachable bb%d" cur)
+        | Instr.Br target ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          set_prev mask cur;
+          if Some target = top.rpc then pop () else top.block <- target
+        | Instr.Cond_br { cond; if_true; if_false } ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          let m_t = ref Mask.empty in
+          Mask.iter
+            (fun lane -> if Eval.is_true (eval lane cond) then m_t := Mask.add lane !m_t)
+            mask;
+          let m_t = !m_t in
+          let m_f = Mask.diff mask m_t in
+          set_prev mask cur;
+          if Mask.is_empty m_f then begin
+            if Some if_true = top.rpc then pop () else top.block <- if_true
+          end
+          else if Mask.is_empty m_t then begin
+            if Some if_false = top.rpc then pop () else top.block <- if_false
+          end
+          else begin
+            m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
+            m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
+            let r = env.ipdom cur in
+            pop ();
+            (match r with
+            | Some rp -> push { block = rp; mask; rpc = top.rpc }
+            | None -> ());
+            let part_rpc = match r with Some _ -> r | None -> top.rpc in
+            if Some if_false <> part_rpc then
+              push { block = if_false; mask = m_f; rpc = part_rpc };
+            if Some if_true <> part_rpc then
+              push { block = if_true; mask = m_t; rpc = part_rpc }
+          end
+      end
+  done;
+  m

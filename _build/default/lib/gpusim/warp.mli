@@ -1,0 +1,38 @@
+(** The SIMT warp executor.
+
+    A warp executes the kernel IR in lockstep over up to 32 lanes using a
+    stack of (block, active-mask, reconvergence-point) entries. A
+    divergent branch pushes a reconvergence entry at the branch block's
+    immediate post-dominator plus one entry per taken path; path groups
+    run serialized until they reach their reconvergence point — the
+    standard stack-based reconvergence model, which is what makes the
+    unmerged longer paths of u&u cost warp-execution efficiency exactly
+    as the paper reports (§V). Per-lane registers, per-lane predecessor
+    tracking for phi resolution, per-transaction memory coalescing, and
+    icache fetch accounting are all handled here. *)
+
+open Uu_ir
+open Uu_support
+
+type launch_env = {
+  device : Device.t;
+  fn : Func.t;
+  mem : Memory.t;
+  layout : Layout.t;
+  icache : Layout.icache;
+  ipdom : Value.label -> Value.label option;  (** immediate post-dominators *)
+  args : (Value.var * Eval.rvalue) list;      (** parameter bindings *)
+  block_dim : int;
+  grid_dim : int;
+  noise : Rng.t option;  (** memory-latency jitter for run-to-run variance *)
+  max_warp_cycles : int;  (** runaway-loop guard *)
+  dcache : (int * int) Cache.t;  (** L1 data cache over (buffer, segment) *)
+  tracer : Trace.t option;       (** optional execution trace *)
+}
+
+val run :
+  launch_env -> block_id:int -> warp_id:int -> lanes:int -> Metrics.t
+(** Execute one warp ([lanes] ≤ warp size active threads, lane 0 is
+    thread [warp_id * warp_size] of the block). Returns its metrics.
+    @raise Failure on interpreter errors (out-of-bounds access, type
+    confusion) or when [max_warp_cycles] is exceeded. *)

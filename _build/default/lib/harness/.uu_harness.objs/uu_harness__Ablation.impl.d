@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Func Hashtbl List Pipelines Printf Report Runner Unmerge Uu Uu_analysis Uu_benchmarks Uu_core Uu_frontend Uu_gpusim Uu_ir Uu_opt Uu_support Value

@@ -1,0 +1,1 @@
+lib/harness/counters.ml: List Metrics Pipelines Report Runner Uu_benchmarks Uu_core Uu_gpusim

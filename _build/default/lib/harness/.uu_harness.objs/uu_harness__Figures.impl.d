@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Float List Pipelines Printf Report Runner Stats Sweep Uu_core Uu_support

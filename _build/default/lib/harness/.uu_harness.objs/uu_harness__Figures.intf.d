@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Pipelines Sweep Uu_core

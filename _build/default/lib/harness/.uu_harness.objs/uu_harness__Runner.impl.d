@@ -1,0 +1,1 @@
+lib/harness/runner.ml: App Float Func Hashtbl Kernel List Metrics Option Pipelines Printf Rng Uu_analysis Uu_benchmarks Uu_core Uu_frontend Uu_gpusim Uu_ir Uu_opt Uu_support Value

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Pipelines Uu_benchmarks Uu_core Uu_gpusim Uu_ir

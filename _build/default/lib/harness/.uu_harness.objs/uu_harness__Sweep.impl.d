@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: List Pipelines Runner Uu_benchmarks Uu_core

@@ -1,0 +1,1 @@
+lib/harness/sweep.mli: Pipelines Runner Uu_benchmarks Uu_core

@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Int64 List Pipelines Printf Report Runner Stats Uu_benchmarks Uu_core Uu_support

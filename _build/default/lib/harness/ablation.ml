@@ -1,0 +1,119 @@
+open Uu_ir
+open Uu_core
+
+type row = {
+  app : string;
+  variant : string;
+  speedup : float;
+  code_ratio : float;
+  duplicated_blocks : int;
+}
+
+(* Apply a hand-rolled transform (instead of a stock pipeline config) to
+   the app's first loop, then run the standard late pipeline and simulate. *)
+let variants : (string * (Func.t -> Value.label -> int)) list =
+  [
+    ( "u&u-2 (unroll then unmerge)",
+      fun f header ->
+        let o = Uu.uu_loop f ~header ~factor:2 in
+        o.Uu.duplicated_blocks );
+    ( "unmerge then unroll-2",
+      fun f header ->
+        let o = Unmerge.unmerge_loop f ~header ~budget:Uu.default_block_budget in
+        ignore (Uu_opt.Unroll.unroll_loop f ~header ~factor:2);
+        Hashtbl.replace f.Func.pragmas header Func.Pragma_nounroll;
+        o.Unmerge.duplicated_blocks );
+    ( "DBDS one level",
+      fun f header ->
+        let o = Unmerge.dbds_unmerge_loop f ~header ~budget:Uu.default_block_budget in
+        Hashtbl.replace f.Func.pragmas header Func.Pragma_nounroll;
+        o.Unmerge.duplicated_blocks );
+    ( "u&u-2 selective",
+      fun f header ->
+        let o = Uu.uu_loop ~selective:true f ~header ~factor:2 in
+        o.Uu.duplicated_blocks );
+  ]
+
+let late_pipeline =
+  (* Everything of the standard pipeline after the structural transform. *)
+  Pipelines.pipeline ~targets:(Pipelines.Only []) Pipelines.Baseline
+
+let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) () =
+  List.concat_map
+    (fun name ->
+      match Uu_benchmarks.Registry.find name with
+      | None -> []
+      | Some app ->
+        let baseline = Runner.run_exn app Pipelines.Baseline in
+        List.map
+          (fun (variant, transform) ->
+            let m =
+              Uu_frontend.Lower.compile ~name:app.Uu_benchmarks.App.name
+                app.Uu_benchmarks.App.source
+            in
+            (* Transform only the first kernel's first loop, by hand. *)
+            let dup = ref 0 in
+            List.iteri
+              (fun i f ->
+                if i = 0 then begin
+                  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes f);
+                  (match
+                     Uu_analysis.Loops.loops (Uu_analysis.Loops.analyze f)
+                   with
+                  | l :: _ -> dup := transform f l.Uu_analysis.Loops.header
+                  | [] -> ());
+                  ignore (Uu_opt.Pass.run late_pipeline f)
+                end
+                else ignore (Pipelines.optimize Pipelines.Baseline f))
+              m.Func.funcs;
+            (* Simulate via the runner's machinery: rebuild an instance and
+               launch each kernel of the transformed module. *)
+            let instance =
+              app.Uu_benchmarks.App.setup (Uu_support.Rng.create 0x5EEDL)
+            in
+            let cycles = ref 0.0 in
+            let code = ref app.Uu_benchmarks.App.rest_bytes in
+            let seen = Hashtbl.create 4 in
+            List.iter
+              (fun (l : Uu_benchmarks.App.launch) ->
+                match Func.find_func m l.Uu_benchmarks.App.kernel with
+                | None -> ()
+                | Some f ->
+                  let r =
+                    Uu_gpusim.Kernel.launch instance.Uu_benchmarks.App.mem f
+                      ~grid_dim:l.Uu_benchmarks.App.grid_dim
+                      ~block_dim:l.Uu_benchmarks.App.block_dim
+                      ~args:l.Uu_benchmarks.App.args
+                  in
+                  cycles := !cycles +. r.Uu_gpusim.Kernel.kernel_cycles;
+                  if not (Hashtbl.mem seen l.Uu_benchmarks.App.kernel) then begin
+                    Hashtbl.replace seen l.Uu_benchmarks.App.kernel ();
+                    code := !code + r.Uu_gpusim.Kernel.code_bytes
+                  end)
+              instance.Uu_benchmarks.App.launches;
+            (match instance.Uu_benchmarks.App.check () with
+            | Ok () -> ()
+            | Error msg ->
+              failwith (Printf.sprintf "ablation %s on %s: %s" variant name msg));
+            let kernel_ms = !cycles /. Runner.cycles_per_ms in
+            {
+              app = name;
+              variant;
+              speedup = baseline.Runner.kernel_ms /. kernel_ms;
+              code_ratio =
+                float_of_int !code /. float_of_int baseline.Runner.code_bytes;
+              duplicated_blocks = !dup;
+            })
+          variants)
+    apps
+
+let render rows =
+  Report.render_table
+    ~header:[ "App"; "Variant"; "Speedup"; "Code"; "Dup blocks" ]
+    (List.map
+       (fun r ->
+         [
+           r.app; r.variant; Report.ratio r.speedup; Report.ratio r.code_ratio;
+           string_of_int r.duplicated_blocks;
+         ])
+       rows)

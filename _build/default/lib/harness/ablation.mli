@@ -1,0 +1,24 @@
+(** Ablation experiments for the design decisions DESIGN.md calls out:
+
+    - {b order}: unroll-then-unmerge (the paper's §III-A order) against
+      unmerge-then-unroll;
+    - {b depth}: whole-path duplication against one-level DBDS-style
+      duplication (§II-d);
+    - {b selectivity}: full unmerging against the §VI future-work
+      selective variant (phi-carrying merges only).
+
+    Each variant is applied to the hot loop of a few representative
+    applications and compared on kernel time and code size. *)
+
+type row = {
+  app : string;
+  variant : string;
+  speedup : float;      (** vs. the app's baseline *)
+  code_ratio : float;
+  duplicated_blocks : int;
+}
+
+val run : ?apps:string list -> unit -> row list
+(** Default apps: bezier-surface, rainflow, XSBench. *)
+
+val render : row list -> string

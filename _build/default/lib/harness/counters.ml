@@ -1,0 +1,77 @@
+open Uu_core
+open Uu_gpusim
+
+type comparison = {
+  app : string;
+  factor : int;
+  base_eff : float;
+  uu_eff : float;
+  misc_change : float;
+  control_change : float;
+  gld_change : float;
+  ipc_change : float;
+  base_stall_fetch : float;
+  uu_stall_fetch : float;
+  speedup : float;
+}
+
+let cases = [ ("XSBench", 8); ("rainflow", 4); ("complex", 8) ]
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let analyze () =
+  List.filter_map
+    (fun (name, factor) ->
+      match Uu_benchmarks.Registry.find name with
+      | None -> None
+      | Some app ->
+        let base = Runner.run_exn app Pipelines.Baseline in
+        (* Target the hottest (first) loop, like the paper's per-loop
+           analysis. *)
+        let target = List.nth_opt (Runner.loop_inventory app) 0 in
+        let uu = Runner.run_exn ?target app (Pipelines.Uu factor) in
+        let eff m =
+          Metrics.warp_execution_efficiency m.Runner.metrics ~warp_size:32
+        in
+        Some
+          {
+            app = name;
+            factor;
+            base_eff = eff base;
+            uu_eff = eff uu;
+            misc_change =
+              ratio
+                (float_of_int uu.Runner.metrics.Metrics.inst_misc)
+                (float_of_int base.Runner.metrics.Metrics.inst_misc);
+            control_change =
+              ratio
+                (float_of_int uu.Runner.metrics.Metrics.inst_control)
+                (float_of_int base.Runner.metrics.Metrics.inst_control);
+            gld_change =
+              ratio (Metrics.gld_throughput uu.Runner.metrics)
+                (Metrics.gld_throughput base.Runner.metrics);
+            ipc_change =
+              ratio (Metrics.ipc uu.Runner.metrics) (Metrics.ipc base.Runner.metrics);
+            base_stall_fetch = Metrics.stall_inst_fetch base.Runner.metrics;
+            uu_stall_fetch = Metrics.stall_inst_fetch uu.Runner.metrics;
+            speedup = base.Runner.kernel_ms /. uu.Runner.kernel_ms;
+          })
+    cases
+
+let render comparisons =
+  Report.render_table
+    ~header:
+      [
+        "App"; "u"; "eff base"; "eff u&u"; "misc"; "control"; "gld"; "ipc";
+        "stallf base"; "stallf u&u"; "speedup";
+      ]
+    (List.map
+       (fun c ->
+         [
+           c.app; string_of_int c.factor; Report.pct c.base_eff; Report.pct c.uu_eff;
+           Report.ratio c.misc_change; Report.ratio c.control_change;
+           Report.ratio c.gld_change; Report.ratio c.ipc_change;
+           Report.pct c.base_stall_fetch; Report.pct c.uu_stall_fetch;
+           Report.ratio c.speedup;
+         ])
+       comparisons)

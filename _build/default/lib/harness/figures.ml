@@ -1,0 +1,188 @@
+open Uu_support
+open Uu_core
+
+let loop_name (p : Sweep.point) =
+  match p.Sweep.loop with
+  | Some l -> Printf.sprintf "%s/L%d" l.Runner.kernel l.Runner.loop_id
+  | None -> "(heuristic)"
+
+let uu_factors = [ 2; 4; 8 ]
+
+(* One row per loop: value under u&u at each factor, plus the heuristic
+   app-level row. *)
+let fig6_table ~value ~fmt sweep =
+  let apps = List.map fst sweep.Sweep.baselines in
+  let rows =
+    List.concat_map
+      (fun app ->
+        let loops =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (p : Sweep.point) -> p.Sweep.loop)
+               (Sweep.points_for sweep ~app ()))
+        in
+        let loop_rows =
+          List.map
+            (fun loop ->
+              let cell factor =
+                match
+                  List.find_opt
+                    (fun (p : Sweep.point) ->
+                      p.Sweep.loop = Some loop && p.Sweep.config = Pipelines.Uu factor)
+                    sweep.Sweep.points
+                with
+                | Some p -> fmt (value p)
+                | None -> "-"
+              in
+              [ app; Printf.sprintf "%s/L%d" loop.Runner.kernel loop.Runner.loop_id ]
+              @ List.map cell uu_factors)
+            loops
+        in
+        let heuristic_row =
+          match
+            List.find_opt
+              (fun (p : Sweep.point) ->
+                p.Sweep.app = app && p.Sweep.loop = None
+                && p.Sweep.config = Pipelines.Uu_heuristic)
+              sweep.Sweep.points
+          with
+          | Some p -> [ [ app; "(heuristic)"; fmt (value p); ""; "" ] ]
+          | None -> []
+        in
+        loop_rows @ heuristic_row)
+      apps
+  in
+  Report.render_table ~header:[ "App"; "Loop"; "u=2"; "u=4"; "u=8" ] rows
+
+let fig6a = fig6_table ~value:(fun p -> p.Sweep.speedup) ~fmt:Report.ratio
+let fig6b = fig6_table ~value:(fun p -> p.Sweep.code_ratio) ~fmt:Report.ratio
+let fig6c = fig6_table ~value:(fun p -> p.Sweep.compile_ratio) ~fmt:Report.ratio
+
+let best_per_app sweep config =
+  List.map
+    (fun (app, _) ->
+      let best =
+        List.fold_left
+          (fun acc (p : Sweep.point) ->
+            if p.Sweep.app = app && p.Sweep.config = config && p.Sweep.loop <> None
+            then Float.max acc p.Sweep.speedup
+            else acc)
+          neg_infinity sweep.Sweep.points
+      in
+      (app, if best = neg_infinity then 1.0 else best))
+    sweep.Sweep.baselines
+
+let fig7 sweep =
+  let configs = Sweep.loop_configs in
+  let columns = List.map (fun c -> (c, best_per_app sweep c)) configs in
+  let rows =
+    List.map
+      (fun (app, _) ->
+        app
+        :: List.map
+             (fun (_, col) ->
+               match List.assoc_opt app col with
+               | Some s -> Report.ratio s
+               | None -> "-")
+             columns)
+      sweep.Sweep.baselines
+  in
+  Report.render_table
+    ~header:("App" :: List.map (fun c -> Pipelines.config_name c) configs)
+    rows
+
+let scatter sweep ~x_config ~y_config =
+  List.filter_map
+    (fun (p : Sweep.point) ->
+      if p.Sweep.config = x_config && p.Sweep.loop <> None then
+        match
+          List.find_opt
+            (fun (q : Sweep.point) ->
+              q.Sweep.app = p.Sweep.app && q.Sweep.loop = p.Sweep.loop
+              && q.Sweep.config = y_config)
+            sweep.Sweep.points
+        with
+        | Some q -> Some (p, q)
+        | None -> None
+      else None)
+    sweep.Sweep.points
+
+let fig8_render sweep ~against ~column =
+  let rows =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun ((p : Sweep.point), (q : Sweep.point)) ->
+            [
+              p.Sweep.app; loop_name p; string_of_int u;
+              Report.ratio p.Sweep.speedup; Report.ratio q.Sweep.speedup;
+            ])
+          (scatter sweep ~x_config:(Pipelines.Uu u) ~y_config:(against u)))
+      uu_factors
+  in
+  Report.render_table ~header:[ "App"; "Loop"; "u"; "u&u"; column ] rows
+
+let fig8a sweep = fig8_render sweep ~against:(fun u -> Pipelines.Unroll u) ~column:"unroll"
+let fig8b sweep = fig8_render sweep ~against:(fun _ -> Pipelines.Unmerge) ~column:"unmerge"
+
+let fig6_csv_header =
+  [ "app"; "loop"; "config"; "speedup"; "code_ratio"; "compile_ratio" ]
+
+let fig6_csv sweep =
+  List.map
+    (fun (p : Sweep.point) ->
+      [
+        p.Sweep.app; loop_name p; Pipelines.config_name p.Sweep.config;
+        Printf.sprintf "%.4f" p.Sweep.speedup;
+        Printf.sprintf "%.4f" p.Sweep.code_ratio;
+        Printf.sprintf "%.4f" p.Sweep.compile_ratio;
+      ])
+    sweep.Sweep.points
+
+let fig7_csv_header = [ "app"; "config"; "best_speedup" ]
+
+let fig7_csv sweep =
+  List.concat_map
+    (fun config ->
+      List.map
+        (fun (app, s) ->
+          [ app; Pipelines.config_name config; Printf.sprintf "%.4f" s ])
+        (best_per_app sweep config))
+    Sweep.loop_configs
+
+let fig8_csv_header = [ "figure"; "app"; "loop"; "factor"; "uu_speedup"; "other_speedup" ]
+
+let fig8_csv sweep =
+  let series fig against =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun ((p : Sweep.point), (q : Sweep.point)) ->
+            [
+              fig; p.Sweep.app; loop_name p; string_of_int u;
+              Printf.sprintf "%.4f" p.Sweep.speedup;
+              Printf.sprintf "%.4f" q.Sweep.speedup;
+            ])
+          (scatter sweep ~x_config:(Pipelines.Uu u) ~y_config:(against u)))
+      uu_factors
+  in
+  series "8a" (fun u -> Pipelines.Unroll u) @ series "8b" (fun _ -> Pipelines.Unmerge)
+
+let geomean_summary sweep =
+  let heuristic_points =
+    List.filter
+      (fun (p : Sweep.point) ->
+        p.Sweep.loop = None && p.Sweep.config = Pipelines.Uu_heuristic)
+      sweep.Sweep.points
+  in
+  match heuristic_points with
+  | [] -> "no heuristic data"
+  | _ :: _ ->
+    let gm f = Stats.geomean (List.map f heuristic_points) in
+    Printf.sprintf
+      "heuristic geomeans over %d apps: speedup %s, code size %s, compile time %s\n\
+       (paper: 1.05x, 1.7x, 1.18x)"
+      (List.length heuristic_points)
+      (Report.ratio (gm (fun p -> p.Sweep.speedup)))
+      (Report.ratio (gm (fun p -> p.Sweep.code_ratio)))
+      (Report.ratio (gm (fun p -> p.Sweep.compile_ratio)))

@@ -1,0 +1,33 @@
+(** The paper's figures, regenerated as text tables and CSV series from a
+    {!Sweep.t}:
+
+    - Fig. 6a/6b/6c — per-loop speedup, code-size increase, and
+      compile-time increase of u&u at factors 2/4/8, plus the heuristic.
+    - Fig. 7 — per-application comparison of u&u against plain unroll and
+      plain unmerge (best loop per configuration).
+    - Fig. 8a/8b — per-loop scatter of u&u speedup against unroll
+      (respectively unmerge) speedup. *)
+
+open Uu_core
+
+val fig6a : Sweep.t -> string
+val fig6b : Sweep.t -> string
+val fig6c : Sweep.t -> string
+val fig7 : Sweep.t -> string
+val fig8a : Sweep.t -> string
+val fig8b : Sweep.t -> string
+
+val fig6_csv : Sweep.t -> string list list
+val fig6_csv_header : string list
+val fig7_csv : Sweep.t -> string list list
+val fig7_csv_header : string list
+val fig8_csv : Sweep.t -> string list list
+val fig8_csv_header : string list
+
+val best_per_app : Sweep.t -> Pipelines.config -> (string * float) list
+(** Highest per-loop speedup per application for a configuration. *)
+
+val geomean_summary : Sweep.t -> string
+(** The heuristic's geometric-mean speedup, code-size, and compile-time
+    ratios over all applications (the paper reports 1.05x / 1.7x /
+    1.18x). *)

@@ -1,0 +1,42 @@
+let render_table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun acc r -> match List.nth_opt r i with Some c -> max acc (String.length c) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let c = match List.nth_opt r i with Some c -> c | None -> "" in
+           c ^ String.make (max 0 (w - String.length c)) ' ')
+         widths)
+  in
+  let sep = String.make (List.fold_left ( + ) (2 * (cols - 1)) widths) '-' in
+  String.concat "\n" ((render_row header :: sep :: List.map render_row rows) @ [ "" ])
+
+let rec mkdirs dir =
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_csv ~path ~header rows =
+  mkdirs (Filename.dirname path);
+  let oc = open_out path in
+  let emit row = output_string oc (String.concat "," (List.map csv_escape row) ^ "\n") in
+  emit header;
+  List.iter emit rows;
+  close_out oc
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let ms x = Printf.sprintf "%.2f" x
+let ratio x = Printf.sprintf "%.2fx" x

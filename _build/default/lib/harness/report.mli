@@ -1,0 +1,16 @@
+(** Plain-text table and CSV rendering for the experiment outputs. *)
+
+val render_table : header:string list -> string list list -> string
+(** Monospace table with column alignment. *)
+
+val write_csv : path:string -> header:string list -> string list list -> unit
+(** Write rows as CSV, creating parent directories as needed. *)
+
+val pct : float -> string
+(** "67.18%" *)
+
+val ms : float -> string
+(** "78.75" *)
+
+val ratio : float -> string
+(** "1.36x" *)

@@ -1,0 +1,60 @@
+(** The experiment runner: compiles an application under a configuration
+    (optionally restricted to one loop, as the paper does per-loop,
+    §IV-B), simulates its launch schedule, validates results against the
+    host oracle, and reports the measurements every table and figure is
+    built from. *)
+
+open Uu_core
+
+type loop_ref = {
+  kernel : string;
+  loop_id : int;       (** deterministic id within the kernel *)
+  header : Uu_ir.Value.label;
+}
+
+val loop_inventory : Uu_benchmarks.App.t -> loop_ref list
+(** All loops of all kernels, after the pipeline's early phase (so headers
+    match what the transform sees). Order: kernels in source order, loops
+    by id. *)
+
+type measurement = {
+  config : Pipelines.config;
+  target : loop_ref option;        (** [None] = whole-application run *)
+  kernel_ms : float;               (** simulated kernel time *)
+  transfer_ms : float;             (** modeled host-transfer time *)
+  code_bytes : int;                (** kernel code plus the app's rest-of-binary *)
+  compile_seconds : float;
+  metrics : Uu_gpusim.Metrics.t;
+  check : (unit, string) result;
+}
+
+val cycles_per_ms : float
+(** Conversion between simulated cycles and reported milliseconds. *)
+
+type compiled
+(** A compiled application (all kernels optimized under one
+    configuration), reusable across simulation runs. *)
+
+val compile : ?target:loop_ref -> Uu_benchmarks.App.t -> Pipelines.config -> compiled
+val simulate : ?noise_seed:int64 -> compiled -> measurement
+(** Simulate a previously compiled application; used by Table I's 20-run
+    protocol to avoid recompiling per run. *)
+
+val run :
+  ?noise_seed:int64 ->
+  ?target:loop_ref ->
+  Uu_benchmarks.App.t ->
+  Pipelines.config ->
+  measurement
+(** Compile + simulate one configuration. [noise_seed] enables the memory
+    jitter model (used for Table I's 20-run statistics); without it the
+    simulation is deterministic. When [target] is set, the transform is
+    applied to that single loop only. *)
+
+val run_exn :
+  ?noise_seed:int64 ->
+  ?target:loop_ref ->
+  Uu_benchmarks.App.t ->
+  Pipelines.config ->
+  measurement
+(** Like {!run} but raises [Failure] if the oracle check fails. *)

@@ -1,0 +1,67 @@
+open Uu_core
+
+type point = {
+  app : string;
+  loop : Runner.loop_ref option;
+  config : Pipelines.config;
+  speedup : float;
+  code_ratio : float;
+  compile_ratio : float;
+}
+
+type t = {
+  points : point list;
+  baselines : (string * Runner.measurement) list;
+}
+
+let loop_configs =
+  [
+    Pipelines.Unroll 2; Pipelines.Unroll 4; Pipelines.Unroll 8;
+    Pipelines.Unmerge;
+    Pipelines.Uu 2; Pipelines.Uu 4; Pipelines.Uu 8;
+  ]
+
+let point_of ~app ~loop ~baseline (m : Runner.measurement) =
+  {
+    app;
+    loop;
+    config = m.Runner.config;
+    speedup = baseline.Runner.kernel_ms /. m.Runner.kernel_ms;
+    code_ratio =
+      float_of_int m.Runner.code_bytes /. float_of_int baseline.Runner.code_bytes;
+    compile_ratio =
+      (if baseline.Runner.compile_seconds > 0.0 then
+         m.Runner.compile_seconds /. baseline.Runner.compile_seconds
+       else 1.0);
+  }
+
+let run ?(apps = Uu_benchmarks.Registry.all) () =
+  let baselines = ref [] in
+  let points = ref [] in
+  List.iter
+    (fun (app : Uu_benchmarks.App.t) ->
+      let name = app.Uu_benchmarks.App.name in
+      let baseline = Runner.run_exn app Pipelines.Baseline in
+      baselines := (name, baseline) :: !baselines;
+      (* Whole-app heuristic point. *)
+      let heuristic = Runner.run_exn app Pipelines.Uu_heuristic in
+      points := point_of ~app:name ~loop:None ~baseline heuristic :: !points;
+      (* Per-loop points. *)
+      let loops = Runner.loop_inventory app in
+      List.iter
+        (fun (loop : Runner.loop_ref) ->
+          List.iter
+            (fun config ->
+              let m = Runner.run_exn ~target:loop app config in
+              points := point_of ~app:name ~loop:(Some loop) ~baseline m :: !points)
+            loop_configs)
+        loops)
+    apps;
+  { points = List.rev !points; baselines = List.rev !baselines }
+
+let points_for t ?config ?app () =
+  List.filter
+    (fun p ->
+      (match config with Some c -> p.config = c | None -> true)
+      && match app with Some a -> p.app = a | None -> true)
+    t.points

@@ -1,0 +1,30 @@
+(** The per-loop measurement sweep feeding Figures 6, 7, and 8: every
+    loop of every application, compiled under unroll (factors 2/4/8),
+    unmerge, and u&u (factors 2/4/8), applied to that loop alone (§IV-B),
+    plus the per-app baseline and heuristic runs. Deterministic (no
+    latency jitter). *)
+
+open Uu_core
+
+type point = {
+  app : string;
+  loop : Runner.loop_ref option;  (** [None] for whole-app (heuristic) rows *)
+  config : Pipelines.config;
+  speedup : float;                (** baseline kernel time / this kernel time *)
+  code_ratio : float;             (** code bytes / baseline code bytes *)
+  compile_ratio : float;          (** compile seconds / baseline compile seconds *)
+}
+
+type t = {
+  points : point list;
+  baselines : (string * Runner.measurement) list;  (** per app *)
+}
+
+val loop_configs : Pipelines.config list
+(** unroll 2/4/8, unmerge, u&u 2/4/8. *)
+
+val run : ?apps:Uu_benchmarks.App.t list -> unit -> t
+(** Runs the full sweep (oracle-checked); a few minutes of simulation. *)
+
+val points_for :
+  t -> ?config:Pipelines.config -> ?app:string -> unit -> point list

@@ -1,0 +1,83 @@
+open Uu_support
+open Uu_core
+
+type row = {
+  name : string;
+  category : string;
+  cli : string;
+  loops : int;
+  compute_fraction : float;
+  baseline_mean_ms : float;
+  baseline_rsd : float;
+  heuristic_mean_ms : float;
+  heuristic_rsd : float;
+}
+
+let timed_runs ~runs app config =
+  (* Compile once; the repeated runs vary only the latency jitter seed,
+     exactly like re-running the same binary (SIV-B). *)
+  let compiled = Runner.compile app config in
+  List.init runs (fun i ->
+      let m = Runner.simulate ~noise_seed:(Int64.of_int (1000 + i)) compiled in
+      (match m.Runner.check with
+      | Ok () -> ()
+      | Error msg -> failwith (Printf.sprintf "table1: %s" msg));
+      m.Runner.kernel_ms)
+
+let compute ?(runs = 20) ?(apps = Uu_benchmarks.Registry.all) () =
+  List.map
+    (fun (app : Uu_benchmarks.App.t) ->
+      let base = Runner.run_exn app Pipelines.Baseline in
+      let base_times = timed_runs ~runs app Pipelines.Baseline in
+      let heur_times = timed_runs ~runs app Pipelines.Uu_heuristic in
+      let loops = List.length (Runner.loop_inventory app) in
+      {
+        name = app.Uu_benchmarks.App.name;
+        category = app.Uu_benchmarks.App.category;
+        cli = app.Uu_benchmarks.App.cli;
+        loops;
+        compute_fraction =
+          base.Runner.kernel_ms /. (base.Runner.kernel_ms +. base.Runner.transfer_ms);
+        baseline_mean_ms = Stats.mean base_times;
+        baseline_rsd = Stats.rsd base_times;
+        heuristic_mean_ms = Stats.mean heur_times;
+        heuristic_rsd = Stats.rsd heur_times;
+      })
+    apps
+
+let csv_header =
+  [
+    "name"; "category"; "cli"; "loops"; "compute_pct"; "baseline_mean_ms";
+    "baseline_rsd_pct"; "heuristic_mean_ms"; "heuristic_rsd_pct";
+  ]
+
+let to_csv rows =
+  List.map
+    (fun r ->
+      [
+        r.name; r.category; r.cli; string_of_int r.loops;
+        Printf.sprintf "%.2f" (100.0 *. r.compute_fraction);
+        Printf.sprintf "%.3f" r.baseline_mean_ms;
+        Printf.sprintf "%.2f" (100.0 *. r.baseline_rsd);
+        Printf.sprintf "%.3f" r.heuristic_mean_ms;
+        Printf.sprintf "%.2f" (100.0 *. r.heuristic_rsd);
+      ])
+    rows
+
+let render rows =
+  Report.render_table
+    ~header:
+      [ "Name"; "Category"; "L"; "%C"; "Baseline (ms +- RSD)"; "Heuristic (ms +- RSD)" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           r.category;
+           string_of_int r.loops;
+           Report.pct r.compute_fraction;
+           Printf.sprintf "%s +- %s" (Report.ms r.baseline_mean_ms)
+             (Report.pct r.baseline_rsd);
+           Printf.sprintf "%s +- %s" (Report.ms r.heuristic_mean_ms)
+             (Report.pct r.heuristic_rsd);
+         ])
+       rows)

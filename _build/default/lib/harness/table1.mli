@@ -1,0 +1,23 @@
+(** Table I: per-application overview — category, command line, loop
+    count, compute fraction, and baseline/heuristic kernel times as
+    mean ± relative standard deviation over repeated noisy runs (the
+    paper's 20-run protocol, §IV-B). *)
+
+type row = {
+  name : string;
+  category : string;
+  cli : string;
+  loops : int;
+  compute_fraction : float;   (** kernel time / (kernel + transfer) *)
+  baseline_mean_ms : float;
+  baseline_rsd : float;
+  heuristic_mean_ms : float;
+  heuristic_rsd : float;
+}
+
+val compute : ?runs:int -> ?apps:Uu_benchmarks.App.t list -> unit -> row list
+(** Default 20 runs per configuration. *)
+
+val render : row list -> string
+val to_csv : row list -> string list list
+val csv_header : string list

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Format Instr Int64 Types Value

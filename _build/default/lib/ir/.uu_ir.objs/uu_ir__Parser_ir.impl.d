@@ -1,0 +1,1 @@
+lib/ir/parser_ir.ml: Array Block Buffer Format Func Instr Int64 List String Types Value Verifier

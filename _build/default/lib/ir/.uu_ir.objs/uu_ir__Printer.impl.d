@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Block Cfg Format Func Instr Int64 List Types Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Float Int64 Map Set Types

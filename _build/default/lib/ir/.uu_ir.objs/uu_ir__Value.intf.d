@@ -1,0 +1,1 @@
+lib/ir/value.mli: Map Set Types

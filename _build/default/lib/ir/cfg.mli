@@ -1,0 +1,23 @@
+(** Control-flow graph queries over a function.
+
+    All results are computed from scratch on each call; passes mutate the
+    CFG freely and re-query. Orders are deterministic. *)
+
+val predecessors : Func.t -> (Value.label, Value.label list) Hashtbl.t
+(** Map from each block to its predecessors, in sorted order. Blocks with
+    no predecessors map to []. *)
+
+val preds_of : Func.t -> Value.label -> Value.label list
+(** Predecessors of one block (recomputes the full map; use
+    {!predecessors} in loops). *)
+
+val reverse_postorder : Func.t -> Value.label list
+(** Reverse postorder from the entry block, visiting [Cond_br] true
+    successors first. Unreachable blocks are excluded. *)
+
+val postorder : Func.t -> Value.label list
+val reachable : Func.t -> Value.Label_set.t
+
+val remove_unreachable : Func.t -> bool
+(** Delete blocks not reachable from entry and prune phi entries for
+    removed predecessors. Returns true if anything changed. *)

@@ -1,0 +1,152 @@
+type rvalue =
+  | Int of int64
+  | Float of float
+  | Ptr of { buffer : int; offset : int }
+
+let normalize ty n =
+  match ty with
+  | Types.I1 -> Int64.logand n 1L
+  | Types.I32 -> Int64.of_int32 (Int64.to_int32 n)
+  | Types.I64 -> n
+  | Types.F64 | Types.Ptr _ | Types.Void -> n
+
+let width = function
+  | Types.I1 -> 1
+  | Types.I32 -> 32
+  | Types.I64 -> 64
+  | Types.F64 | Types.Ptr _ | Types.Void -> 64
+
+(* Zero-extended view of the low [width ty] bits, for unsigned ops. *)
+let as_unsigned ty n =
+  match ty with
+  | Types.I1 -> Int64.logand n 1L
+  | Types.I32 -> Int64.logand n 0xFFFF_FFFFL
+  | Types.I64 | Types.F64 | Types.Ptr _ | Types.Void -> n
+
+let expect_int = function
+  | Int n -> n
+  | Float _ | Ptr _ -> invalid_arg "Eval: expected an integer value"
+
+let expect_float = function
+  | Float x -> x
+  | Int _ | Ptr _ -> invalid_arg "Eval: expected a float value"
+
+let binop op ty a b =
+  match op with
+  | Instr.Fadd -> Float (expect_float a +. expect_float b)
+  | Instr.Fsub -> Float (expect_float a -. expect_float b)
+  | Instr.Fmul -> Float (expect_float a *. expect_float b)
+  | Instr.Fdiv -> Float (expect_float a /. expect_float b)
+  | Instr.Add | Instr.Sub | Instr.Mul | Instr.Sdiv | Instr.Udiv | Instr.Srem
+  | Instr.Shl | Instr.Lshr | Instr.Ashr | Instr.And | Instr.Or | Instr.Xor ->
+    let x = expect_int a and y = expect_int b in
+    let shift_mask = width ty - 1 in
+    let r =
+      match op with
+      | Instr.Add -> Int64.add x y
+      | Instr.Sub -> Int64.sub x y
+      | Instr.Mul -> Int64.mul x y
+      | Instr.Sdiv -> if Int64.equal y 0L then 0L else Int64.div x y
+      | Instr.Udiv ->
+        if Int64.equal y 0L then 0L
+        else Int64.unsigned_div (as_unsigned ty x) (as_unsigned ty y)
+      | Instr.Srem -> if Int64.equal y 0L then 0L else Int64.rem x y
+      | Instr.Shl -> Int64.shift_left x (Int64.to_int y land shift_mask)
+      | Instr.Lshr ->
+        Int64.shift_right_logical (as_unsigned ty x) (Int64.to_int y land shift_mask)
+      | Instr.Ashr -> Int64.shift_right x (Int64.to_int y land shift_mask)
+      | Instr.And -> Int64.logand x y
+      | Instr.Or -> Int64.logor x y
+      | Instr.Xor -> Int64.logxor x y
+      | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv -> assert false
+    in
+    Int (normalize ty r)
+
+let bool_val b = Int (if b then 1L else 0L)
+
+let cmp op a b =
+  match op, a, b with
+  | (Instr.Eq | Instr.Ne), Ptr p, Ptr q ->
+    let same = p.buffer = q.buffer && p.offset = q.offset in
+    bool_val (if op = Instr.Eq then same else not same)
+  | _, (Int _ | Float _ | Ptr _), _ -> (
+    match op with
+    | Instr.Foeq -> bool_val (expect_float a = expect_float b)
+    | Instr.Fone ->
+      (* Ordered not-equal: false when either operand is NaN. *)
+      let x = expect_float a and y = expect_float b in
+      bool_val (x < y || x > y)
+    | Instr.Folt -> bool_val (expect_float a < expect_float b)
+    | Instr.Fole -> bool_val (expect_float a <= expect_float b)
+    | Instr.Fogt -> bool_val (expect_float a > expect_float b)
+    | Instr.Foge -> bool_val (expect_float a >= expect_float b)
+    | Instr.Eq -> bool_val (Int64.equal (expect_int a) (expect_int b))
+    | Instr.Ne -> bool_val (not (Int64.equal (expect_int a) (expect_int b)))
+    | Instr.Slt -> bool_val (Int64.compare (expect_int a) (expect_int b) < 0)
+    | Instr.Sle -> bool_val (Int64.compare (expect_int a) (expect_int b) <= 0)
+    | Instr.Sgt -> bool_val (Int64.compare (expect_int a) (expect_int b) > 0)
+    | Instr.Sge -> bool_val (Int64.compare (expect_int a) (expect_int b) >= 0)
+    | Instr.Ult -> bool_val (Int64.unsigned_compare (expect_int a) (expect_int b) < 0)
+    | Instr.Ule -> bool_val (Int64.unsigned_compare (expect_int a) (expect_int b) <= 0)
+    | Instr.Ugt -> bool_val (Int64.unsigned_compare (expect_int a) (expect_int b) > 0)
+    | Instr.Uge -> bool_val (Int64.unsigned_compare (expect_int a) (expect_int b) >= 0))
+
+let unop op v =
+  match op with
+  | Instr.Sitofp -> Float (Int64.to_float (expect_int v))
+  | Instr.Fptosi -> Int (Int64.of_float (expect_float v))
+  | Instr.Trunc_i32 -> Int (normalize Types.I32 (expect_int v))
+  | Instr.Sext_i64 -> Int (expect_int v) (* values are stored sign-extended *)
+  | Instr.Zext_i64 -> Int (Int64.logand (expect_int v) 0xFFFF_FFFFL)
+  | Instr.Fneg -> Float (-.expect_float v)
+  | Instr.Not -> Int (Int64.lognot (expect_int v))
+
+let intrinsic op args =
+  match op, args with
+  | Instr.Sqrt, [ x ] -> Float (sqrt (expect_float x))
+  | Instr.Exp, [ x ] -> Float (exp (expect_float x))
+  | Instr.Log, [ x ] -> Float (log (expect_float x))
+  | Instr.Sin, [ x ] -> Float (sin (expect_float x))
+  | Instr.Cos, [ x ] -> Float (cos (expect_float x))
+  | Instr.Fabs, [ x ] -> Float (Float.abs (expect_float x))
+  | Instr.Pow, [ x; y ] -> Float (Float.pow (expect_float x) (expect_float y))
+  | Instr.Fmin, [ x; y ] -> Float (Float.min (expect_float x) (expect_float y))
+  | Instr.Fmax, [ x; y ] -> Float (Float.max (expect_float x) (expect_float y))
+  | Instr.Imin, [ x; y ] ->
+    let a = expect_int x and b = expect_int y in
+    Int (if Int64.compare a b <= 0 then a else b)
+  | Instr.Imax, [ x; y ] ->
+    let a = expect_int x and b = expect_int y in
+    Int (if Int64.compare a b >= 0 then a else b)
+  | Instr.Iabs, [ x ] -> Int (Int64.abs (expect_int x))
+  | ( ( Instr.Sqrt | Instr.Exp | Instr.Log | Instr.Sin | Instr.Cos | Instr.Fabs
+      | Instr.Pow | Instr.Fmin | Instr.Fmax | Instr.Imin | Instr.Imax | Instr.Iabs ),
+      _ ) ->
+    invalid_arg "Eval.intrinsic: arity mismatch"
+
+let of_value = function
+  | Value.Imm_int (n, ty) -> Some (Int (normalize ty n))
+  | Value.Imm_float x -> Some (Float x)
+  | Value.Var _ | Value.Undef _ -> None
+
+let to_value ty v =
+  match v, ty with
+  | Int n, (Types.I1 | Types.I32 | Types.I64) -> Some (Value.Imm_int (normalize ty n, ty))
+  | Float x, Types.F64 -> Some (Value.Imm_float x)
+  | (Int _ | Float _ | Ptr _), _ -> None
+
+let is_true = function
+  | Int n -> not (Int64.equal (Int64.logand n 1L) 0L)
+  | Float _ | Ptr _ -> invalid_arg "Eval.is_true: not a boolean"
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Ptr p, Ptr q -> p.buffer = q.buffer && p.offset = q.offset
+  | (Int _ | Float _ | Ptr _), _ -> false
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%Ld" n
+  | Float x -> Format.fprintf ppf "%g" x
+  | Ptr { buffer; offset } -> Format.fprintf ppf "&buf%d[%d]" buffer offset

@@ -1,0 +1,200 @@
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem
+  | Shl | Lshr | Ashr | And | Or | Xor
+  | Fadd | Fsub | Fmul | Fdiv
+
+type cmpop =
+  | Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+  | Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type unop =
+  | Sitofp
+  | Fptosi
+  | Trunc_i32
+  | Sext_i64
+  | Zext_i64
+  | Fneg
+  | Not
+
+type intrinsic =
+  | Sqrt | Exp | Log | Sin | Cos | Fabs | Pow
+  | Fmin | Fmax | Imin | Imax | Iabs
+
+type special =
+  | Thread_idx | Block_idx | Block_dim | Grid_dim
+
+type t =
+  | Binop of { dst : Value.var; op : binop; ty : Types.t; lhs : Value.t; rhs : Value.t }
+  | Cmp of { dst : Value.var; op : cmpop; ty : Types.t; lhs : Value.t; rhs : Value.t }
+  | Unop of { dst : Value.var; op : unop; src : Value.t }
+  | Select of { dst : Value.var; ty : Types.t; cond : Value.t; if_true : Value.t; if_false : Value.t }
+  | Alloca of { dst : Value.var; ty : Types.t }
+  | Load of { dst : Value.var; ty : Types.t; addr : Value.t }
+  | Store of { ty : Types.t; addr : Value.t; value : Value.t }
+  | Gep of { dst : Value.var; elt : Types.t; base : Value.t; index : Value.t }
+  | Intrinsic of { dst : Value.var; op : intrinsic; args : Value.t list }
+  | Special of { dst : Value.var; op : special }
+  | Atomic_add of { dst : Value.var; ty : Types.t; addr : Value.t; value : Value.t }
+  | Syncthreads
+
+type terminator =
+  | Br of Value.label
+  | Cond_br of { cond : Value.t; if_true : Value.label; if_false : Value.label }
+  | Ret of Value.t option
+  | Unreachable
+
+type phi = { dst : Value.var; ty : Types.t; incoming : (Value.label * Value.t) list }
+
+let def = function
+  | Binop { dst; _ } | Cmp { dst; _ } | Unop { dst; _ } | Select { dst; _ }
+  | Alloca { dst; _ } | Load { dst; _ } | Gep { dst; _ } | Intrinsic { dst; _ }
+  | Special { dst; _ } | Atomic_add { dst; _ } ->
+    Some dst
+  | Store _ | Syncthreads -> None
+
+let unop_result_ty = function
+  | Sitofp -> Types.F64
+  | Fptosi -> Types.I64
+  | Trunc_i32 -> Types.I32
+  | Sext_i64 | Zext_i64 -> Types.I64
+  | Fneg -> Types.F64
+  | Not -> Types.I64 (* refined below for i1/i32 sources when known *)
+
+let intrinsic_result_ty = function
+  | Sqrt | Exp | Log | Sin | Cos | Fabs | Pow | Fmin | Fmax -> Types.F64
+  | Imin | Imax | Iabs -> Types.I64
+
+let def_ty = function
+  | Binop { dst; ty; _ } -> Some (dst, ty)
+  | Cmp { dst; _ } -> Some (dst, Types.I1)
+  | Unop { dst; op; _ } -> Some (dst, unop_result_ty op)
+  | Select { dst; ty; _ } -> Some (dst, ty)
+  | Alloca { dst; ty } -> Some (dst, Types.Ptr ty)
+  | Load { dst; ty; _ } -> Some (dst, ty)
+  | Gep { dst; elt; _ } -> Some (dst, Types.Ptr elt)
+  | Intrinsic { dst; op; _ } -> Some (dst, intrinsic_result_ty op)
+  | Special { dst; _ } -> Some (dst, Types.I32)
+  | Atomic_add { dst; ty; _ } -> Some (dst, ty)
+  | Store _ | Syncthreads -> None
+
+let uses = function
+  | Binop { lhs; rhs; _ } | Cmp { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Unop { src; _ } -> [ src ]
+  | Select { cond; if_true; if_false; _ } -> [ cond; if_true; if_false ]
+  | Alloca _ | Special _ | Syncthreads -> []
+  | Load { addr; _ } -> [ addr ]
+  | Store { addr; value; _ } -> [ addr; value ]
+  | Gep { base; index; _ } -> [ base; index ]
+  | Intrinsic { args; _ } -> args
+  | Atomic_add { addr; value; _ } -> [ addr; value ]
+
+let map_values f = function
+  | Binop r -> Binop { r with lhs = f r.lhs; rhs = f r.rhs }
+  | Cmp r -> Cmp { r with lhs = f r.lhs; rhs = f r.rhs }
+  | Unop r -> Unop { r with src = f r.src }
+  | Select r ->
+    Select { r with cond = f r.cond; if_true = f r.if_true; if_false = f r.if_false }
+  | Alloca _ as i -> i
+  | Load r -> Load { r with addr = f r.addr }
+  | Store r -> Store { r with addr = f r.addr; value = f r.value }
+  | Gep r -> Gep { r with base = f r.base; index = f r.index }
+  | Intrinsic r -> Intrinsic { r with args = List.map f r.args }
+  | Special _ as i -> i
+  | Atomic_add r -> Atomic_add { r with addr = f r.addr; value = f r.value }
+  | Syncthreads -> Syncthreads
+
+let map_def f = function
+  | Binop r -> Binop { r with dst = f r.dst }
+  | Cmp r -> Cmp { r with dst = f r.dst }
+  | Unop r -> Unop { r with dst = f r.dst }
+  | Select r -> Select { r with dst = f r.dst }
+  | Alloca r -> Alloca { r with dst = f r.dst }
+  | Load r -> Load { r with dst = f r.dst }
+  | Gep r -> Gep { r with dst = f r.dst }
+  | Intrinsic r -> Intrinsic { r with dst = f r.dst }
+  | Special r -> Special { r with dst = f r.dst }
+  | Atomic_add r -> Atomic_add { r with dst = f r.dst }
+  | (Store _ | Syncthreads) as i -> i
+
+let term_uses = function
+  | Br _ | Unreachable -> []
+  | Cond_br { cond; _ } -> [ cond ]
+  | Ret None -> []
+  | Ret (Some v) -> [ v ]
+
+let term_map_values f = function
+  | (Br _ | Unreachable | Ret None) as t -> t
+  | Cond_br r -> Cond_br { r with cond = f r.cond }
+  | Ret (Some v) -> Ret (Some (f v))
+
+let successors = function
+  | Br l -> [ l ]
+  | Cond_br { if_true; if_false; _ } ->
+    if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Ret _ | Unreachable -> []
+
+let term_map_labels f = function
+  | Br l -> Br (f l)
+  | Cond_br r -> Cond_br { r with if_true = f r.if_true; if_false = f r.if_false }
+  | (Ret _ | Unreachable) as t -> t
+
+let is_pure = function
+  | Binop _ | Cmp _ | Unop _ | Select _ | Gep _ | Intrinsic _ | Special _ -> true
+  | Alloca _ | Load _ | Store _ | Atomic_add _ | Syncthreads -> false
+
+let has_side_effect = function
+  | Store _ | Atomic_add _ | Syncthreads -> true
+  | Binop _ | Cmp _ | Unop _ | Select _ | Gep _ | Intrinsic _ | Special _
+  | Alloca _ | Load _ ->
+    false
+
+let is_convergent = function
+  | Syncthreads -> true
+  | Binop _ | Cmp _ | Unop _ | Select _ | Gep _ | Intrinsic _ | Special _
+  | Alloca _ | Load _ | Store _ | Atomic_add _ ->
+    false
+
+let size_units = function
+  | Binop { op = Sdiv | Udiv | Srem | Fdiv; _ } -> 4
+  | Binop _ | Cmp _ | Unop _ | Select _ | Gep _ | Special _ -> 1
+  | Intrinsic _ -> 4
+  | Alloca _ -> 0
+  | Load _ | Store _ -> 2
+  | Atomic_add _ -> 4
+  | Syncthreads -> 1
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+    | Udiv -> "udiv" | Srem -> "srem" | Shl -> "shl" | Lshr -> "lshr"
+    | Ashr -> "ashr" | And -> "and" | Or -> "or" | Xor -> "xor"
+    | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv")
+
+let pp_cmpop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt"
+    | Sge -> "sge" | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+    | Foeq -> "foeq" | Fone -> "fone" | Folt -> "folt" | Fole -> "fole"
+    | Fogt -> "fogt" | Foge -> "foge")
+
+let pp_unop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Sitofp -> "sitofp" | Fptosi -> "fptosi" | Trunc_i32 -> "trunc.i32"
+    | Sext_i64 -> "sext.i64" | Zext_i64 -> "zext.i64" | Fneg -> "fneg"
+    | Not -> "not")
+
+let pp_intrinsic ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Sqrt -> "sqrt" | Exp -> "exp" | Log -> "log" | Sin -> "sin"
+    | Cos -> "cos" | Fabs -> "fabs" | Pow -> "pow" | Fmin -> "fmin"
+    | Fmax -> "fmax" | Imin -> "imin" | Imax -> "imax" | Iabs -> "iabs")
+
+let pp_special ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Thread_idx -> "thread_idx" | Block_idx -> "block_idx"
+    | Block_dim -> "block_dim" | Grid_dim -> "grid_dim")

@@ -1,0 +1,109 @@
+(** Instructions, terminators, and phi nodes.
+
+    The instruction set mirrors the subset of LLVM IR that the paper's
+    transformation and its enabled optimizations operate on: integer and
+    float arithmetic, comparisons, [select] (the IR-level analogue of the
+    PTX [selp] predication the paper discusses in §V), memory access via
+    explicit address computation ([Gep] then [Load]/[Store]), stack slots
+    ([Alloca], removed by mem2reg), GPU special registers, math
+    intrinsics, atomics, and the convergent [Syncthreads] barrier that
+    excludes a loop from unmerging (§III-C). *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem
+  | Shl | Lshr | Ashr | And | Or | Xor
+  | Fadd | Fsub | Fmul | Fdiv
+
+type cmpop =
+  | Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+  | Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type unop =
+  | Sitofp            (** signed int to f64 *)
+  | Fptosi            (** f64 to i64, truncating *)
+  | Trunc_i32         (** i64 to i32 *)
+  | Sext_i64          (** i32 to i64, sign extending *)
+  | Zext_i64          (** i1/i32 to i64, zero extending *)
+  | Fneg
+  | Not               (** bitwise not; logical not on i1 *)
+
+type intrinsic =
+  | Sqrt | Exp | Log | Sin | Cos | Fabs | Pow
+  | Fmin | Fmax | Imin | Imax | Iabs
+
+type special =
+  | Thread_idx | Block_idx | Block_dim | Grid_dim
+
+type t =
+  | Binop of { dst : Value.var; op : binop; ty : Types.t; lhs : Value.t; rhs : Value.t }
+  | Cmp of { dst : Value.var; op : cmpop; ty : Types.t; lhs : Value.t; rhs : Value.t }
+      (** [ty] is the operand type; the result is I1. *)
+  | Unop of { dst : Value.var; op : unop; src : Value.t }
+  | Select of { dst : Value.var; ty : Types.t; cond : Value.t; if_true : Value.t; if_false : Value.t }
+  | Alloca of { dst : Value.var; ty : Types.t }
+  | Load of { dst : Value.var; ty : Types.t; addr : Value.t }
+  | Store of { ty : Types.t; addr : Value.t; value : Value.t }
+  | Gep of { dst : Value.var; elt : Types.t; base : Value.t; index : Value.t }
+      (** address of element [index] of the array at [base] *)
+  | Intrinsic of { dst : Value.var; op : intrinsic; args : Value.t list }
+  | Special of { dst : Value.var; op : special }
+  | Atomic_add of { dst : Value.var; ty : Types.t; addr : Value.t; value : Value.t }
+  | Syncthreads
+
+type terminator =
+  | Br of Value.label
+  | Cond_br of { cond : Value.t; if_true : Value.label; if_false : Value.label }
+  | Ret of Value.t option
+  | Unreachable
+
+type phi = { dst : Value.var; ty : Types.t; incoming : (Value.label * Value.t) list }
+
+(** {1 Structure} *)
+
+val def : t -> Value.var option
+(** Register defined by the instruction, if any. *)
+
+val unop_result_ty : unop -> Types.t
+val def_ty : t -> (Value.var * Types.t) option
+(** Defined register together with its type. [Unop] and [Intrinsic] result
+    types are derived from the opcode. *)
+
+val uses : t -> Value.t list
+(** Operand values in syntactic order. *)
+
+val map_values : (Value.t -> Value.t) -> t -> t
+(** Rewrite every operand (not the defined register). *)
+
+val map_def : (Value.var -> Value.var) -> t -> t
+(** Rewrite the defined register, if any. *)
+
+val term_uses : terminator -> Value.t list
+val term_map_values : (Value.t -> Value.t) -> terminator -> terminator
+val successors : terminator -> Value.label list
+val term_map_labels : (Value.label -> Value.label) -> terminator -> terminator
+
+(** {1 Classification} *)
+
+val is_pure : t -> bool
+(** No side effect and no dependence on memory: safe to duplicate,
+    hoist, or delete when unused. *)
+
+val has_side_effect : t -> bool
+(** Writes memory or synchronizes; must not be deleted or reordered. *)
+
+val is_convergent : t -> bool
+(** Convergent operations ([Syncthreads]) cannot be made control-flow
+    dependent, so loops containing them are excluded from unmerging. *)
+
+val size_units : t -> int
+(** Abstract size used by the cost model (analogue of LLVM's
+    [TargetTransformInfo] instruction cost): most instructions are 1;
+    divides, intrinsics, and memory operations cost more. *)
+
+(** {1 Printing} *)
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_cmpop : Format.formatter -> cmpop -> unit
+val pp_unop : Format.formatter -> unop -> unit
+val pp_intrinsic : Format.formatter -> intrinsic -> unit
+val pp_special : Format.formatter -> special -> unit

@@ -1,0 +1,115 @@
+let pp_var f ppf v =
+  match Func.var_hint f v with
+  | Some h -> Format.fprintf ppf "%%%s.%d" h v
+  | None -> Format.fprintf ppf "%%%d" v
+
+let pp_value f ppf = function
+  | Value.Var v -> pp_var f ppf v
+  | Value.Imm_int (n, Types.I1) ->
+    Format.pp_print_string ppf (if Int64.equal n 0L then "false" else "true")
+  | Value.Imm_int (n, ty) -> Format.fprintf ppf "%Ld:%a" n Types.pp ty
+  | Value.Imm_float x -> Format.fprintf ppf "%h" x
+  | Value.Undef ty -> Format.fprintf ppf "undef:%a" Types.pp ty
+
+let pp_label f ppf l =
+  match Func.find_block f l with
+  | Some b when b.Block.hint <> "" -> Format.fprintf ppf "bb%d.%s" l b.Block.hint
+  | Some _ | None -> Format.fprintf ppf "bb%d" l
+
+let pp_instr f ppf instr =
+  let v = pp_value f in
+  match instr with
+  | Instr.Binop { dst; op; ty; lhs; rhs } ->
+    Format.fprintf ppf "%a = %a %a %a, %a" (pp_var f) dst Instr.pp_binop op Types.pp ty
+      v lhs v rhs
+  | Instr.Cmp { dst; op; ty; lhs; rhs } ->
+    Format.fprintf ppf "%a = cmp %a %a %a, %a" (pp_var f) dst Instr.pp_cmpop op Types.pp
+      ty v lhs v rhs
+  | Instr.Unop { dst; op; src } ->
+    Format.fprintf ppf "%a = %a %a" (pp_var f) dst Instr.pp_unop op v src
+  | Instr.Select { dst; ty; cond; if_true; if_false } ->
+    Format.fprintf ppf "%a = select %a %a, %a, %a" (pp_var f) dst Types.pp ty v cond v
+      if_true v if_false
+  | Instr.Alloca { dst; ty } ->
+    Format.fprintf ppf "%a = alloca %a" (pp_var f) dst Types.pp ty
+  | Instr.Load { dst; ty; addr } ->
+    Format.fprintf ppf "%a = load %a, %a" (pp_var f) dst Types.pp ty v addr
+  | Instr.Store { ty; addr; value } ->
+    Format.fprintf ppf "store %a %a, %a" Types.pp ty v value v addr
+  | Instr.Gep { dst; elt; base; index } ->
+    Format.fprintf ppf "%a = gep %a, %a[%a]" (pp_var f) dst Types.pp elt v base v index
+  | Instr.Intrinsic { dst; op; args } ->
+    Format.fprintf ppf "%a = call @%a(%a)" (pp_var f) dst Instr.pp_intrinsic op
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") v)
+      args
+  | Instr.Special { dst; op } ->
+    Format.fprintf ppf "%a = special %a" (pp_var f) dst Instr.pp_special op
+  | Instr.Atomic_add { dst; ty; addr; value } ->
+    Format.fprintf ppf "%a = atomic_add %a %a, %a" (pp_var f) dst Types.pp ty v addr v
+      value
+  | Instr.Syncthreads -> Format.pp_print_string ppf "syncthreads"
+
+let pp_terminator f ppf term =
+  let v = pp_value f and l = pp_label f in
+  match term with
+  | Instr.Br target -> Format.fprintf ppf "br %a" l target
+  | Instr.Cond_br { cond; if_true; if_false } ->
+    Format.fprintf ppf "condbr %a, %a, %a" v cond l if_true l if_false
+  | Instr.Ret None -> Format.pp_print_string ppf "ret"
+  | Instr.Ret (Some value) -> Format.fprintf ppf "ret %a" v value
+  | Instr.Unreachable -> Format.pp_print_string ppf "unreachable"
+
+let pp_phi f ppf (p : Instr.phi) =
+  let pp_in ppf (lbl, value) =
+    Format.fprintf ppf "[%a: %a]" (pp_label f) lbl (pp_value f) value
+  in
+  Format.fprintf ppf "%a = phi %a %a" (pp_var f) p.dst Types.pp p.ty
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_in)
+    p.incoming
+
+let pp_block f ppf (b : Block.t) =
+  Format.fprintf ppf "%a:@." (pp_label f) b.Block.label;
+  List.iter (fun p -> Format.fprintf ppf "  %a@." (pp_phi f) p) b.Block.phis;
+  List.iter (fun i -> Format.fprintf ppf "  %a@." (pp_instr f) i) b.Block.instrs;
+  Format.fprintf ppf "  %a@." (pp_terminator f) b.Block.term
+
+let pp_func ppf (f : Func.t) =
+  let pp_param ppf (p : Func.param) =
+    Format.fprintf ppf "%%%s: %a%s" p.Func.pname Types.pp p.Func.pty
+      (if p.Func.restrict then " restrict" else "")
+  in
+  Format.fprintf ppf "func @%s(%a) -> %a {@." f.Func.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    f.Func.params Types.pp f.Func.ret_ty;
+  let order = Cfg.reverse_postorder f in
+  let live = Value.Label_set.of_list order in
+  List.iter (fun lbl -> pp_block f ppf (Func.block f lbl)) order;
+  (* Also print unreachable blocks so nothing is hidden while debugging. *)
+  Func.iter_blocks
+    (fun b ->
+      if not (Value.Label_set.mem b.Block.label live) then begin
+        Format.fprintf ppf "; unreachable:@.";
+        pp_block f ppf b
+      end)
+    f;
+  Format.fprintf ppf "}@."
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+
+let pp_cfg_dot ppf (f : Func.t) =
+  Format.fprintf ppf "digraph %s {@." f.Func.name;
+  Func.iter_blocks
+    (fun b ->
+      Format.fprintf ppf "  n%d [label=\"%a\"];@." b.Block.label (pp_label f)
+        b.Block.label;
+      match b.Block.term with
+      | Instr.Br t -> Format.fprintf ppf "  n%d -> n%d;@." b.Block.label t
+      | Instr.Cond_br { if_true; if_false; _ } ->
+        Format.fprintf ppf "  n%d -> n%d [label=T];@." b.Block.label if_true;
+        Format.fprintf ppf "  n%d -> n%d [label=F,style=dotted];@." b.Block.label
+          if_false
+      | Instr.Ret _ | Instr.Unreachable -> ())
+    f;
+  Format.fprintf ppf "}@."

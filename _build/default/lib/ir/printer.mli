@@ -1,0 +1,15 @@
+(** Textual rendering of the IR, one instruction per line, in a syntax
+    close to LLVM's. Used by the CLI's [--dump-ir], examples, and tests. *)
+
+val pp_value : Func.t -> Format.formatter -> Value.t -> unit
+val pp_label : Func.t -> Format.formatter -> Value.label -> unit
+val pp_instr : Func.t -> Format.formatter -> Instr.t -> unit
+val pp_terminator : Func.t -> Format.formatter -> Instr.terminator -> unit
+val pp_phi : Func.t -> Format.formatter -> Instr.phi -> unit
+val pp_block : Func.t -> Format.formatter -> Block.t -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val func_to_string : Func.t -> string
+
+val pp_cfg_dot : Format.formatter -> Func.t -> unit
+(** Graphviz dot rendering of the CFG (labels only), for inspecting the
+    shapes in the paper's Figures 1–5. *)

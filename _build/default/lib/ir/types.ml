@@ -1,0 +1,37 @@
+type t =
+  | I1
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Void
+
+let rec equal a b =
+  match a, b with
+  | I1, I1 | I32, I32 | I64, I64 | F64, F64 | Void, Void -> true
+  | Ptr a, Ptr b -> equal a b
+  | (I1 | I32 | I64 | F64 | Ptr _ | Void), _ -> false
+
+let is_int = function I1 | I32 | I64 -> true | F64 | Ptr _ | Void -> false
+let is_float = function F64 -> true | I1 | I32 | I64 | Ptr _ | Void -> false
+let is_pointer = function Ptr _ -> true | I1 | I32 | I64 | F64 | Void -> false
+
+let pointee = function
+  | Ptr t -> t
+  | I1 | I32 | I64 | F64 | Void -> invalid_arg "Types.pointee: not a pointer"
+
+let size_bytes = function
+  | I1 -> 1
+  | I32 -> 4
+  | I64 | F64 | Ptr _ -> 8
+  | Void -> invalid_arg "Types.size_bytes: void"
+
+let rec pp ppf = function
+  | I1 -> Format.pp_print_string ppf "i1"
+  | I32 -> Format.pp_print_string ppf "i32"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | F64 -> Format.pp_print_string ppf "f64"
+  | Ptr t -> Format.fprintf ppf "%a*" pp t
+  | Void -> Format.pp_print_string ppf "void"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** First-order types of the IR.
+
+    The IR is monomorphic and deliberately small: booleans ([I1]), 32- and
+    64-bit integers, double-precision floats, pointers to element types,
+    and [Void] for functions without a result. *)
+
+type t =
+  | I1
+  | I32
+  | I64
+  | F64
+  | Ptr of t
+  | Void
+
+val equal : t -> t -> bool
+val is_int : t -> bool
+val is_float : t -> bool
+val is_pointer : t -> bool
+
+val pointee : t -> t
+(** Element type of a pointer. @raise Invalid_argument on non-pointers. *)
+
+val size_bytes : t -> int
+(** Size of a value of this type in the simulated memory (pointers are
+    8 bytes). @raise Invalid_argument on [Void]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/opt/alias.ml: Block Func Hashtbl Instr Int64 List Types Uu_ir Value

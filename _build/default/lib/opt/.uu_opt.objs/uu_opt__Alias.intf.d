@@ -1,0 +1,1 @@
+lib/opt/alias.mli: Func Uu_ir Value

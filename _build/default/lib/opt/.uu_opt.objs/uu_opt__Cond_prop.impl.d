@@ -1,0 +1,1 @@
+lib/opt/cond_prop.ml: Block Cfg Clone Dominance Func Hashtbl Instr List Map Pass Set Types Uu_analysis Uu_ir Value

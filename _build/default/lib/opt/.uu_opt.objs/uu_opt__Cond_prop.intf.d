@@ -1,0 +1,1 @@
+lib/opt/cond_prop.mli: Pass

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Block Func Hashtbl Instr List Pass Uu_ir Value

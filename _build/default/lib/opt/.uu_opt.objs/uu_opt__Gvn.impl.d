@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Alias Block Cfg Clone Dominance Func Hashtbl Instr List Map Pass Uu_analysis Uu_ir Value

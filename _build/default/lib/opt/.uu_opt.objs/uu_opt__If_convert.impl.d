@@ -1,0 +1,1 @@
+lib/opt/if_convert.ml: Block Cfg Func Hashtbl Instr List Pass Uu_ir Value

@@ -1,0 +1,1 @@
+lib/opt/if_convert.mli: Pass

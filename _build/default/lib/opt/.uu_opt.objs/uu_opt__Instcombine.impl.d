@@ -1,0 +1,1 @@
+lib/opt/instcombine.ml: Block Clone Eval Func Hashtbl Instr Int64 List Pass Types Uu_ir Value

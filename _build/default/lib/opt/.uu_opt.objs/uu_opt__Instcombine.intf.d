@@ -1,0 +1,1 @@
+lib/opt/instcombine.mli: Pass

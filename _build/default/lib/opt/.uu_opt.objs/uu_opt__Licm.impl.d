@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Block Func Instr List Loop_utils Loops Pass Uu_analysis Uu_ir Value

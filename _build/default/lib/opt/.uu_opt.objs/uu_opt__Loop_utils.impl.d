@@ -1,0 +1,1 @@
+lib/opt/loop_utils.ml: Block Cfg Func Hashtbl Instr List Loops Printf Sccp Types Uu_analysis Uu_ir Value

@@ -1,0 +1,1 @@
+lib/opt/loop_utils.mli: Func Loops Uu_analysis Uu_ir Value

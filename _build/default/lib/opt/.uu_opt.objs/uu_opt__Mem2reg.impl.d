@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Block Cfg Clone Dominance Func Hashtbl Instr List Pass Types Uu_analysis Uu_ir Value

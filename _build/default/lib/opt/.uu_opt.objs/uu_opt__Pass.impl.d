@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Func List Printexc Printf Unix Uu_analysis Uu_ir Verifier

@@ -1,0 +1,1 @@
+lib/opt/pass.mli: Func Uu_ir

@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Block Cfg Clone Dce Eval Func Hashtbl Instr List Option Pass Types Uu_ir Value

@@ -1,0 +1,1 @@
+lib/opt/sccp.mli: Hashtbl Pass Uu_ir

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Block Cfg Clone Func Hashtbl Instr Int64 List Pass Uu_ir Value

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Array Block Clone Cost_model Func Hashtbl Instr List Loop_utils Loops Pass Printf Trip_count Uu_analysis Uu_ir Value

@@ -1,0 +1,1 @@
+lib/opt/unroll.mli: Func Pass Uu_ir Value

@@ -1,0 +1,25 @@
+(** Branch-condition propagation over dominating edges.
+
+    For a conditional branch [condbr c, T, F] in block [X], whenever [T]'s
+    only predecessor is [X], the fact [c = true] holds in [T] and every
+    block [T] dominates (and symmetrically for [F]). This is sound even
+    across loop back edges: re-defining an operand of [c]'s comparison
+    forces control to re-cross the edge before re-entering the dominated
+    region (the defining block dominates [X] while the region is dominated
+    by the successor).
+
+    The pass walks the dominator tree carrying these facts and
+
+    - folds later comparisons over the same operand pair using a
+      three-valued relation lattice ({lt, eq, gt}, signed and unsigned
+      domains; float predicates only by exact/derived match, respecting
+      NaN),
+    - folds direct re-uses of known [i1] registers (including through
+      [and]/[or] decompositions),
+    - folds conditional branches whose condition becomes known.
+
+    Unmerging manufactures exactly the single-predecessor successors this
+    pass needs — on a merged CFG it finds almost nothing, which is the
+    paper's core observation. *)
+
+val pass : Pass.t

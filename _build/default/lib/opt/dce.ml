@@ -1,0 +1,77 @@
+open Uu_ir
+
+(* Liveness-based DCE: roots are side-effecting instructions, terminator
+   operands, and (unless [loads]) loads; everything reachable from a root
+   through use-def edges is live. This removes dead phi cycles that simple
+   use counting would keep (common after unrolling). *)
+
+let removable ~loads instr =
+  match instr with
+  | Instr.Load _ -> loads
+  | Instr.Alloca _ -> true
+  | Instr.Binop _ | Instr.Cmp _ | Instr.Unop _ | Instr.Select _ | Instr.Gep _
+  | Instr.Intrinsic _ | Instr.Special _ ->
+    true
+  | Instr.Store _ | Instr.Atomic_add _ | Instr.Syncthreads -> false
+
+let run ~loads f =
+  let defs : (Value.var, [ `Phi of Instr.phi | `Instr of Instr.t ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Func.iter_blocks
+    (fun b ->
+      List.iter (fun (p : Instr.phi) -> Hashtbl.replace defs p.dst (`Phi p)) b.Block.phis;
+      List.iter
+        (fun i ->
+          match Instr.def i with
+          | Some d -> Hashtbl.replace defs d (`Instr i)
+          | None -> ())
+        b.Block.instrs)
+    f;
+  let live : (Value.var, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec mark_value = function
+    | Value.Var v -> mark_var v
+    | Value.Imm_int _ | Value.Imm_float _ | Value.Undef _ -> ()
+  and mark_var v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      match Hashtbl.find_opt defs v with
+      | Some (`Phi p) -> List.iter (fun (_, inc) -> mark_value inc) p.incoming
+      | Some (`Instr i) -> List.iter mark_value (Instr.uses i)
+      | None -> () (* parameter *)
+    end
+  in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          if not (removable ~loads i) then begin
+            List.iter mark_value (Instr.uses i);
+            match Instr.def i with Some d -> mark_var d | None -> ()
+          end)
+        b.Block.instrs;
+      List.iter mark_value (Instr.term_uses b.Block.term))
+    f;
+  let changed = ref false in
+  Func.iter_blocks
+    (fun b ->
+      let keep_phi (p : Instr.phi) =
+        Hashtbl.mem live p.dst
+        ||
+        (changed := true;
+         false)
+      in
+      let keep_instr i =
+        match Instr.def i with
+        | Some d when removable ~loads i && not (Hashtbl.mem live d) ->
+          changed := true;
+          false
+        | Some _ | None -> true
+      in
+      b.Block.phis <- List.filter keep_phi b.Block.phis;
+      b.Block.instrs <- List.filter keep_instr b.Block.instrs)
+    f;
+  !changed
+
+let pass = { Pass.name = "dce"; run = run ~loads:false }
+let dead_load_pass = { Pass.name = "dce-loads"; run = run ~loads:true }

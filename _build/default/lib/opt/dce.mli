@@ -1,0 +1,11 @@
+(** Dead code elimination: removes pure instructions and phis whose
+    results are never used, iterating to a fixpoint. Side-effecting
+    instructions (stores, atomics, barriers) are always kept; so are
+    loads, which the simulator models as observable memory traffic —
+    unused loads are deleted only by [Gvn] when provably redundant. *)
+
+val pass : Pass.t
+
+val dead_load_pass : Pass.t
+(** A stronger variant that also deletes unused loads; used late in the
+    pipeline after all load-value reuse has been discovered. *)

@@ -1,0 +1,17 @@
+(** Global value numbering and redundant-load elimination.
+
+    Two cooperating sub-analyses:
+
+    - {b Pure CSE}: a dominator-tree walk with a scoped expression table
+      replaces any pure instruction that recomputes an expression already
+      available in a dominating block.
+    - {b Load elimination}: a reverse-postorder walk threads an
+      available-loads map along single-predecessor chains (exactly the
+      shape unmerging produces), with store-to-load forwarding and
+      alias-based invalidation; [syncthreads] invalidates everything.
+
+    Together with [Cond_prop] these are the "subsequent optimizations"
+    (read elimination, data-movement elimination) whose enablement is the
+    paper's whole point. *)
+
+val pass : Pass.t

@@ -1,0 +1,13 @@
+(** If-conversion: turns small branch diamonds and triangles into
+    straight-line code with [select] instructions — the IR analogue of the
+    predicated [selp] code NVIDIA's backend emits, which the paper's
+    baseline relies on (§V: the XSBench binary-search loop compiles to
+    selects at -O3; u&u deliberately replaces them with branches).
+
+    Only hoists pure, non-memory instructions, and only when each side's
+    cost-model size is below a threshold. *)
+
+val pass : Pass.t
+
+val pass_with_threshold : int -> Pass.t
+(** Same transform with an explicit per-side size budget (default 12). *)

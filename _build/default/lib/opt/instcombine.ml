@@ -1,0 +1,213 @@
+open Uu_ir
+
+let is_zero = function
+  | Value.Imm_int (0L, _) -> true
+  | Value.Imm_float 0.0 -> true
+  | Value.Imm_int _ | Value.Imm_float _ | Value.Var _ | Value.Undef _ -> false
+
+let is_one = function
+  | Value.Imm_int (1L, _) -> true
+  | Value.Imm_float 1.0 -> true
+  | Value.Imm_int _ | Value.Imm_float _ | Value.Var _ | Value.Undef _ -> false
+
+let is_all_ones ty = function
+  | Value.Imm_int (n, _) -> Int64.equal (Eval.normalize ty n) (Eval.normalize ty (-1L))
+  | Value.Imm_float _ | Value.Var _ | Value.Undef _ -> false
+
+let log2_pow2 n =
+  if Int64.compare n 0L > 0 && Int64.equal (Int64.logand n (Int64.sub n 1L)) 0L then begin
+    let rec go i v = if Int64.equal v 1L then i else go (i + 1) (Int64.shift_right_logical v 1) in
+    Some (go 0 n)
+  end
+  else None
+
+(* The outcome of simplifying one instruction. *)
+type action =
+  | Keep
+  | Replace_with of Value.t   (* result is this existing value; drop the instr *)
+  | Rewrite of Instr.t        (* swap in a cheaper instruction *)
+
+let commutative (op : Instr.binop) =
+  match op with
+  | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor | Instr.Fadd
+  | Instr.Fmul ->
+    true
+  | Instr.Sub | Instr.Sdiv | Instr.Udiv | Instr.Srem | Instr.Shl | Instr.Lshr
+  | Instr.Ashr | Instr.Fsub | Instr.Fdiv ->
+    false
+
+(* defs: var -> defining instruction, for one-level pattern matching. *)
+let simplify_binop defs ~dst:_ op ty lhs rhs =
+  let fold () =
+    match Eval.of_value lhs, Eval.of_value rhs with
+    | Some a, Some b -> (
+      match Eval.to_value ty (Eval.binop op ty a b) with
+      | Some imm -> Some (Replace_with imm)
+      | None -> None)
+    | (Some _ | None), _ -> None
+  in
+  match fold () with
+  | Some a -> a
+  | None -> (
+    let def_of v =
+      match v with Value.Var x -> Hashtbl.find_opt defs x | _ -> None
+    in
+    match op with
+    | Instr.Add | Instr.Fadd ->
+      if is_zero rhs then Replace_with lhs
+      else if is_zero lhs then Replace_with rhs
+      else if commutative op && Value.is_const lhs && not (Value.is_const rhs) then
+        Rewrite (Instr.Binop { dst = -1; op; ty; lhs = rhs; rhs = lhs })
+      else Keep
+    | Instr.Sub ->
+      if is_zero rhs then Replace_with lhs
+      else if Value.equal lhs rhs then Replace_with (Value.Imm_int (0L, ty))
+      else (
+        (* (a + b) - a -> b ; (a + b) - b -> a ; (a - b) + ... handled in Add?
+           Also a - (a + b) -> -b is skipped (needs a negate). *)
+        match def_of lhs with
+        | Some (Instr.Binop { op = Instr.Add; lhs = a; rhs = b; _ }) ->
+          if Value.equal a rhs then Replace_with b
+          else if Value.equal b rhs then Replace_with a
+          else Keep
+        | Some _ | None -> Keep)
+    | Instr.Mul | Instr.Fmul ->
+      if is_one rhs then Replace_with lhs
+      else if is_one lhs then Replace_with rhs
+      else if is_zero rhs && op = Instr.Mul then Replace_with (Value.Imm_int (0L, ty))
+      else if is_zero lhs && op = Instr.Mul then Replace_with (Value.Imm_int (0L, ty))
+      else if Value.is_const lhs && not (Value.is_const rhs) then
+        Rewrite (Instr.Binop { dst = -1; op; ty; lhs = rhs; rhs = lhs })
+      else Keep
+    | Instr.Sdiv | Instr.Fdiv ->
+      if is_one rhs then Replace_with lhs else Keep
+    | Instr.Udiv -> (
+      if is_one rhs then Replace_with lhs
+      else
+        match rhs with
+        | Value.Imm_int (n, _) -> (
+          match log2_pow2 n with
+          | Some k ->
+            Rewrite
+              (Instr.Binop
+                 { dst = -1; op = Instr.Lshr; ty; lhs; rhs = Value.Imm_int (Int64.of_int k, ty) })
+          | None -> Keep)
+        | Value.Var _ | Value.Imm_float _ | Value.Undef _ -> Keep)
+    | Instr.Srem ->
+      if is_one rhs then Replace_with (Value.Imm_int (0L, ty)) else Keep
+    | Instr.Shl | Instr.Lshr | Instr.Ashr ->
+      if is_zero rhs then Replace_with lhs
+      else if is_zero lhs then Replace_with (Value.Imm_int (0L, ty))
+      else Keep
+    | Instr.And ->
+      if is_zero rhs || is_zero lhs then Replace_with (Value.Imm_int (0L, ty))
+      else if is_all_ones ty rhs then Replace_with lhs
+      else if is_all_ones ty lhs then Replace_with rhs
+      else if Value.equal lhs rhs then Replace_with lhs
+      else if Value.is_const lhs && not (Value.is_const rhs) then
+        Rewrite (Instr.Binop { dst = -1; op; ty; lhs = rhs; rhs = lhs })
+      else Keep
+    | Instr.Or ->
+      if is_zero rhs then Replace_with lhs
+      else if is_zero lhs then Replace_with rhs
+      else if Value.equal lhs rhs then Replace_with lhs
+      else if Value.is_const lhs && not (Value.is_const rhs) then
+        Rewrite (Instr.Binop { dst = -1; op; ty; lhs = rhs; rhs = lhs })
+      else Keep
+    | Instr.Xor ->
+      if is_zero rhs then Replace_with lhs
+      else if is_zero lhs then Replace_with rhs
+      else if Value.equal lhs rhs then Replace_with (Value.Imm_int (0L, ty))
+      else if Value.is_const lhs && not (Value.is_const rhs) then
+        Rewrite (Instr.Binop { dst = -1; op; ty; lhs = rhs; rhs = lhs })
+      else Keep
+    | Instr.Fsub ->
+      if is_zero rhs then Replace_with lhs else Keep)
+
+let simplify_cmp op ty lhs rhs =
+  ignore ty;
+  match Eval.of_value lhs, Eval.of_value rhs with
+  | Some a, Some b -> (
+    match Eval.to_value Types.I1 (Eval.cmp op a b) with
+    | Some imm -> Replace_with imm
+    | None -> Keep)
+  | (Some _ | None), _ ->
+    if Value.equal lhs rhs && not (Value.is_const lhs) then (
+      match op with
+      | Instr.Eq | Instr.Sle | Instr.Sge | Instr.Ule | Instr.Uge ->
+        Replace_with (Value.i1 true)
+      | Instr.Ne | Instr.Slt | Instr.Sgt | Instr.Ult | Instr.Ugt ->
+        Replace_with (Value.i1 false)
+      | Instr.Foeq | Instr.Fone | Instr.Folt | Instr.Fole | Instr.Fogt | Instr.Foge ->
+        (* NaN makes reflexive float comparisons undecidable statically. *)
+        Keep)
+    else Keep
+
+let simplify_select ty cond if_true if_false =
+  ignore ty;
+  match cond with
+  | Value.Imm_int (n, _) ->
+    Replace_with (if Int64.equal (Int64.logand n 1L) 1L then if_true else if_false)
+  | Value.Var _ | Value.Imm_float _ | Value.Undef _ ->
+    if Value.equal if_true if_false then Replace_with if_true else Keep
+
+let simplify_unop op src =
+  match Eval.of_value src with
+  | Some a -> (
+    let result_ty = Instr.unop_result_ty op in
+    match Eval.to_value result_ty (Eval.unop op a) with
+    | Some imm -> Replace_with imm
+    | None -> Keep)
+  | None -> Keep
+
+let run f =
+  let defs : (Value.var, Instr.t) Hashtbl.t = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match Instr.def i with
+          | Some d -> Hashtbl.replace defs d i
+          | None -> ())
+        b.Block.instrs)
+    f;
+  let subst = ref Value.Var_map.empty in
+  let changed = ref false in
+  Func.iter_blocks
+    (fun b ->
+      b.Block.instrs <-
+        List.filter_map
+          (fun i ->
+            let dst = Instr.def i in
+            let action =
+              match i with
+              | Instr.Binop { dst; op; ty; lhs; rhs } ->
+                simplify_binop defs ~dst op ty lhs rhs
+              | Instr.Cmp { op; ty; lhs; rhs; _ } -> simplify_cmp op ty lhs rhs
+              | Instr.Select { ty; cond; if_true; if_false; _ } ->
+                simplify_select ty cond if_true if_false
+              | Instr.Unop { op; src; _ } -> simplify_unop op src
+              | Instr.Load _ | Instr.Store _ | Instr.Gep _ | Instr.Alloca _
+              | Instr.Intrinsic _ | Instr.Special _ | Instr.Atomic_add _
+              | Instr.Syncthreads ->
+                Keep
+            in
+            match action, dst with
+            | Keep, _ -> Some i
+            | Replace_with v, Some d ->
+              subst := Value.Var_map.add d v !subst;
+              changed := true;
+              None
+            | Replace_with _, None -> Some i
+            | Rewrite instr, Some d ->
+              changed := true;
+              let instr = Instr.map_def (fun _ -> d) instr in
+              Hashtbl.replace defs d instr;
+              Some instr
+            | Rewrite _, None -> Some i)
+          b.Block.instrs)
+    f;
+  if not (Value.Var_map.is_empty !subst) then Clone.apply_subst f !subst;
+  !changed
+
+let pass = { Pass.name = "instcombine"; run }

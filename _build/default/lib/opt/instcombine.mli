@@ -1,0 +1,15 @@
+(** Local algebraic simplification (a small InstCombine).
+
+    Rules: constant folding; identities (x+0, x*1, x*0, x&0, x|0,
+    x-x, x/1, shifts by 0); canonicalization of commutative operands
+    (constants to the right) so GVN hashes equal expressions equally;
+    [(a+b)-a → b] and friends — the rule that, combined with unmerging,
+    removes the XSBench binary-search subtraction (§V); select and
+    compare simplifications; strength reduction of unsigned division and
+    remainder by powers of two into shifts and masks.
+
+    Rewrites that replace an instruction's result with an existing value
+    are applied as whole-function substitutions; everything else is a
+    local instruction replacement. *)
+
+val pass : Pass.t

@@ -1,0 +1,11 @@
+(** Loop-invariant code motion.
+
+    Hoists pure, non-memory instructions whose operands are loop-invariant
+    into the loop preheader (created on demand). Division is safe to
+    speculate here because the IR defines division by zero as 0 (see
+    [Uu_ir.Eval]); loads are never hoisted (that would need a guard or
+    dominating-store reasoning). Gives the baseline pipeline the standard
+    fairness the paper's -O3 baseline has, so u&u's wins are not inflated
+    by invariant recomputation. *)
+
+val pass : Pass.t

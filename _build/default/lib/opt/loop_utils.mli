@@ -1,0 +1,36 @@
+(** Loop canonicalization: preheaders, dedicated exits, and LCSSA.
+
+    Unrolling (and unmerging) assume the canonical shape LLVM's
+    loop-simplify establishes:
+
+    - a {e preheader}: the header's unique out-of-loop predecessor,
+      ending in an unconditional branch;
+    - {e dedicated exits}: every block targeted by a loop exit edge has
+      all of its predecessors inside the loop;
+    - {e LCSSA}: every value defined in the loop and used outside flows
+      through a phi in an exit block, so cloning the loop body only has to
+      patch exit-block phis. *)
+
+open Uu_ir
+open Uu_analysis
+
+val ensure_preheader : Func.t -> Loops.loop -> Value.label
+(** Returns the preheader label, creating the block (and updating header
+    phis) if necessary. The loop analysis must be recomputed afterwards
+    when a block was created. *)
+
+val ensure_dedicated_exits : Func.t -> Loops.loop -> bool
+(** Split exit targets that also have out-of-loop predecessors. Returns
+    true when the CFG changed. *)
+
+val build_lcssa : Func.t -> Loops.loop -> bool
+(** Insert LCSSA phis for loop-defined values used outside. Requires
+    dedicated exits. Returns true when phis were inserted.
+    @raise Failure if a value is used outside a loop with multiple
+    distinct exit targets (not needed by any kernel in this project; see
+    DESIGN.md). *)
+
+val canonicalize : Func.t -> Value.label -> Loops.loop option
+(** Run all three on the loop with the given header, re-analyzing between
+    steps; returns the loop, freshly analyzed, or [None] if the header no
+    longer heads a loop. *)

@@ -1,0 +1,9 @@
+(** Promotion of stack slots to SSA registers (LLVM's mem2reg).
+
+    The frontend lowers every MiniCUDA local variable to an [Alloca] with
+    explicit loads and stores; this pass places phis at iterated dominance
+    frontiers and renames along the dominator tree, producing the pruned
+    SSA form every later pass assumes. Allocas whose address escapes
+    (used anywhere but directly as a load/store address) are left alone. *)
+
+val pass : Pass.t

@@ -1,0 +1,62 @@
+open Uu_ir
+
+type t = { name : string; run : Func.t -> bool }
+
+type report = {
+  pass_times : (string * float) list;
+  total_time : float;
+  changed : bool;
+}
+
+let verify_now f =
+  Verifier.check_exn f;
+  Uu_analysis.Ssa_check.check_exn f
+
+let run ?(verify = true) passes f =
+  let changed = ref false in
+  let times = ref [] in
+  let t_start = Unix.gettimeofday () in
+  List.iter
+    (fun pass ->
+      let t0 = Unix.gettimeofday () in
+      let c =
+        try pass.run f
+        with e ->
+          failwith
+            (Printf.sprintf "pass %s raised on @%s: %s" pass.name f.Func.name
+               (Printexc.to_string e))
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      times := (pass.name, dt) :: !times;
+      if c then changed := true;
+      if verify && c then
+        try verify_now f
+        with Failure msg ->
+          failwith (Printf.sprintf "after pass %s: %s" pass.name msg))
+    passes;
+  {
+    pass_times = List.rev !times;
+    total_time = Unix.gettimeofday () -. t_start;
+    changed = !changed;
+  }
+
+let run_module ?verify passes m =
+  let reports = List.map (run ?verify passes) m.Func.funcs in
+  {
+    pass_times = List.concat_map (fun r -> r.pass_times) reports;
+    total_time = List.fold_left (fun acc r -> acc +. r.total_time) 0.0 reports;
+    changed = List.exists (fun r -> r.changed) reports;
+  }
+
+let fixpoint ?(max_rounds = 8) name passes =
+  let run f =
+    let rec go round any =
+      if round >= max_rounds then any
+      else begin
+        let r = run ~verify:false passes f in
+        if r.changed then go (round + 1) true else any
+      end
+    in
+    go 0 false
+  in
+  { name; run }

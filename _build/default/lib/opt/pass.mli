@@ -1,0 +1,32 @@
+(** Passes and the pass manager.
+
+    A pass is a named function-level transform reporting whether it
+    changed anything. The manager runs a pipeline, times every pass (the
+    basis of the paper's compile-time measurements, Fig. 6c), and — unless
+    disabled — verifies structural, type, and SSA-dominance well-formedness
+    after each pass, failing fast on the first broken invariant. *)
+
+open Uu_ir
+
+type t = { name : string; run : Func.t -> bool }
+
+type report = {
+  pass_times : (string * float) list;  (** seconds per executed pass, in order *)
+  total_time : float;
+  changed : bool;
+}
+
+val run : ?verify:bool -> t list -> Func.t -> report
+(** Run the pipeline once, in order. [verify] defaults to [true]. *)
+
+val run_module : ?verify:bool -> t list -> Func.modul -> report
+(** Run the pipeline on every function; times are summed. *)
+
+val fixpoint : ?max_rounds:int -> string -> t list -> t
+(** A pass that repeats the given sub-pipeline until no sub-pass changes
+    anything (or [max_rounds], default 8, is hit). Verification of the
+    sub-passes happens at the granularity of the combined pass. *)
+
+val verify_now : Func.t -> unit
+(** The checks the manager runs between passes.
+    @raise Failure on a violation. *)

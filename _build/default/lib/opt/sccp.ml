@@ -1,0 +1,158 @@
+open Uu_ir
+
+type lattice = Top | Const of Eval.rvalue | Bottom
+
+let meet a b =
+  match a, b with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Const x, Const y -> if Eval.equal x y then a else Bottom
+
+(* Structural compare treats NaN = NaN, unlike (=), so fixpoint detection
+   terminates on float constants. *)
+let lattice_changed a b = compare a b <> 0
+
+let def_types f =
+  let tys : (Value.var, Types.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (p : Func.param) -> Hashtbl.replace tys p.pvar p.pty) f.Func.params;
+  Func.iter_blocks
+    (fun b ->
+      List.iter (fun (p : Instr.phi) -> Hashtbl.replace tys p.dst p.ty) b.Block.phis;
+      List.iter
+        (fun i ->
+          match Instr.def_ty i with
+          | Some (d, ty) -> Hashtbl.replace tys d ty
+          | None -> ())
+        b.Block.instrs)
+    f;
+  tys
+
+let run f =
+  let values : (Value.var, lattice) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace values p Bottom) (Func.param_vars f);
+  let get_var v = match Hashtbl.find_opt values v with Some l -> l | None -> Top in
+  let get_value = function
+    | Value.Var v -> get_var v
+    | (Value.Imm_int _ | Value.Imm_float _) as c -> (
+      match Eval.of_value c with Some r -> Const r | None -> Bottom)
+    | Value.Undef _ -> Top
+  in
+  let exec_edges : (Value.label * Value.label, unit) Hashtbl.t = Hashtbl.create 32 in
+  let exec_blocks : (Value.label, unit) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.replace exec_blocks f.Func.entry ();
+  let changed = ref true in
+  let update v l =
+    let old = get_var v in
+    let nw = meet old l in
+    if lattice_changed nw old then begin
+      Hashtbl.replace values v nw;
+      changed := true
+    end
+  in
+  let mark_edge src dst =
+    if not (Hashtbl.mem exec_edges (src, dst)) then begin
+      Hashtbl.replace exec_edges (src, dst) ();
+      changed := true
+    end;
+    if not (Hashtbl.mem exec_blocks dst) then begin
+      Hashtbl.replace exec_blocks dst ();
+      changed := true
+    end
+  in
+  let eval_instr i =
+    let operand_lattices = List.map get_value (Instr.uses i) in
+    let consts =
+      List.map (function Const r -> Some r | Top | Bottom -> None) operand_lattices
+    in
+    let any_bottom = List.mem Bottom operand_lattices in
+    match i with
+    | Instr.Binop { op; ty; _ } -> (
+      match consts with
+      | [ Some a; Some b ] -> Const (Eval.binop op ty a b)
+      | _ -> if any_bottom then Bottom else Top)
+    | Instr.Cmp { op; _ } -> (
+      match consts with
+      | [ Some a; Some b ] -> Const (Eval.cmp op a b)
+      | _ -> if any_bottom then Bottom else Top)
+    | Instr.Unop { op; _ } -> (
+      match consts with
+      | [ Some a ] -> Const (Eval.unop op a)
+      | _ -> if any_bottom then Bottom else Top)
+    | Instr.Select { cond; if_true; if_false; _ } -> (
+      match get_value cond with
+      | Const c -> if Eval.is_true c then get_value if_true else get_value if_false
+      | Bottom -> (
+        match get_value if_true, get_value if_false with
+        | Const a, Const b when Eval.equal a b -> Const a
+        | (Top | Const _ | Bottom), _ -> Bottom)
+      | Top -> Top)
+    | Instr.Intrinsic { op; _ } ->
+      let rec all = function
+        | [] -> Some []
+        | Some x :: rest -> Option.map (fun xs -> x :: xs) (all rest)
+        | None :: _ -> None
+      in
+      (match all consts with
+      | Some args -> Const (Eval.intrinsic op args)
+      | None -> if any_bottom then Bottom else Top)
+    | Instr.Load _ | Instr.Alloca _ | Instr.Gep _ | Instr.Special _
+    | Instr.Atomic_add _ | Instr.Store _ | Instr.Syncthreads ->
+      Bottom
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun blk ->
+        if Hashtbl.mem exec_blocks blk then begin
+          let b = Func.block f blk in
+          List.iter
+            (fun (p : Instr.phi) ->
+              let l =
+                List.fold_left
+                  (fun acc (pred, v) ->
+                    if Hashtbl.mem exec_edges (pred, blk) then meet acc (get_value v)
+                    else acc)
+                  Top p.incoming
+              in
+              update p.dst l)
+            b.Block.phis;
+          List.iter
+            (fun i ->
+              match Instr.def i with
+              | Some d -> update d (eval_instr i)
+              | None -> ())
+            b.Block.instrs;
+          match b.Block.term with
+          | Instr.Br t -> mark_edge blk t
+          | Instr.Cond_br { cond; if_true; if_false } -> (
+            match get_value cond with
+            | Const c ->
+              if Eval.is_true c then mark_edge blk if_true else mark_edge blk if_false
+            | Bottom ->
+              mark_edge blk if_true;
+              mark_edge blk if_false
+            | Top -> ())
+          | Instr.Ret _ | Instr.Unreachable -> ()
+        end)
+      (Cfg.reverse_postorder f)
+  done;
+  let tys = def_types f in
+  let subst =
+    Hashtbl.fold
+      (fun v l acc ->
+        match l, Hashtbl.find_opt tys v with
+        | Const r, Some ty -> (
+          match Eval.to_value ty r with
+          | Some imm -> Value.Var_map.add v imm acc
+          | None -> acc)
+        | (Const _ | Top | Bottom), _ -> acc)
+      values Value.Var_map.empty
+  in
+  if Value.Var_map.is_empty subst then false
+  else begin
+    Clone.replace_uses_with_values f subst;
+    ignore (Dce.pass.run f);
+    true
+  end
+
+let pass = { Pass.name = "sccp"; run }

@@ -1,0 +1,15 @@
+(** Conditional constant propagation.
+
+    Computes the classic three-level lattice (unknown / constant /
+    overdefined) over SSA values while tracking edge executability, then
+    rewrites constant registers into immediates and conditional branches
+    whose condition is constant into unconditional ones. Dead blocks are
+    left for [Simplify_cfg] to sweep. After u&u this is one of the passes
+    that collapses re-checked loop conditions the paper describes for
+    bezier-surface (§III-B). *)
+
+val pass : Pass.t
+
+val def_types : Uu_ir.Func.t -> (Uu_ir.Value.var, Uu_ir.Types.t) Hashtbl.t
+(** Types of all registers (parameters, phis, instruction results); shared
+    with other passes that need a type lookup. *)

@@ -1,0 +1,197 @@
+open Uu_ir
+
+let fold_branches f =
+  let changed = ref false in
+  Func.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Instr.Cond_br { cond; if_true; if_false } ->
+        if if_true = if_false then begin
+          b.Block.term <- Instr.Br if_true;
+          changed := true
+        end
+        else begin
+          match cond with
+          | Value.Imm_int (n, _) ->
+            let live, dead =
+              if Int64.equal (Int64.logand n 1L) 0L then if_false, if_true
+              else if_true, if_false
+            in
+            b.Block.term <- Instr.Br live;
+            (match Func.find_block f dead with
+            | Some db -> Block.remove_incoming b.Block.label db
+            | None -> ());
+            changed := true
+          | Value.Undef _ ->
+            b.Block.term <- Instr.Br if_true;
+            (match Func.find_block f if_false with
+            | Some db ->
+              if if_false <> if_true then Block.remove_incoming b.Block.label db
+            | None -> ());
+            changed := true
+          | Value.Var _ | Value.Imm_float _ -> ()
+        end
+      | Instr.Br _ | Instr.Ret _ | Instr.Unreachable -> ())
+    f;
+  !changed
+
+let simplify_phis f =
+  let preds = Cfg.predecessors f in
+  let reachable = Cfg.reachable f in
+  let subst = ref Value.Var_map.empty in
+  let changed = ref false in
+  Func.iter_blocks
+    (fun b ->
+      if Value.Label_set.mem b.Block.label reachable then begin
+        let ps =
+          (try Hashtbl.find preds b.Block.label with Not_found -> [])
+          |> List.filter (fun p -> Value.Label_set.mem p reachable)
+        in
+        let simplify (p : Instr.phi) =
+          (* Keep only entries from actual reachable predecessors. *)
+          let incoming = List.filter (fun (l, _) -> List.mem l ps) p.incoming in
+          let values =
+            List.filter_map
+              (fun (_, v) -> if Value.equal v (Value.Var p.dst) then None else Some v)
+              incoming
+          in
+          let distinct =
+            List.sort_uniq compare values
+          in
+          match distinct with
+          | [ v ] ->
+            subst := Value.Var_map.add p.dst v !subst;
+            changed := true;
+            None
+          | [] ->
+            subst := Value.Var_map.add p.dst (Value.Undef p.ty) !subst;
+            changed := true;
+            None
+          | _ :: _ :: _ ->
+            if List.length incoming <> List.length p.incoming then changed := true;
+            Some { p with incoming }
+        in
+        b.Block.phis <- List.filter_map simplify b.Block.phis
+      end)
+    f;
+  if not (Value.Var_map.is_empty !subst) then Clone.apply_subst f !subst;
+  !changed
+
+let merge_straight_line f =
+  (* Batch per round: one predecessor map; a block consumed by a merge this
+     round cannot take part in another one until the next round (chains
+     shrink by half per round). *)
+  let changed = ref false in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let preds = Cfg.predecessors f in
+    let touched = Hashtbl.create 16 in
+    Func.iter_blocks
+      (fun b ->
+        if not (Hashtbl.mem touched b.Block.label) then
+          match b.Block.term with
+          | Instr.Br s
+            when s <> b.Block.label && s <> f.Func.entry
+                 && not (Hashtbl.mem touched s) -> (
+            match Hashtbl.find_opt preds s with
+            | Some [ p ] when p = b.Block.label -> (
+              match Func.find_block f s with
+              | Some sb when sb.Block.phis = [] ->
+                b.Block.instrs <- b.Block.instrs @ sb.Block.instrs;
+                b.Block.term <- sb.Block.term;
+                List.iter
+                  (fun succ ->
+                    match Func.find_block f succ with
+                    | Some succ_b ->
+                      Block.rename_incoming ~from_:s ~to_:b.Block.label succ_b
+                    | None -> ())
+                  (Block.successors sb);
+                Func.remove_block f s;
+                Hashtbl.replace touched b.Block.label ();
+                Hashtbl.replace touched s ();
+                changed := true;
+                continue := true
+              | Some _ | None -> ())
+            | Some _ | None -> ())
+          | Instr.Br _ | Instr.Cond_br _ | Instr.Ret _ | Instr.Unreachable -> ())
+      f
+  done;
+  !changed
+
+let forward_empty_blocks f =
+  (* Batch per round with one predecessor map; skip blocks whose
+     neighborhood this round already rewrote. *)
+  let changed = ref false in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let preds = Cfg.predecessors f in
+    let touched = Hashtbl.create 16 in
+    Func.iter_blocks
+      (fun b ->
+        match b.Block.term with
+        | Instr.Br s
+          when b.Block.phis = [] && b.Block.instrs = []
+               && b.Block.label <> f.Func.entry && s <> b.Block.label
+               && (not (Hashtbl.mem touched b.Block.label))
+               && not (Hashtbl.mem touched s) -> (
+          let ps =
+            try Hashtbl.find preds b.Block.label with Not_found -> []
+          in
+          match Func.find_block f s with
+          | None -> ()
+          | Some sb ->
+            let s_preds = try Hashtbl.find preds s with Not_found -> [] in
+            let conflict =
+              sb.Block.phis <> [] && List.exists (fun p -> List.mem p s_preds) ps
+            in
+            let latch_like = List.mem s ps in
+            let ps_clean = List.for_all (fun p -> not (Hashtbl.mem touched p)) ps in
+            if ps <> [] && (not conflict) && (not latch_like) && ps_clean then begin
+              List.iter
+                (fun p ->
+                  match Func.find_block f p with
+                  | Some pb ->
+                    pb.Block.term <-
+                      Instr.term_map_labels
+                        (fun l -> if l = b.Block.label then sb.Block.label else l)
+                        pb.Block.term
+                  | None -> ())
+                ps;
+              sb.Block.phis <-
+                List.map
+                  (fun (phi : Instr.phi) ->
+                    match List.assoc_opt b.Block.label phi.incoming with
+                    | None -> phi
+                    | Some v ->
+                      let kept =
+                        List.filter (fun (l, _) -> l <> b.Block.label) phi.incoming
+                      in
+                      { phi with incoming = kept @ List.map (fun p -> (p, v)) ps })
+                  sb.Block.phis;
+              Func.remove_block f b.Block.label;
+              Hashtbl.replace touched b.Block.label ();
+              Hashtbl.replace touched s ();
+              List.iter (fun p -> Hashtbl.replace touched p ()) ps;
+              changed := true;
+              continue := true
+            end)
+        | Instr.Br _ | Instr.Cond_br _ | Instr.Ret _ | Instr.Unreachable -> ())
+      f
+  done;
+  !changed
+
+let run f =
+  let rec go any =
+    let c1 = fold_branches f in
+    let c2 = Cfg.remove_unreachable f in
+    let c3 = simplify_phis f in
+    let c4 = merge_straight_line f in
+    let c5 = forward_empty_blocks f in
+    let changed = c1 || c2 || c3 || c4 || c5 in
+    if changed then go true else any
+  in
+  go false
+
+let pass = { Pass.name = "simplify-cfg"; run }

@@ -1,0 +1,13 @@
+(** CFG cleanup, iterated to a fixpoint:
+
+    - fold conditional branches on constants (and on equal targets),
+    - delete unreachable blocks,
+    - eliminate single-predecessor and single-value phis,
+    - merge straight-line block pairs,
+    - forward empty blocks to their unique successor.
+
+    After u&u this pass is what turns "duplicated block whose phi now has
+    one predecessor" into plain registers on the duplicated path — the
+    shape that condition propagation and GVN then exploit. *)
+
+val pass : Pass.t

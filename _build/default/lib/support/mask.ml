@@ -1,0 +1,49 @@
+type t = int
+
+let empty = 0
+
+let full ~width =
+  if width < 0 || width > 62 then invalid_arg "Mask.full";
+  (1 lsl width) - 1
+
+let singleton i = 1 lsl i
+let is_empty m = m = 0
+let mem i m = m land (1 lsl i) <> 0
+let add i m = m lor (1 lsl i)
+let remove i m = m land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let equal (a : int) b = a = b
+let subset a b = a land lnot b = 0
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let iter f m =
+  let rec go i m =
+    if m <> 0 then begin
+      if m land 1 <> 0 then f i;
+      go (i + 1) (m lsr 1)
+    end
+  in
+  go 0 m
+
+let fold f m init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) m;
+  !acc
+
+let to_list m = List.rev (fold (fun i acc -> i :: acc) m [])
+let of_list l = List.fold_left (fun m i -> add i m) empty l
+let first m = if m = 0 then None else Some (fold (fun i acc -> min i acc) m max_int)
+
+let pp ppf m =
+  let width =
+    let rec go i = if m lsr i = 0 then i else go (i + 1) in
+    max 1 (go 0)
+  in
+  for i = 0 to width - 1 do
+    Format.pp_print_char ppf (if mem i m then '1' else '0')
+  done

@@ -1,0 +1,42 @@
+(** Fixed-width thread masks for SIMT warps.
+
+    A mask is a set of lane indices in [0, width). The width is bounded by
+    63 so that a mask fits in an OCaml immediate integer; GPU warps use
+    width 32. *)
+
+type t
+(** An immutable lane set. *)
+
+val empty : t
+
+val full : width:int -> t
+(** [full ~width] is the mask with lanes [0 .. width - 1] set.
+    @raise Invalid_argument if [width] is not in [0, 63]. *)
+
+val singleton : int -> t
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val popcount : t -> int
+(** Number of set lanes. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f m] applies [f] to each set lane in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int list -> t
+
+val first : t -> int option
+(** Lowest set lane, if any. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a bit string, lane 0 leftmost. *)

@@ -1,0 +1,27 @@
+(** Deterministic splitmix64 random number generator.
+
+    Used everywhere randomness is needed (workload generation, latency
+    jitter) so that every experiment is reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** A fresh generator from a seed. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s state. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val bool : t -> bool

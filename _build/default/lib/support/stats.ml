@@ -1,0 +1,50 @@
+let check_nonempty name = function [] -> invalid_arg name | _ :: _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  check_nonempty "Stats.median" xs;
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let rsd xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let sum_logs =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (sum_logs /. float_of_int (List.length xs))
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end

@@ -1,0 +1,23 @@
+(** Summary statistics used by the experiment harness (paper §IV-B:
+    medians of 20 runs, relative standard deviation, geometric means). *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** Median; mean of the two central values for even lengths.
+    @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val rsd : float list -> float
+(** Relative standard deviation as a fraction of the mean (e.g. [0.04] for
+    4%). Zero when the mean is zero. *)
+
+val geomean : float list -> float
+(** Geometric mean. @raise Invalid_argument on the empty list or on a
+    non-positive element. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,1]; linear interpolation. *)

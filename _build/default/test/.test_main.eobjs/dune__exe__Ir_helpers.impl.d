@@ -1,0 +1,1 @@
+test/ir_helpers.ml: Block Builder Func Instr List Printf Types Uu_frontend Uu_gpusim Uu_ir Value Verifier

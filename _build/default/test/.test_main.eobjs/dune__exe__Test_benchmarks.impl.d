@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest List Pipelines Printf Runner Uu_benchmarks Uu_core Uu_harness

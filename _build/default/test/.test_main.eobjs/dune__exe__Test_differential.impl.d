@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Int64 Ir_helpers List Printf Uu_core Uu_frontend Uu_ir Uu_support

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Hashtbl Int64 Ir_helpers Lexer List Lower Parser Printf Uu_analysis Uu_benchmarks Uu_frontend Uu_ir

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Astring Counters Figures Filename List Pipelines Report Runner String Sweep Sys Table1 Uu_benchmarks Uu_core Uu_harness

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring Block Clone Eval Float Format Func Instr Int64 Ir_helpers List Printer Printf Types Uu_analysis Uu_ir Value Verifier

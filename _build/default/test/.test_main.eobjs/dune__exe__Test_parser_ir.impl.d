@@ -1,0 +1,1 @@
+test/test_parser_ir.ml: Alcotest Array Func Ir_helpers List Parser_ir Printer Printf Uu_benchmarks Uu_core Uu_frontend Uu_ir

@@ -1,0 +1,1 @@
+test/test_properties.ml: Eval Float Instr Int64 List QCheck2 QCheck_alcotest Types Uu_analysis Uu_ir

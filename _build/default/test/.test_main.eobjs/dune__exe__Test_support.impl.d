@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Float Int64 List Mask QCheck2 QCheck_alcotest Rng Stats Uu_support

@@ -1,0 +1,85 @@
+(* Directional regression tests over the 16 applications: the Table I
+   shape — which apps the heuristic speeds up, slows down, or leaves flat
+   — must not drift as the compiler or the device model evolve. The
+   simulator is deterministic (no noise seed), so these are stable.
+
+   Also checks the oracle for every app under the heuristic, making this
+   the whole-system integration suite. *)
+
+open Uu_core
+open Uu_harness
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let ratio app =
+  let base = Runner.run_exn app Pipelines.Baseline in
+  let heur = Runner.run_exn app Pipelines.Uu_heuristic in
+  base.Runner.kernel_ms /. heur.Runner.kernel_ms
+
+let expectations =
+  (* app, minimum acceptable ratio, maximum acceptable ratio.
+     Wide enough to tolerate cost-model tuning; tight enough to pin the
+     direction (paper Table I: the same 12 winners, 3 losers, 1 flat). *)
+  [
+    ("bezier-surface", 1.2, 2.5);
+    ("bn", 1.05, 1.8);
+    ("bspline-vgh", 1.05, 2.2);
+    ("ccs", 0.3, 0.95);
+    ("clink", 1.05, 1.9);
+    ("complex", 0.02, 0.7);
+    ("contract", 0.3, 0.95);
+    ("coordinates", 0.98, 1.02);
+    ("haccmk", 1.0, 1.4);
+    ("lavaMD", 1.02, 1.6);
+    ("libor", 1.05, 1.7);
+    ("mandelbrot", 1.05, 1.7);
+    ("qtclustering", 1.02, 1.5);
+    ("quicksort", 1.0, 1.8);
+    ("rainflow", 1.1, 2.2);
+    ("XSBench", 1.02, 1.6);
+  ]
+
+let test_direction name lo hi () =
+  match Uu_benchmarks.Registry.find name with
+  | None -> Alcotest.fail ("unknown app " ^ name)
+  | Some app ->
+    let r = ratio app in
+    check bool
+      (Printf.sprintf "%s heuristic/baseline ratio %.3f within [%.2f, %.2f]" name r lo hi)
+      true
+      (r >= lo && r <= hi)
+
+let test_fig7_ordering () =
+  (* RQ3 on the flagship apps: u&u beats plain unroll and plain unmerge. *)
+  List.iter
+    (fun name ->
+      match Uu_benchmarks.Registry.find name with
+      | None -> ()
+      | Some app ->
+        let t cfg = (Runner.run_exn app cfg).Runner.kernel_ms in
+        let uu = t (Pipelines.Uu 4) in
+        check bool (name ^ ": u&u-4 beats unroll-4") true (uu < t (Pipelines.Unroll 4));
+        check bool (name ^ ": u&u-4 beats unmerge") true (uu < t Pipelines.Unmerge))
+    [ "bezier-surface"; "rainflow"; "bn"; "libor" ]
+
+let test_complex_worst_at_8 () =
+  match Uu_benchmarks.Registry.find "complex" with
+  | None -> ()
+  | Some app ->
+    let t cfg = (Runner.run_exn app cfg).Runner.kernel_ms in
+    let base = t Pipelines.Baseline in
+    let r u = base /. t (Pipelines.Uu u) in
+    check bool "slowdown deepens with the factor (paper RQ1)" true
+      (r 2 > r 4 && r 4 > r 8);
+    check bool "factor 8 is drastic (paper: 0.11x)" true (r 8 < 0.25)
+
+let suite =
+  List.map
+    (fun (name, lo, hi) ->
+      (Printf.sprintf "Table I direction: %s" name, `Slow, test_direction name lo hi))
+    expectations
+  @ [
+      ("Fig 7 ordering (u&u > unroll, unmerge)", `Slow, test_fig7_ordering);
+      ("complex worst at factor 8", `Slow, test_complex_worst_at_8);
+    ]

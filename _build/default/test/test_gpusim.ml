@@ -1,0 +1,367 @@
+(* Tests for the SIMT simulator: memory, launch validation, lockstep
+   execution, divergence and reconvergence, coalescing, the instruction
+   cache, atomics, and the nvprof-style counters. *)
+
+open Uu_ir
+open Uu_gpusim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_memory_round_trip () =
+  let mem = Memory.create () in
+  let b = Memory.alloc_f64 mem [| 1.5; 2.5 |] in
+  check (Alcotest.array (Alcotest.float 0.0)) "read back" [| 1.5; 2.5 |] (Memory.read_f64 b);
+  let bi = Memory.alloc_i64 mem [| 7L |] in
+  check Alcotest.int64 "i64" 7L (Memory.read_i64 bi).(0);
+  check int "distinct ids" 1 (Memory.buffer_id bi);
+  check bool "bytes tracked" true (Memory.bytes_moved mem > 0)
+
+let test_memory_bounds () =
+  let mem = Memory.create () in
+  let b = Memory.alloc_i64 mem [| 1L; 2L |] in
+  check bool "out of bounds load fails" true
+    (try
+       ignore (Memory.load mem ~buffer_id:(Memory.buffer_id b) ~offset:5);
+       false
+     with Failure _ -> true);
+  check bool "unknown buffer fails" true
+    (try
+       ignore (Memory.load mem ~buffer_id:99 ~offset:0);
+       false
+     with Failure _ -> true)
+
+let test_memory_atomic () =
+  let mem = Memory.create () in
+  let b = Memory.alloc_i64 mem [| 10L |] in
+  let old = Memory.atomic_add mem ~buffer_id:(Memory.buffer_id b) ~offset:0 (Uu_ir.Eval.Int 5L) in
+  check bool "returns old" true (old = Uu_ir.Eval.Int 10L);
+  check Alcotest.int64 "added" 15L (Memory.read_i64 b).(0)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  check bool "first miss" true (Cache.touch c 1);
+  check bool "second miss" true (Cache.touch c 2);
+  check bool "hit" false (Cache.touch c 1);
+  check bool "evicts LRU (2)" true (Cache.touch c 3);
+  check bool "2 was evicted" true (Cache.touch c 2);
+  check bool "3 survived? (1 evicted when 2 came back)" true (Cache.mem c 3 || Cache.mem c 1)
+
+let test_launch_validation () =
+  let fn =
+    Ir_helpers.compile_one "kernel k(int* restrict out, int n) { out[0] = n; }"
+  in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 4 in
+  check bool "arity mismatch rejected" true
+    (try
+       ignore (Kernel.launch mem fn ~grid_dim:1 ~block_dim:32 ~args:[ Kernel.Buf out ]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "type mismatch rejected" true
+    (try
+       let fbuf = Memory.zeros_f64 mem 4 in
+       ignore
+         (Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+            ~args:[ Kernel.Buf fbuf; Kernel.Int_arg 1L ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_thread_indexing () =
+  let fn =
+    Ir_helpers.compile_one
+      {|
+kernel k(int* restrict out, int n) {
+  int gid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (gid < n) { out[gid] = gid * 10 + blockIdx.x; }
+}
+|}
+  in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 128 in
+  ignore
+    (Kernel.launch mem fn ~grid_dim:2 ~block_dim:64
+       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]);
+  let got = Memory.read_i64 out in
+  check Alcotest.int64 "thread 0" 0L got.(0);
+  check Alcotest.int64 "thread 63 in block 0" 630L got.(63);
+  check Alcotest.int64 "thread 64 = block 1 lane 0" 641L got.(64);
+  check Alcotest.int64 "thread 127" 1271L got.(127)
+
+let metrics_of src ~elems scalars =
+  let fn = Ir_helpers.compile_one src in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem elems in
+  let args = Kernel.Buf out :: List.map (fun v -> Kernel.Int_arg v) scalars in
+  Kernel.launch mem fn ~grid_dim:1 ~block_dim:32 ~args
+
+let test_divergence_counted () =
+  (* Per-lane divergent branch. *)
+  let r =
+    metrics_of ~elems:32
+      {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x;
+  if (tid & 1) { out[tid] = tid * 3; } else { out[tid] = tid + 100; }
+}
+|}
+      [ 0L ]
+  in
+  check bool "divergent branch recorded" true
+    (r.Kernel.metrics.Metrics.divergent_branches > 0);
+  check bool "efficiency below 1" true
+    (Metrics.warp_execution_efficiency r.Kernel.metrics ~warp_size:32 < 0.999)
+
+let test_uniform_full_efficiency () =
+  let r =
+    metrics_of ~elems:32
+      {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x;
+  int acc = 0;
+  int i = 0;
+  while (i < n) { acc = acc + i; i = i + 1; }
+  out[tid] = acc;
+}
+|}
+      [ 8L ]
+  in
+  check int "no divergence" 0 r.Kernel.metrics.Metrics.divergent_branches;
+  check (Alcotest.float 1e-9) "efficiency 100%" 1.0
+    (Metrics.warp_execution_efficiency r.Kernel.metrics ~warp_size:32)
+
+let test_reconvergence_correctness () =
+  (* Divergent branches inside a loop: every lane must still compute its
+     own correct result (per-lane phi resolution through reconvergence). *)
+  let src =
+    {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x;
+  int acc = 0;
+  int i = 0;
+  while (i < n + (tid & 3)) {
+    if ((i + tid) & 1) { acc = acc + i * tid; } else { acc = acc - 1; }
+    i = i + 1;
+  }
+  out[tid] = acc;
+}
+|}
+  in
+  let got = (metrics_of ~elems:32 src [ 6L ]) in
+  ignore got;
+  let fn = Ir_helpers.compile_one src in
+  let out = Ir_helpers.run_kernel fn [ 6L ] in
+  let expect tid =
+    let acc = ref 0 in
+    let bound = 6 + (tid land 3) in
+    for i = 0 to bound - 1 do
+      if (i + tid) land 1 = 1 then acc := !acc + (i * tid) else acc := !acc - 1
+    done;
+    Int64.of_int !acc
+  in
+  for tid = 0 to 31 do
+    check Alcotest.int64 (Printf.sprintf "lane %d" tid) (expect tid) out.(tid)
+  done
+
+let test_select_counts_misc () =
+  let fn =
+    Ir_helpers.compile_one
+      {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x;
+  out[tid] = (tid > n) ? 1 : 2;
+}
+|}
+  in
+  ignore (Uu_opt.Pass.run [ Uu_opt.Mem2reg.pass ] fn);
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 32 in
+  let r =
+    Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+      ~args:[ Kernel.Buf out; Kernel.Int_arg 15L ]
+  in
+  check bool "selects counted as misc" true (r.Kernel.metrics.Metrics.inst_misc > 0)
+
+let test_coalescing () =
+  (* Coalesced: lanes read consecutive addresses -> few transactions.
+     Strided: lanes read 16 elements apart -> one transaction per lane. *)
+  let run src =
+    let fn = Ir_helpers.compile_one src in
+    let mem = Memory.create () in
+    let data = Memory.zeros_i64 mem 1024 in
+    let out = Memory.zeros_i64 mem 32 in
+    let r =
+      Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+        ~args:[ Kernel.Buf out; Kernel.Buf data ]
+    in
+    r.Kernel.metrics.Metrics.mem_transactions
+  in
+  let coalesced =
+    run "kernel k(int* restrict out, const int* restrict a) { int t = threadIdx.x; out[t] = a[t]; }"
+  in
+  let strided =
+    run
+      "kernel k(int* restrict out, const int* restrict a) { int t = threadIdx.x; out[t] = a[t * 16]; }"
+  in
+  check bool "strided needs more transactions" true (strided > coalesced)
+
+let test_icache_pressure () =
+  (* The same loop, hugely duplicated, must show fetch stalls. *)
+  let src = Uu_benchmarks.Complex_app.app.Uu_benchmarks.App.source in
+  let run config =
+    let m = Uu_frontend.Lower.compile ~name:"c" src in
+    let f = List.hd m.Func.funcs in
+    ignore (Uu_core.Pipelines.optimize config f);
+    let mem = Memory.create () in
+    let mk () = Memory.zeros_f64 mem 128 in
+    let outa = mk () and outc = mk () and a = mk () and c = mk () in
+    Kernel.launch mem f ~grid_dim:1 ~block_dim:128
+      ~args:[ Kernel.Buf outa; Kernel.Buf outc; Kernel.Buf a; Kernel.Buf c; Kernel.Int_arg 128L ]
+  in
+  let base = run Uu_core.Pipelines.Baseline in
+  let uu8 = run (Uu_core.Pipelines.Uu 8) in
+  check bool "u&u-8 code larger" true (uu8.Kernel.code_bytes > 4 * base.Kernel.code_bytes);
+  check bool "u&u-8 fetch stalls higher" true
+    (Metrics.stall_inst_fetch uu8.Kernel.metrics
+    > Metrics.stall_inst_fetch base.Kernel.metrics)
+
+let test_atomics_across_warps () =
+  let fn =
+    Ir_helpers.compile_one
+      {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  if (tid < n) { int old = atomicAdd(&out[0], 1); out[1] = old * 0 + n; }
+}
+|}
+  in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 2 in
+  ignore
+    (Kernel.launch mem fn ~grid_dim:4 ~block_dim:64
+       ~args:[ Kernel.Buf out; Kernel.Int_arg 200L ]);
+  check Alcotest.int64 "200 atomic increments" 200L (Memory.read_i64 out).(0)
+
+let test_runaway_guard () =
+  let fn =
+    Ir_helpers.compile_one
+      {|
+kernel k(int* restrict out, int n) {
+  int i = 0;
+  while (n == n) { i = i + 1; }
+  out[0] = i;
+}
+|}
+  in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 1 in
+  check bool "infinite loop detected" true
+    (try
+       ignore
+         (Kernel.launch ~max_warp_cycles:10_000 mem fn ~grid_dim:1 ~block_dim:32
+            ~args:[ Kernel.Buf out; Kernel.Int_arg 1L ]);
+       false
+     with Failure msg -> Astring.String.is_infix ~affix:"cycles" msg)
+
+let test_noise_changes_cycles_not_results () =
+  let app = Uu_benchmarks.Bezier_surface.app in
+  let m1 = Uu_harness.Runner.run_exn ~noise_seed:1L app Uu_core.Pipelines.Baseline in
+  let m2 = Uu_harness.Runner.run_exn ~noise_seed:2L app Uu_core.Pipelines.Baseline in
+  check bool "noise perturbs time" true (m1.Uu_harness.Runner.kernel_ms <> m2.Uu_harness.Runner.kernel_ms);
+  check bool "results still validate" true
+    (m1.Uu_harness.Runner.check = Ok () && m2.Uu_harness.Runner.check = Ok ())
+
+let test_trace_records_schedule () =
+  let fn =
+    Ir_helpers.compile_one
+      {|
+kernel k(int* restrict out, int n) {
+  int tid = threadIdx.x;
+  if (tid & 1) { out[tid] = 1; } else { out[tid] = 2; }
+}
+|}
+  in
+  let mem = Memory.create () in
+  let out = Memory.zeros_i64 mem 32 in
+  let tracer = Trace.create () in
+  ignore
+    (Kernel.launch ~tracer mem fn ~grid_dim:1 ~block_dim:32
+       ~args:[ Kernel.Buf out; Kernel.Int_arg 0L ]);
+  let evs = Trace.events tracer in
+  check bool "events recorded" true (List.length evs >= 3);
+  check bool "first event is the entry with full mask" true
+    (match evs with
+    | e :: _ ->
+      e.Trace.label = fn.Uu_ir.Func.entry
+      && Uu_support.Mask.popcount e.Trace.mask = 32
+    | [] -> false);
+  (* The divergent diamond shows at least two distinct partial masks. *)
+  check bool "divergent groups appear" true
+    (Trace.max_concurrent_groups tracer ~block_id:0 ~warp_id:0 >= 2);
+  check bool "render works" true (String.length (Trace.render fn tracer) > 0)
+
+let test_pre_volta_ablation () =
+  (* Without ITS latency hiding, divergent code pays full latency per
+     group: the pre-Volta device can only be slower on a divergent
+     latency-bound kernel. *)
+  let src =
+    {|
+kernel k(int* restrict out, const int* restrict a, int n) {
+  int tid = threadIdx.x;
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    if ((i + tid) & 1) { acc = acc + a[(acc & 511)]; } else { acc = acc + a[(acc & 255) + 256]; }
+    i = i + 1;
+  }
+  out[tid] = acc;
+}
+|}
+  in
+  let run device =
+    let fn = Ir_helpers.compile_one src in
+    ignore (Uu_core.Pipelines.optimize (Uu_core.Pipelines.Uu 2) fn);
+    let mem = Memory.create () in
+    let a = Memory.zeros_i64 mem 1024 in
+    let out = Memory.zeros_i64 mem 32 in
+    let r =
+      Kernel.launch ~device mem fn ~grid_dim:1 ~block_dim:32
+        ~args:[ Kernel.Buf out; Kernel.Buf a; Kernel.Int_arg 12L ]
+    in
+    r.Kernel.metrics.Metrics.cycles
+  in
+  check bool "ITS hides latency across divergent groups" true
+    (run Device.v100 < run Device.pre_volta)
+
+let test_kernel_time_concurrency () =
+  let m = Metrics.create () in
+  m.Metrics.cycles <- 1000;
+  m.Metrics.warps_launched <- 10;
+  check (Alcotest.float 1e-9) "divided by resident warps" 100.0
+    (Metrics.kernel_time m ~device:Device.v100);
+  m.Metrics.warps_launched <- 1000;
+  check (Alcotest.float 1e-9) "capped at max resident" (1000.0 /. 64.0)
+    (Metrics.kernel_time m ~device:Device.v100)
+
+let suite =
+  [
+    ("memory round trip", `Quick, test_memory_round_trip);
+    ("memory bounds checking", `Quick, test_memory_bounds);
+    ("memory atomics", `Quick, test_memory_atomic);
+    ("LRU cache", `Quick, test_cache_lru);
+    ("launch validation", `Quick, test_launch_validation);
+    ("thread indexing", `Quick, test_thread_indexing);
+    ("divergence counted", `Quick, test_divergence_counted);
+    ("uniform runs at full efficiency", `Quick, test_uniform_full_efficiency);
+    ("reconvergence per-lane correctness", `Quick, test_reconvergence_correctness);
+    ("selects count as misc", `Quick, test_select_counts_misc);
+    ("memory coalescing", `Quick, test_coalescing);
+    ("icache pressure from duplication", `Quick, test_icache_pressure);
+    ("atomics across warps", `Quick, test_atomics_across_warps);
+    ("runaway loop guard", `Quick, test_runaway_guard);
+    ("noise affects time not results", `Quick, test_noise_changes_cycles_not_results);
+    ("execution trace", `Quick, test_trace_records_schedule);
+    ("pre-Volta ITS ablation", `Quick, test_pre_volta_ablation);
+    ("kernel time concurrency model", `Quick, test_kernel_time_concurrency);
+  ]

@@ -1,0 +1,180 @@
+(* Tests for the experiment harness: the runner, the per-loop sweep, the
+   Table I / figure generators, and the report renderers. Kept to two
+   small apps so the whole suite stays fast. *)
+
+open Uu_core
+open Uu_harness
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let bezier =
+  match Uu_benchmarks.Registry.find "bezier-surface" with
+  | Some a -> a
+  | None -> assert false
+
+let complex =
+  match Uu_benchmarks.Registry.find "complex" with
+  | Some a -> a
+  | None -> assert false
+
+let test_registry () =
+  check int "16 applications" 16 (List.length Uu_benchmarks.Registry.all);
+  check bool "find works" true (Uu_benchmarks.Registry.find "XSBench" <> None);
+  check bool "unknown app" true (Uu_benchmarks.Registry.find "nope" = None);
+  (* Names match the paper's Table I order. *)
+  check (Alcotest.list Alcotest.string) "names"
+    [
+      "bezier-surface"; "bn"; "bspline-vgh"; "ccs"; "clink"; "complex"; "contract";
+      "coordinates"; "haccmk"; "lavaMD"; "libor"; "mandelbrot"; "qtclustering";
+      "quicksort"; "rainflow"; "XSBench";
+    ]
+    Uu_benchmarks.Registry.names
+
+let test_loop_inventory () =
+  let loops = Runner.loop_inventory bezier in
+  check bool "bezier has a loop" true (loops <> []);
+  List.iter
+    (fun (l : Runner.loop_ref) ->
+      check Alcotest.string "kernel name" "bezier_blend" l.Runner.kernel)
+    loops;
+  (* Deterministic across calls. *)
+  check bool "stable ids" true (Runner.loop_inventory bezier = loops)
+
+let test_runner_baseline () =
+  let m = Runner.run_exn bezier Pipelines.Baseline in
+  check bool "kernel time positive" true (m.Runner.kernel_ms > 0.0);
+  check bool "transfer modeled" true (m.Runner.transfer_ms > 0.0);
+  check bool "code size includes rest bytes" true
+    (m.Runner.code_bytes > bezier.Uu_benchmarks.App.rest_bytes);
+  check bool "oracle passed" true (m.Runner.check = Ok ())
+
+let test_runner_determinism () =
+  let a = Runner.run_exn bezier Pipelines.Baseline in
+  let b = Runner.run_exn bezier Pipelines.Baseline in
+  check (Alcotest.float 1e-12) "deterministic without noise" a.Runner.kernel_ms
+    b.Runner.kernel_ms
+
+let test_runner_per_loop_targeting () =
+  let loop = List.hd (Runner.loop_inventory bezier) in
+  let targeted = Runner.run_exn ~target:loop bezier (Pipelines.Uu 2) in
+  check bool "targeted run validates" true (targeted.Runner.check = Ok ());
+  (* Targeting a loop under u&u changes the code relative to baseline. *)
+  let base = Runner.run_exn bezier Pipelines.Baseline in
+  check bool "transform changed code size" true
+    (targeted.Runner.code_bytes <> base.Runner.code_bytes)
+
+let test_uu_beats_baseline_on_bezier () =
+  let base = Runner.run_exn bezier Pipelines.Baseline in
+  let uu = Runner.run_exn bezier (Pipelines.Uu 4) in
+  check bool "u&u-4 speeds up bezier (paper Fig 7)" true
+    (base.Runner.kernel_ms /. uu.Runner.kernel_ms > 1.2)
+
+let test_uu_slows_complex () =
+  let base = Runner.run_exn complex Pipelines.Baseline in
+  let uu = Runner.run_exn complex (Pipelines.Uu 8) in
+  check bool "u&u-8 slows complex (paper SV)" true
+    (base.Runner.kernel_ms /. uu.Runner.kernel_ms < 0.5)
+
+let test_divergence_heuristic_protects_complex () =
+  let plain = Runner.run_exn complex Pipelines.Uu_heuristic in
+  let aware = Runner.run_exn complex Pipelines.Uu_heuristic_divergence in
+  check bool "divergence-aware heuristic avoids the slowdown" true
+    (aware.Runner.kernel_ms < plain.Runner.kernel_ms)
+
+let test_table1 () =
+  let rows = Table1.compute ~runs:3 ~apps:[ bezier; complex ] () in
+  check int "two rows" 2 (List.length rows);
+  let r = List.hd rows in
+  check Alcotest.string "name" "bezier-surface" r.Table1.name;
+  check bool "compute fraction in (0,1]" true
+    (r.Table1.compute_fraction > 0.0 && r.Table1.compute_fraction <= 1.0);
+  check bool "rsd small but nonzero" true
+    (r.Table1.baseline_rsd > 0.0 && r.Table1.baseline_rsd < 0.2);
+  let rendered = Table1.render rows in
+  check bool "render mentions app" true
+    (Astring.String.is_infix ~affix:"bezier-surface" rendered);
+  check int "csv rows" 2 (List.length (Table1.to_csv rows))
+
+let test_sweep_and_figures () =
+  let sweep = Sweep.run ~apps:[ bezier ] () in
+  check bool "has points" true (sweep.Sweep.points <> []);
+  (* Every loop-config combination is present. *)
+  let loops = Runner.loop_inventory bezier in
+  check int "points = loops x configs + heuristic"
+    ((List.length loops * List.length Sweep.loop_configs) + 1)
+    (List.length sweep.Sweep.points);
+  List.iter
+    (fun (p : Sweep.point) ->
+      check bool "speedup positive" true (p.Sweep.speedup > 0.0);
+      check bool "code ratio positive" true (p.Sweep.code_ratio > 0.0))
+    sweep.Sweep.points;
+  (* u&u code grows with the factor on this loop. *)
+  let code_of factor =
+    match
+      List.find_opt
+        (fun (p : Sweep.point) ->
+          p.Sweep.config = Pipelines.Uu factor && p.Sweep.loop <> None)
+        sweep.Sweep.points
+    with
+    | Some p -> p.Sweep.code_ratio
+    | None -> 0.0
+  in
+  check bool "code ratio grows with factor" true (code_of 4 > code_of 2);
+  List.iter
+    (fun render ->
+      check bool "figure renders" true (String.length (render sweep) > 0))
+    [ Figures.fig6a; Figures.fig6b; Figures.fig6c; Figures.fig7; Figures.fig8a;
+      Figures.fig8b ];
+  check bool "geomean summary" true
+    (Astring.String.is_infix ~affix:"geomean" (Figures.geomean_summary sweep));
+  check bool "fig7 best >= 1 for bezier" true
+    (match Figures.best_per_app sweep (Pipelines.Uu 4) with
+    | [ (_, s) ] -> s > 1.0
+    | _ -> false)
+
+let test_report_renderers () =
+  let table = Report.render_table ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333" ] ] in
+  check bool "aligned" true (Astring.String.is_infix ~affix:"a    b" table);
+  let path = Filename.temp_file "uu_test" ".csv" in
+  Report.write_csv ~path ~header:[ "x"; "y" ] [ [ "1"; "he,llo" ] ];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.string "csv header" "x,y" l1;
+  check Alcotest.string "csv escaping" "1,\"he,llo\"" l2;
+  check Alcotest.string "pct" "12.34%" (Report.pct 0.1234);
+  check Alcotest.string "ratio" "1.36x" (Report.ratio 1.3649)
+
+let test_counters_analysis () =
+  let cs = Counters.analyze () in
+  check int "three SV cases" 3 (List.length cs);
+  let xs = List.find (fun c -> c.Counters.app = "XSBench") cs in
+  check bool "xsbench misc drops" true (xs.Counters.misc_change < 0.8);
+  check bool "xsbench speeds up" true (xs.Counters.speedup > 1.0);
+  let cx = List.find (fun c -> c.Counters.app = "complex") cs in
+  check bool "complex slows down" true (cx.Counters.speedup < 1.0);
+  check bool "complex efficiency collapses" true
+    (cx.Counters.uu_eff < 0.5 *. cx.Counters.base_eff);
+  check bool "complex fetch stalls grow" true
+    (cx.Counters.uu_stall_fetch > cx.Counters.base_stall_fetch);
+  check bool "render" true (String.length (Counters.render cs) > 0)
+
+let suite =
+  [
+    ("registry", `Quick, test_registry);
+    ("loop inventory", `Quick, test_loop_inventory);
+    ("runner baseline", `Quick, test_runner_baseline);
+    ("runner determinism", `Quick, test_runner_determinism);
+    ("per-loop targeting", `Quick, test_runner_per_loop_targeting);
+    ("u&u speeds up bezier", `Quick, test_uu_beats_baseline_on_bezier);
+    ("u&u slows down complex", `Slow, test_uu_slows_complex);
+    ("divergence-aware heuristic", `Slow, test_divergence_heuristic_protects_complex);
+    ("table1", `Slow, test_table1);
+    ("sweep and figures", `Slow, test_sweep_and_figures);
+    ("report renderers", `Quick, test_report_renderers);
+    ("SV counters", `Slow, test_counters_analysis);
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "uu"
+    [
+      ("support", Test_support.suite);
+      ("ir", Test_ir.suite);
+      ("parser-ir", Test_parser_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("frontend", Test_frontend.suite);
+      ("passes", Test_passes.suite);
+      ("transforms", Test_transforms.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("differential", Test_differential.suite);
+      ("harness", Test_harness.suite);
+      ("properties", Test_properties.suite);
+      ("benchmarks", Test_benchmarks.suite);
+    ]

@@ -1,0 +1,84 @@
+(* Property tests over the operation semantics and the cost model — the
+   algebraic facts the optimizer relies on must hold in [Eval] for every
+   input, or instcombine's rewrites would be miscompiles. *)
+
+open Uu_ir
+
+let int64_gen = QCheck2.Gen.(map Int64.of_int int)
+let ty_gen = QCheck2.Gen.oneofl [ Types.I1; Types.I32; Types.I64 ]
+
+let props =
+  [
+    QCheck2.Test.make ~name:"normalize is idempotent" ~count:500
+      QCheck2.Gen.(pair ty_gen int64_gen)
+      (fun (ty, n) ->
+        let once = Eval.normalize ty n in
+        Int64.equal once (Eval.normalize ty once));
+    QCheck2.Test.make ~name:"signed comparison trichotomy" ~count:500
+      QCheck2.Gen.(pair int64_gen int64_gen)
+      (fun (a, b) ->
+        let t op = Eval.is_true (Eval.cmp op (Eval.Int a) (Eval.Int b)) in
+        let count = List.length (List.filter t [ Instr.Slt; Instr.Eq; Instr.Sgt ]) in
+        count = 1);
+    QCheck2.Test.make ~name:"(a + b) - b = a under wrapping (i64 and i32)" ~count:500
+      QCheck2.Gen.(triple ty_gen int64_gen int64_gen)
+      (fun (ty, a, b) ->
+        if ty = Types.I1 then true
+        else begin
+          let a = Eval.normalize ty a and b = Eval.normalize ty b in
+          let sum = Eval.binop Instr.Add ty (Eval.Int a) (Eval.Int b) in
+          let back = Eval.binop Instr.Sub ty sum (Eval.Int b) in
+          back = Eval.Int a
+        end);
+    QCheck2.Test.make
+      ~name:"udiv by 2^k equals lshr k (instcombine strength reduction)" ~count:500
+      QCheck2.Gen.(triple (oneofl [ Types.I32; Types.I64 ]) int64_gen (int_bound 30))
+      (fun (ty, x, k) ->
+        let pow = Int64.shift_left 1L k in
+        Eval.binop Instr.Udiv ty (Eval.Int x) (Eval.Int pow)
+        = Eval.binop Instr.Lshr ty (Eval.Int x) (Eval.Int (Int64.of_int k)));
+    QCheck2.Test.make ~name:"x & x = x, x ^ x = 0, x | 0 = x" ~count:500
+      QCheck2.Gen.(pair ty_gen int64_gen)
+      (fun (ty, x) ->
+        let x = Eval.normalize ty x in
+        Eval.binop Instr.And ty (Eval.Int x) (Eval.Int x) = Eval.Int x
+        && Eval.binop Instr.Xor ty (Eval.Int x) (Eval.Int x) = Eval.Int 0L
+        && Eval.binop Instr.Or ty (Eval.Int x) (Eval.Int 0L) = Eval.Int x);
+    QCheck2.Test.make ~name:"negation pairs: slt <-> sge, eq <-> ne" ~count:500
+      QCheck2.Gen.(pair int64_gen int64_gen)
+      (fun (a, b) ->
+        let t op = Eval.is_true (Eval.cmp op (Eval.Int a) (Eval.Int b)) in
+        t Instr.Slt <> t Instr.Sge && t Instr.Eq <> t Instr.Ne
+        && t Instr.Ult <> t Instr.Uge);
+    QCheck2.Test.make ~name:"swapped operands mirror the relation" ~count:500
+      QCheck2.Gen.(pair int64_gen int64_gen)
+      (fun (a, b) ->
+        let c op x y = Eval.is_true (Eval.cmp op (Eval.Int x) (Eval.Int y)) in
+        c Instr.Slt a b = c Instr.Sgt b a && c Instr.Sle a b = c Instr.Sge b a);
+    QCheck2.Test.make ~name:"duplicated_size is monotone in u and s" ~count:300
+      QCheck2.Gen.(triple (int_range 1 8) (int_range 1 200) (int_range 2 7))
+      (fun (p, s, u) ->
+        Uu_analysis.Cost_model.duplicated_size ~p ~s ~u
+        <= Uu_analysis.Cost_model.duplicated_size ~p ~s ~u:(u + 1)
+        && Uu_analysis.Cost_model.duplicated_size ~p ~s ~u
+           <= Uu_analysis.Cost_model.duplicated_size ~p ~s:(s + 1) ~u);
+    QCheck2.Test.make ~name:"chosen factor always satisfies the bound" ~count:300
+      QCheck2.Gen.(pair (int_range 1 8) (int_range 1 400))
+      (fun (p, s) ->
+        match Uu_analysis.Cost_model.choose_unroll_factor ~p ~s ~c:1024 ~u_max:8 with
+        | Some u ->
+          u >= 2 && u <= 8
+          && Uu_analysis.Cost_model.duplicated_size ~p ~s ~u < 1024
+          (* and it is the largest such factor *)
+          && (u = 8 || Uu_analysis.Cost_model.duplicated_size ~p ~s ~u:(u + 1) >= 1024)
+        | None -> Uu_analysis.Cost_model.duplicated_size ~p ~s ~u:2 >= 1024);
+    QCheck2.Test.make ~name:"float ordered comparisons are false on NaN" ~count:200
+      QCheck2.Gen.float (fun x ->
+        List.for_all
+          (fun op ->
+            (not (Eval.is_true (Eval.cmp op (Eval.Float Float.nan) (Eval.Float x))))
+            && not (Eval.is_true (Eval.cmp op (Eval.Float x) (Eval.Float Float.nan))))
+          [ Instr.Foeq; Instr.Fone; Instr.Folt; Instr.Fole; Instr.Fogt; Instr.Foge ]);
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,126 @@
+(* Unit and property tests for Uu_support: masks, RNG, statistics. *)
+
+open Uu_support
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_mask_basics () =
+  let m = Mask.full ~width:32 in
+  check int "full popcount" 32 (Mask.popcount m);
+  check bool "mem 0" true (Mask.mem 0 m);
+  check bool "mem 31" true (Mask.mem 31 m);
+  check bool "mem 32" false (Mask.mem 32 m);
+  check int "empty popcount" 0 (Mask.popcount Mask.empty);
+  check bool "empty is_empty" true (Mask.is_empty Mask.empty);
+  check bool "full not empty" false (Mask.is_empty m)
+
+let test_mask_set_ops () =
+  let a = Mask.of_list [ 0; 2; 4 ] and b = Mask.of_list [ 2; 3 ] in
+  check (Alcotest.list int) "union" [ 0; 2; 3; 4 ] (Mask.to_list (Mask.union a b));
+  check (Alcotest.list int) "inter" [ 2 ] (Mask.to_list (Mask.inter a b));
+  check (Alcotest.list int) "diff" [ 0; 4 ] (Mask.to_list (Mask.diff a b));
+  check bool "subset yes" true (Mask.subset (Mask.singleton 2) a);
+  check bool "subset no" false (Mask.subset b a);
+  check bool "equal" true (Mask.equal a (Mask.of_list [ 4; 0; 2 ]))
+
+let test_mask_add_remove () =
+  let m = Mask.add 5 Mask.empty in
+  check bool "added" true (Mask.mem 5 m);
+  check bool "removed" false (Mask.mem 5 (Mask.remove 5 m));
+  check (Alcotest.option int) "first" (Some 3) (Mask.first (Mask.of_list [ 7; 3; 9 ]));
+  check (Alcotest.option int) "first empty" None (Mask.first Mask.empty)
+
+let test_mask_iter_order () =
+  let collected = ref [] in
+  Mask.iter (fun i -> collected := i :: !collected) (Mask.of_list [ 1; 8; 3 ]);
+  check (Alcotest.list int) "increasing order" [ 1; 3; 8 ] (List.rev !collected)
+
+let test_mask_invalid () =
+  Alcotest.check_raises "width too large" (Invalid_argument "Mask.full") (fun () ->
+      ignore (Mask.full ~width:63))
+
+let mask_props =
+  let gen = QCheck2.Gen.(list_size (int_bound 20) (int_bound 40)) in
+  [
+    QCheck2.Test.make ~name:"mask round-trips through lists" ~count:200 gen (fun l ->
+        let m = Mask.of_list l in
+        Mask.to_list m = List.sort_uniq compare l);
+    QCheck2.Test.make ~name:"mask popcount = list length" ~count:200 gen (fun l ->
+        Mask.popcount (Mask.of_list l) = List.length (List.sort_uniq compare l));
+    QCheck2.Test.make ~name:"union is commutative" ~count:200
+      QCheck2.Gen.(pair (list_size (int_bound 10) (int_bound 40)) (list_size (int_bound 10) (int_bound 40)))
+      (fun (a, b) ->
+        Mask.equal
+          (Mask.union (Mask.of_list a) (Mask.of_list b))
+          (Mask.union (Mask.of_list b) (Mask.of_list a)));
+  ]
+
+let test_rng_deterministic () =
+  let a = Rng.create 11L and b = Rng.create 11L in
+  for _ = 1 to 10 do
+    check bool "same stream" true (Int64.equal (Rng.next a) (Rng.next b))
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check bool "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float rng 2.5 in
+    check bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_invalid () =
+  Alcotest.check_raises "nonpositive bound" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Rng.int (Rng.create 1L) 0))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  check bool "streams differ" false (Int64.equal (Rng.next parent) (Rng.next child))
+
+let test_gaussian_moments () =
+  let rng = Rng.create 99L in
+  let samples = List.init 5000 (fun _ -> Rng.gaussian rng ~mean:2.0 ~stddev:0.5) in
+  let mean = Stats.mean samples in
+  check bool "mean near 2" true (Float.abs (mean -. 2.0) < 0.05);
+  check bool "stddev near 0.5" true (Float.abs (Stats.stddev samples -. 0.5) < 0.05)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basics () =
+  check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check feq "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check feq "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check feq "stddev constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check feq "rsd zero mean" 0.0 (Stats.rsd [ 0.0; 0.0 ]);
+  check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check feq "percentile 0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check feq "percentile 1" 3.0 (Stats.percentile 1.0 [ 3.0; 1.0; 2.0 ]);
+  check feq "percentile interp" 1.5 (Stats.percentile 0.25 [ 3.0; 1.0; 2.0 ])
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean") (fun () ->
+      ignore (Stats.mean []));
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let suite =
+  [
+    ("mask basics", `Quick, test_mask_basics);
+    ("mask set ops", `Quick, test_mask_set_ops);
+    ("mask add/remove/first", `Quick, test_mask_add_remove);
+    ("mask iter order", `Quick, test_mask_iter_order);
+    ("mask invalid width", `Quick, test_mask_invalid);
+    ("rng determinism", `Quick, test_rng_deterministic);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng invalid bound", `Quick, test_rng_invalid);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("gaussian moments", `Quick, test_gaussian_moments);
+    ("stats basics", `Quick, test_stats_basics);
+    ("stats errors", `Quick, test_stats_errors);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) mask_props
