@@ -1,9 +1,11 @@
 (* The `uu` compiler driver: compile a MiniCUDA kernel file under one of
    the paper's pipeline configurations, dump IR/CFGs, list loops (with the
-   deterministic ids the pass exposes, §III-C), or run a kernel on the
-   SIMT simulator with synthetic buffers. *)
+   deterministic ids the pass exposes, §III-C), report optimization
+   remarks and pass statistics, or run a kernel on the SIMT simulator with
+   synthetic buffers. *)
 
 open Cmdliner
+open Uu_support
 open Uu_ir
 
 let read_file path =
@@ -12,6 +14,23 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* SOURCE is a path, or the name of a bundled benchmark application
+   (e.g. `rainflow`), so the paper's kernels can be inspected without
+   extracting their MiniCUDA sources first. *)
+let read_source spec =
+  if Sys.file_exists spec then (Filename.basename spec, read_file spec)
+  else
+    match Uu_benchmarks.Registry.find spec with
+    | Some app -> (app.Uu_benchmarks.App.name, app.Uu_benchmarks.App.source)
+    | None ->
+      failwith
+        (Printf.sprintf
+           "%s is neither a file nor a bundled application (known apps: %s)" spec
+           (String.concat ", "
+              (List.map
+                 (fun (a : Uu_benchmarks.App.t) -> a.Uu_benchmarks.App.name)
+                 Uu_benchmarks.Registry.all)))
 
 let parse_config s ~factor =
   match s with
@@ -30,16 +49,20 @@ let parse_config s ~factor =
            s))
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniCUDA source file")
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOURCE"
+        ~doc:"MiniCUDA source file, or the name of a bundled benchmark (e.g. rainflow)")
 
 let config_arg =
   Arg.(
     value
-    & opt string "baseline"
+    & opt string "heuristic"
     & info [ "c"; "config" ] ~docv:"CONFIG"
         ~doc:
           "Pipeline configuration: baseline, unroll, unmerge, uu, uu-selective, \
-           heuristic, heuristic-div")
+           heuristic (default; the paper's evaluated configuration), heuristic-div")
 
 let factor_arg =
   Arg.(value & opt int 2 & info [ "u"; "factor" ] ~docv:"N" ~doc:"Unroll factor for unroll/uu")
@@ -51,6 +74,25 @@ let loop_arg =
     & info [ "l"; "loop" ] ~docv:"ID" ~doc:"Apply the transform to this loop id only")
 
 let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit the CFG in Graphviz dot format")
+
+let remarks_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "remarks" ] ~docv:"FMT"
+        ~doc:
+          "Report optimization remarks (every transform applied or missed, with the \
+           decision payloads, e.g. the u&u heuristic's computed p/s/u). $(b,text) \
+           prints one line per remark to stderr; $(b,json) prints a JSON document to \
+           stdout and suppresses the IR dump.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the pass-statistic counters of this compilation (à la LLVM -stats): \
+           gvn.loads_eliminated, unmerge.paths_duplicated, ...")
 
 let handle_errors f =
   try f () with
@@ -70,11 +112,12 @@ let handle_errors f =
     Printf.eprintf "error: %s\n" msg;
     exit 1
 
-let compile_with path config_name factor loop =
+let compile_with ?remarks source config_name factor loop =
   match parse_config config_name ~factor with
   | Error (`Msg m) -> failwith m
   | Ok config ->
-    let m = Uu_frontend.Lower.compile ~name:(Filename.basename path) (read_file path) in
+    let name, text = read_source source in
+    let m = Uu_frontend.Lower.compile ~name text in
     let targets =
       match loop with
       | None -> Uu_core.Pipelines.All_loops
@@ -91,31 +134,70 @@ let compile_with path config_name factor loop =
         in
         Uu_core.Pipelines.Only headers
     in
-    let report = Uu_core.Pipelines.optimize_module ~targets config m in
+    let report = Uu_core.Pipelines.optimize_module ~targets ?remarks config m in
     (m, report, config)
 
-let compile_cmd =
-  let run file config factor loop dot =
-    handle_errors (fun () ->
-        let m, report, config = compile_with file config factor loop in
+let compile_run source config factor loop dot remarks stats =
+  handle_errors (fun () ->
+      let fmt =
+        match remarks with
+        | None -> None
+        | Some "text" -> Some `Text
+        | Some "json" -> Some `Json
+        | Some other ->
+          failwith (Printf.sprintf "unknown remark format %s (expected text|json)" other)
+      in
+      let sink = Remark.create () in
+      let m, report, config =
+        compile_with ~remarks:sink source config factor loop
+      in
+      let collected = Remark.remarks sink in
+      (match fmt with
+      | Some `Json ->
+        (* stdout carries one well-formed JSON document and nothing else. *)
+        if stats then
+          print_string
+            (Printf.sprintf "{\"remarks\":%s,\n\"stats\":%s}\n"
+               (Remark.list_to_json collected)
+               (Remark.stats_to_json report.Uu_opt.Pass.stats))
+        else print_string (Remark.list_to_json collected ^ "\n")
+      | Some `Text | None ->
         List.iter
           (fun f ->
             if dot then print_string (Format.asprintf "%a" Printer.pp_cfg_dot f)
             else print_string (Printer.func_to_string f))
           m.Func.funcs;
-        Printf.eprintf "; config %s: %d instructions, compiled in %.1f ms\n"
-          (Uu_core.Pipelines.config_name config)
-          (List.fold_left (fun acc f -> acc + Func.instr_count f) 0 m.Func.funcs)
-          (1000.0 *. report.Uu_opt.Pass.total_time))
-  in
+        (match fmt with
+        | Some `Text ->
+          List.iter (fun r -> Printf.eprintf "%s\n" (Remark.to_text r)) collected
+        | _ -> ());
+        if stats then begin
+          print_string "; pass statistics:\n";
+          print_string (Statistic.render report.Uu_opt.Pass.stats)
+        end);
+      Printf.eprintf "; config %s: %d instructions, compiled in %.1f ms\n"
+        (Uu_core.Pipelines.config_name config)
+        (List.fold_left (fun acc f -> acc + Func.instr_count f) 0 m.Func.funcs)
+        (1000.0 *. report.Uu_opt.Pass.total_time))
+
+let compile_term =
+  Term.(
+    const compile_run $ file_arg $ config_arg $ factor_arg $ loop_arg $ dot_arg
+    $ remarks_arg $ stats_arg)
+
+let compile_cmd =
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile and print the optimized IR")
-    Term.(const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ dot_arg)
+    (Cmd.info "compile"
+       ~doc:
+         "Compile and print the optimized IR (default command). --remarks and --stats \
+          expose every optimization decision")
+    compile_term
 
 let loops_cmd =
-  let run file =
+  let run source =
     handle_errors (fun () ->
-        let m = Uu_frontend.Lower.compile ~name:(Filename.basename file) (read_file file) in
+        let name, text = read_source source in
+        let m = Uu_frontend.Lower.compile ~name text in
         List.iter
           (fun f ->
             ignore (Uu_opt.Pass.run ~verify:false Uu_core.Pipelines.early_passes f);
@@ -139,9 +221,9 @@ let loops_cmd =
     Term.(const run $ file_arg)
 
 let provenance_cmd =
-  let run file config factor loop =
+  let run source config factor loop =
     handle_errors (fun () ->
-        let m, _, _ = compile_with file config factor loop in
+        let m, _, _ = compile_with source config factor loop in
         List.iter
           (fun f ->
             Printf.printf "@%s\n" f.Func.name;
@@ -165,9 +247,9 @@ let run_cmd =
       value & opt int 1024
       & info [ "elems" ] ~docv:"N" ~doc:"Elements in synthetic buffer arguments")
   in
-  let run file config factor loop grid block elems =
+  let run source config factor loop grid block elems =
     handle_errors (fun () ->
-        let m, _, config = compile_with file config factor loop in
+        let m, _, config = compile_with source config factor loop in
         let mem = Uu_gpusim.Memory.create () in
         let rng = Uu_support.Rng.create 7L in
         List.iter
@@ -212,4 +294,7 @@ let () =
     Cmd.info "uu" ~version:"1.0"
       ~doc:"Unroll-and-unmerge compiler driver (CGO 2024 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; loops_cmd; provenance_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:compile_term info
+          [ compile_cmd; loops_cmd; provenance_cmd; run_cmd ]))

@@ -104,8 +104,8 @@ let late =
 let pipeline ?(targets = All_loops) config =
   early @ transform ~targets config @ late
 
-let optimize ?(targets = All_loops) ?verify config f =
-  Pass.run ?verify (pipeline ~targets config) f
+let optimize ?(targets = All_loops) ?verify ?remarks config f =
+  Pass.run ?verify ?remarks (pipeline ~targets config) f
 
-let optimize_module ?(targets = All_loops) ?verify config m =
-  Pass.run_module ?verify (pipeline ~targets config) m
+let optimize_module ?(targets = All_loops) ?verify ?remarks config m =
+  Pass.run_module ?verify ?remarks (pipeline ~targets config) m

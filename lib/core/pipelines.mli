@@ -47,11 +47,24 @@ type targets =
 val pipeline : ?targets:targets -> config -> Uu_opt.Pass.t list
 
 val optimize :
-  ?targets:targets -> ?verify:bool -> config -> Func.t -> Uu_opt.Pass.report
-(** Run the configuration's pipeline on a function. *)
+  ?targets:targets ->
+  ?verify:bool ->
+  ?remarks:Uu_support.Remark.sink ->
+  config ->
+  Func.t ->
+  Uu_opt.Pass.report
+(** Run the configuration's pipeline on a function. [remarks] installs an
+    optimization-remark sink for the whole run (see
+    [Uu_support.Remark]); the report's [stats] field carries the
+    statistic-counter deltas either way. *)
 
 val optimize_module :
-  ?targets:targets -> ?verify:bool -> config -> Func.modul -> Uu_opt.Pass.report
+  ?targets:targets ->
+  ?verify:bool ->
+  ?remarks:Uu_support.Remark.sink ->
+  config ->
+  Func.modul ->
+  Uu_opt.Pass.report
 
 val early_passes : Uu_opt.Pass.t list
 (** The pipeline prefix run before the structural transform; apply these

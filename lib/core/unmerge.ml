@@ -1,5 +1,10 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_paths = Statistic.counter "unmerge.paths_duplicated"
+let stat_loops = Statistic.counter "unmerge.loops_duplicated"
+let stat_budget = Statistic.counter "unmerge.budget_exhausted"
 
 let debug_trace = ref false
 
@@ -303,6 +308,7 @@ let unmerge_region ?(selective = false) f ~region ~budget =
                 (fun p ->
                   let copies = duplicate_loop_for_pred st f loop p in
                   List.iter (fun cp -> region := Value.Label_set.add cp !region) copies;
+                  Statistic.incr stat_loops;
                   st.created <- st.created + size)
                 outside;
               remove_loop f loop;
@@ -315,6 +321,19 @@ let unmerge_region ?(selective = false) f ~region ~budget =
       frontier
   done;
   if !changed && not st.exhausted then ignore (Cfg.remove_unreachable f);
+  if st.created > 0 then Statistic.incr ~by:st.created stat_paths;
+  if st.exhausted then begin
+    Statistic.incr stat_budget;
+    Remark.missed ~pass:"unmerge" ~func:f.Func.name
+      ~args:
+        [ ("duplicated", Remark.Int st.created); ("budget", Remark.Int st.budget) ]
+      "duplication budget exhausted; transform will be rolled back"
+  end
+  else if !changed then
+    Remark.applied ~pass:"unmerge" ~func:f.Func.name
+      ~args:[ ("duplicated", Remark.Int st.created) ]
+      "tail-duplicated every merge point in the region; each path is now \
+       straight-line code";
   { changed = !changed; duplicated_blocks = st.created; budget_exhausted = st.exhausted }
 
 let loop_region f ~header =

@@ -1,5 +1,11 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_transformed = Statistic.counter "uu.loops_transformed"
+let stat_budget = Statistic.counter "uu.budget_exhausted"
+let stat_accepted = Statistic.counter "uu.heuristic_accepted"
+let stat_rejected = Statistic.counter "uu.heuristic_rejected"
 
 type outcome = {
   applied : bool;
@@ -51,11 +57,28 @@ let uu_loop ?(budget = default_block_budget) ?(selective = false)
       let um = Unmerge.unmerge_loop ~selective f ~header ~budget in
       if um.Unmerge.budget_exhausted then begin
         Func.restore f ~from_:snapshot;
+        Statistic.incr stat_budget;
+        Remark.missed ~pass:"unroll-and-unmerge" ~func:f.Func.name ~block:header
+          ~args:[ ("factor", Remark.Int factor); ("budget", Remark.Int budget) ]
+          "unmerge exceeded the duplication budget; function rolled back \
+           (compile-timeout analogue)";
         { no_outcome with budget_exhausted = true }
       end
       else begin
         let applied = unrolled || um.Unmerge.changed in
-        if applied then Hashtbl.replace f.Func.pragmas header Func.Pragma_nounroll;
+        if applied then begin
+          Hashtbl.replace f.Func.pragmas header Func.Pragma_nounroll;
+          Statistic.incr stat_transformed;
+          Remark.applied ~pass:"unroll-and-unmerge" ~func:f.Func.name
+            ~block:header
+            ~args:
+              [
+                ("factor", Remark.Int (if unrolled then factor else 1));
+                ("duplicated_blocks", Remark.Int um.Unmerge.duplicated_blocks);
+              ]
+            "loop unrolled and unmerged; every branch outcome is known on \
+             each duplicated path"
+        end;
         {
           applied;
           factor = (if unrolled then factor else 1);
@@ -89,24 +112,70 @@ let plan_heuristic f params =
     in
     any_child l.children
   in
+  let missed (l : Loops.loop) ?args msg =
+    Remark.missed ~pass:"uu-heuristic" ~func:f.Func.name ~block:l.header ?args msg
+  in
   List.filter_map
     (fun (l : Loops.loop) ->
-      if Hashtbl.mem f.Func.pragmas l.header then None
-      else if Loops.contains_convergent f l then None
-      else if descendant_transformed l then None
+      if Hashtbl.mem f.Func.pragmas l.header then begin
+        missed l "loop carries a no-unroll pragma (already transformed or \
+                  annotated)";
+        None
+      end
+      else if Loops.contains_convergent f l then begin
+        missed l
+          "loop contains a convergent operation (syncthreads); u&u would \
+           break reconvergence (§III-C)";
+        None
+      end
+      else if descendant_transformed l then begin
+        missed l "an inner loop of this nest was already transformed (§III-C \
+                  innermost-first rule)";
+        None
+      end
       else if
         match div with
         | Some d -> Divergence.loop_has_divergent_branch d f l
         | None -> false
-      then None
+      then begin
+        missed l "loop has a thread-divergent branch and divergence \
+                  avoidance is enabled (§V extension)";
+        None
+      end
       else begin
         let s = Cost_model.loop_size f l in
         let p = Cost_model.path_count f l in
         match Cost_model.choose_unroll_factor ~p ~s ~c:params.c ~u_max:params.u_max with
         | Some u ->
           transformed := Value.Label_set.add l.header !transformed;
+          Statistic.incr stat_accepted;
+          Remark.applied ~pass:"uu-heuristic" ~func:f.Func.name ~block:l.header
+            ~args:
+              [
+                ("p", Remark.Int p);
+                ("s", Remark.Int s);
+                ("u", Remark.Int u);
+                ("c", Remark.Int params.c);
+                ("cost", Remark.Int (Cost_model.duplicated_size ~p ~s ~u));
+              ]
+            "largest factor with f(p,s,u) < c selected; loop scheduled for \
+             unroll-and-unmerge";
           Some (l.header, u)
-        | None -> None
+        | None ->
+          Statistic.incr stat_rejected;
+          missed l
+            ~args:
+              [
+                ("p", Remark.Int p);
+                ("s", Remark.Int s);
+                ("u", Remark.Int params.u_max);
+                ("c", Remark.Int params.c);
+                ( "cost",
+                  Remark.Int (Cost_model.duplicated_size ~p ~s ~u:2) );
+              ]
+            "f(p,s,u) ≥ c for every factor 2..u_max; duplication would \
+             exceed the size bound";
+          None
       end)
     (Loops.innermost_first forest)
 

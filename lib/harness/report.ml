@@ -37,6 +37,17 @@ let write_csv ~path ~header rows =
   List.iter emit rows;
   close_out oc
 
+let write_text ~path text =
+  mkdirs (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let render_stats stats =
+  render_table
+    ~header:[ "counter"; "value" ]
+    (List.map (fun (n, v) -> [ n; string_of_int v ]) stats)
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let ms x = Printf.sprintf "%.2f" x
 let ratio x = Printf.sprintf "%.2fx" x

@@ -6,6 +6,14 @@ val render_table : header:string list -> string list list -> string
 val write_csv : path:string -> header:string list -> string list list -> unit
 (** Write rows as CSV, creating parent directories as needed. *)
 
+val write_text : path:string -> string -> unit
+(** Write a string to a file, creating parent directories as needed (used
+    for the remark JSON dumps). *)
+
+val render_stats : (string * int) list -> string
+(** Two-column [counter value] table for pass-statistic deltas (see
+    [Uu_support.Statistic]). *)
+
 val pct : float -> string
 (** "67.18%" *)
 

@@ -37,6 +37,8 @@ type measurement = {
   compile_seconds : float;
   metrics : Metrics.t;
   check : (unit, string) result;
+  remarks : Remark.t list;
+  stats : (string * int) list;
 }
 
 let cycles_per_ms = 5_000.0
@@ -50,15 +52,19 @@ type compiled = {
   c_target : loop_ref option;
   modul : Func.modul;
   compile_seconds : float;
+  c_remarks : Remark.t list;
+  c_stats : (string * int) list;
 }
 
 let compile ?target (app : App.t) config =
   let m = compile_app app in
   (* Optimize each kernel; the transform is restricted to the target loop
-     when one is given. *)
-  let compile_seconds =
+     when one is given. Remarks and statistic deltas are collected across
+     all kernels of the application. *)
+  let sink = Remark.create () in
+  let compile_seconds, stats =
     List.fold_left
-      (fun acc f ->
+      (fun (acc, stats) f ->
         let targets =
           match target with
           | None -> Pipelines.All_loops
@@ -66,11 +72,23 @@ let compile ?target (app : App.t) config =
             if t.kernel = f.Func.name then Pipelines.Only [ t.header ]
             else Pipelines.Only []
         in
-        let report = Pipelines.optimize ~targets config f in
-        acc +. report.Uu_opt.Pass.total_time)
-      0.0 m.Func.funcs
+        let report = Pipelines.optimize ~targets ~remarks:sink config f in
+        ( acc +. report.Uu_opt.Pass.total_time,
+          Statistic.merge stats report.Uu_opt.Pass.stats ))
+      (0.0, []) m.Func.funcs
   in
-  { c_app = app; c_config = config; c_target = target; modul = m; compile_seconds }
+  {
+    c_app = app;
+    c_config = config;
+    c_target = target;
+    modul = m;
+    compile_seconds;
+    c_remarks = Remark.remarks sink;
+    c_stats = stats;
+  }
+
+let compiled_remarks c = c.c_remarks
+let compiled_stats c = c.c_stats
 
 let simulate ?noise_seed (c : compiled) =
   let app = c.c_app and m = c.modul in
@@ -115,6 +133,8 @@ let simulate ?noise_seed (c : compiled) =
     compile_seconds = c.compile_seconds;
     metrics = total;
     check = instance.App.check ();
+    remarks = c.c_remarks;
+    stats = c.c_stats;
   }
 
 let run ?noise_seed ?target (app : App.t) config =

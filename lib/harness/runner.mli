@@ -26,6 +26,10 @@ type measurement = {
   compile_seconds : float;
   metrics : Uu_gpusim.Metrics.t;
   check : (unit, string) result;
+  remarks : Uu_support.Remark.t list;
+      (** optimization remarks emitted while compiling, all kernels *)
+  stats : (string * int) list;
+      (** statistic-counter deltas of the compilation, summed over kernels *)
 }
 
 val cycles_per_ms : float
@@ -36,6 +40,12 @@ type compiled
     configuration), reusable across simulation runs. *)
 
 val compile : ?target:loop_ref -> Uu_benchmarks.App.t -> Pipelines.config -> compiled
+
+val compiled_remarks : compiled -> Uu_support.Remark.t list
+val compiled_stats : compiled -> (string * int) list
+(** The remark stream / statistic deltas of a compilation, without
+    simulating (used by the [experiments remarks] subcommand). *)
+
 val simulate : ?noise_seed:int64 -> compiled -> measurement
 (** Simulate a previously compiled application; used by Table I's 20-run
     protocol to avoid recompiling per run. *)

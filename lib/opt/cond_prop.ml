@@ -1,5 +1,9 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_decided = Statistic.counter "condprop.conds_decided"
+let stat_branches = Statistic.counter "condprop.branches_folded"
 
 (* Relation possibility masks over an operand pair (l, r). *)
 let rel_lt = 1
@@ -235,6 +239,11 @@ let run f =
               subst := Value.Var_map.add dst (Value.i1 value) !subst;
               facts := learn !facts dst value;
               changed := true;
+              Statistic.incr stat_decided;
+              Remark.applied ~pass:"cond-prop" ~func:f.Func.name ~block:blk
+                ~args:[ ("known", Remark.Bool value) ]
+                "comparison implied by dominating branch facts; condition \
+                 check eliminated";
               None
             | None -> Some i)
           | _ -> Some i)
@@ -250,7 +259,12 @@ let run f =
         | Some db when dead <> (if value then if_true else if_false) ->
           Block.remove_incoming blk db
         | Some _ | None -> ());
-        changed := true
+        changed := true;
+        Statistic.incr stat_branches;
+        Remark.applied ~pass:"cond-prop" ~func:f.Func.name ~block:blk
+          ~args:[ ("taken", Remark.Bool value) ]
+          "branch outcome known on this path; folded to an unconditional \
+           branch"
       | None -> ())
     | Instr.Cond_br _ | Instr.Br _ | Instr.Ret _ | Instr.Unreachable -> ());
     (* Descend the dominator tree, extending facts along owned edges. *)

@@ -1,4 +1,8 @@
+open Uu_support
 open Uu_ir
+
+let stat_removed = Statistic.counter "dce.instrs_removed"
+let stat_loads = Statistic.counter "dce.loads_removed"
 
 (* Liveness-based DCE: roots are side-effecting instructions, terminator
    operands, and (unless [loads]) loads; everything reachable from a root
@@ -53,24 +57,40 @@ let run ~loads f =
       List.iter mark_value (Instr.term_uses b.Block.term))
     f;
   let changed = ref false in
+  let removed = ref 0 in
+  let dead_loads = ref 0 in
   Func.iter_blocks
     (fun b ->
       let keep_phi (p : Instr.phi) =
         Hashtbl.mem live p.dst
         ||
         (changed := true;
+         incr removed;
          false)
       in
       let keep_instr i =
         match Instr.def i with
         | Some d when removable ~loads i && not (Hashtbl.mem live d) ->
           changed := true;
+          incr removed;
+          (match i with Instr.Load _ -> incr dead_loads | _ -> ());
           false
         | Some _ | None -> true
       in
       b.Block.phis <- List.filter keep_phi b.Block.phis;
       b.Block.instrs <- List.filter keep_instr b.Block.instrs)
     f;
+  if !removed > 0 then begin
+    Statistic.incr ~by:!removed stat_removed;
+    if !dead_loads > 0 then Statistic.incr ~by:!dead_loads stat_loads;
+    Remark.applied
+      ~pass:(if loads then "dce-loads" else "dce")
+      ~func:f.Func.name
+      ~args:
+        (("removed", Remark.Int !removed)
+        :: (if !dead_loads > 0 then [ ("loads", Remark.Int !dead_loads) ] else []))
+      "deleted instructions with no live users"
+  end;
   !changed
 
 let pass = { Pass.name = "dce"; run = run ~loads:false }

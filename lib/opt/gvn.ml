@@ -1,5 +1,9 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_exprs = Statistic.counter "gvn.exprs_eliminated"
+let stat_loads = Statistic.counter "gvn.loads_eliminated"
 
 module Expr_map = Map.Make (struct
   (* A pure instruction with its destination zeroed is its own value
@@ -40,7 +44,15 @@ let pure_cse f =
     List.iter (fun child -> walk child !scope) (Dominance.children dom blk)
   in
   walk f.Func.entry Expr_map.empty;
-  if not (Value.Var_map.is_empty !subst) then Clone.apply_subst f !subst;
+  let n = Value.Var_map.cardinal !subst in
+  if n > 0 then begin
+    Clone.apply_subst f !subst;
+    Statistic.incr ~by:n stat_exprs;
+    Remark.applied ~pass:"gvn" ~func:f.Func.name
+      ~args:[ ("eliminated", Remark.Int n) ]
+      "replaced dominated recomputations of pure expressions with their \
+       first occurrence"
+  end;
   !changed
 
 module Addr_map = Map.Make (struct
@@ -103,7 +115,15 @@ let load_elim f =
       Hashtbl.replace out_states blk !avail;
       Hashtbl.replace processed blk ())
     order;
-  if not (Value.Var_map.is_empty !subst) then Clone.apply_subst f !subst;
+  let n = Value.Var_map.cardinal !subst in
+  if n > 0 then begin
+    Clone.apply_subst f !subst;
+    Statistic.incr ~by:n stat_loads;
+    Remark.applied ~pass:"gvn" ~func:f.Func.name
+      ~args:[ ("loads", Remark.Int n) ]
+      "forwarded known memory values into redundant loads (§V load \
+       elimination)"
+  end;
   !changed
 
 let run f =

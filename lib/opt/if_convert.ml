@@ -1,4 +1,9 @@
+open Uu_support
 open Uu_ir
+
+let stat_diamonds = Statistic.counter "ifconvert.diamonds_converted"
+let stat_triangles = Statistic.counter "ifconvert.triangles_converted"
+let stat_selects = Statistic.counter "ifconvert.selects_created"
 
 let speculatable b =
   b.Block.phis = []
@@ -26,6 +31,7 @@ let collapse_phis f x cond m ~t_from ~f_from =
           let value =
             if Value.equal vt vf then vt
             else begin
+              Statistic.incr stat_selects;
               let dst = Func.fresh_var ~hint:"sel" f in
               xb.Block.instrs <-
                 xb.Block.instrs
@@ -83,6 +89,11 @@ let try_convert f ~threshold preds x =
         collapse_phis f x cond m ~t_from:t ~f_from:fl;
         Func.remove_block f t;
         Func.remove_block f fl;
+        Statistic.incr stat_diamonds;
+        Remark.applied ~pass:"if-convert" ~func:f.Func.name ~block:x
+          ~args:[ ("shape", Remark.Str "diamond") ]
+          "speculated both sides of a branch and predicated the join with \
+           selects";
         true
       end
       else if triangle_t then begin
@@ -91,6 +102,11 @@ let try_convert f ~threshold preds x =
         xb.Block.instrs <- xb.Block.instrs @ tb.Block.instrs;
         collapse_phis f x cond m ~t_from:t ~f_from:x;
         Func.remove_block f t;
+        Statistic.incr stat_triangles;
+        Remark.applied ~pass:"if-convert" ~func:f.Func.name ~block:x
+          ~args:[ ("shape", Remark.Str "triangle") ]
+          "speculated the taken side of a branch and predicated the join \
+           with selects";
         true
       end
       else if triangle_f then begin
@@ -99,6 +115,11 @@ let try_convert f ~threshold preds x =
         xb.Block.instrs <- xb.Block.instrs @ fb.Block.instrs;
         collapse_phis f x cond m ~t_from:x ~f_from:fl;
         Func.remove_block f fl;
+        Statistic.incr stat_triangles;
+        Remark.applied ~pass:"if-convert" ~func:f.Func.name ~block:x
+          ~args:[ ("shape", Remark.Str "triangle") ]
+          "speculated the not-taken side of a branch and predicated the \
+           join with selects";
         true
       end
       else false)

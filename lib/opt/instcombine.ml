@@ -1,4 +1,8 @@
+open Uu_support
 open Uu_ir
+
+let stat_simplified = Statistic.counter "instcombine.instrs_simplified"
+let stat_selects = Statistic.counter "instcombine.selects_folded"
 
 let is_zero = function
   | Value.Imm_int (0L, _) -> true
@@ -197,10 +201,20 @@ let run f =
             | Replace_with v, Some d ->
               subst := Value.Var_map.add d v !subst;
               changed := true;
+              Statistic.incr stat_simplified;
+              (match i with
+              | Instr.Select _ ->
+                Statistic.incr stat_selects;
+                Remark.applied ~pass:"instcombine" ~func:f.Func.name
+                  ~block:b.Block.label
+                  "select with known or equal arms folded away (§V selp \
+                   removal)"
+              | _ -> ());
               None
             | Replace_with _, None -> Some i
             | Rewrite instr, Some d ->
               changed := true;
+              Statistic.incr stat_simplified;
               let instr = Instr.map_def (fun _ -> d) instr in
               Hashtbl.replace defs d instr;
               Some instr

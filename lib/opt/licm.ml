@@ -1,5 +1,8 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_hoisted = Statistic.counter "licm.instrs_hoisted"
 
 let hoistable = function
   | Instr.Binop _ | Instr.Cmp _ | Instr.Unop _ | Instr.Select _ | Instr.Gep _
@@ -71,6 +74,10 @@ let run_on_loop f header =
       else begin
         let pb = Func.block f pre in
         pb.Block.instrs <- pb.Block.instrs @ !moved;
+        Statistic.incr ~by:(List.length !moved) stat_hoisted;
+        Remark.applied ~pass:"licm" ~func:f.Func.name ~block:header
+          ~args:[ ("hoisted", Remark.Int (List.length !moved)) ]
+          "hoisted loop-invariant instructions into the preheader";
         true
       end)
 

@@ -1,5 +1,8 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_promoted = Statistic.counter "mem2reg.allocas_promoted"
 
 type slot = { var : Value.var; ty : Types.t }
 
@@ -162,6 +165,10 @@ let run f =
     (* Loads were replaced by values; chains occur when a load feeds a
        store of another slot. [apply_subst] resolves them. *)
     Clone.apply_subst f !subst;
+    Statistic.incr ~by:(Hashtbl.length slots) stat_promoted;
+    Remark.applied ~pass:"mem2reg" ~func:f.Func.name
+      ~args:[ ("allocas", Remark.Int (Hashtbl.length slots)) ]
+      "promoted stack slots to SSA registers";
     true
   end
 

@@ -1,3 +1,4 @@
+open Uu_support
 open Uu_ir
 
 type t = { name : string; run : Func.t -> bool }
@@ -6,13 +7,14 @@ type report = {
   pass_times : (string * float) list;
   total_time : float;
   changed : bool;
+  stats : (string * int) list;
 }
 
 let verify_now f =
   Verifier.check_exn f;
   Uu_analysis.Ssa_check.check_exn f
 
-let run ?(verify = true) passes f =
+let run_passes ~verify passes f =
   let changed = ref false in
   let times = ref [] in
   let t_start = Unix.gettimeofday () in
@@ -34,18 +36,28 @@ let run ?(verify = true) passes f =
         with Failure msg ->
           failwith (Printf.sprintf "after pass %s: %s" pass.name msg))
     passes;
+  (List.rev !times, Unix.gettimeofday () -. t_start, !changed)
+
+let run ?(verify = true) ?remarks passes f =
+  let before = Statistic.snapshot () in
+  let body () = run_passes ~verify passes f in
+  let pass_times, total_time, changed =
+    match remarks with Some sink -> Remark.with_sink sink body | None -> body ()
+  in
   {
-    pass_times = List.rev !times;
-    total_time = Unix.gettimeofday () -. t_start;
-    changed = !changed;
+    pass_times;
+    total_time;
+    changed;
+    stats = Statistic.diff ~before ~after:(Statistic.snapshot ());
   }
 
-let run_module ?verify passes m =
-  let reports = List.map (run ?verify passes) m.Func.funcs in
+let run_module ?verify ?remarks passes m =
+  let reports = List.map (run ?verify ?remarks passes) m.Func.funcs in
   {
     pass_times = List.concat_map (fun r -> r.pass_times) reports;
     total_time = List.fold_left (fun acc r -> acc +. r.total_time) 0.0 reports;
     changed = List.exists (fun r -> r.changed) reports;
+    stats = List.fold_left (fun acc r -> Statistic.merge acc r.stats) [] reports;
   }
 
 let fixpoint ?(max_rounds = 8) name passes =

@@ -4,8 +4,15 @@
     changed anything. The manager runs a pipeline, times every pass (the
     basis of the paper's compile-time measurements, Fig. 6c), and — unless
     disabled — verifies structural, type, and SSA-dominance well-formedness
-    after each pass, failing fast on the first broken invariant. *)
+    after each pass, failing fast on the first broken invariant.
 
+    Observability: the manager snapshots the global
+    [Uu_support.Statistic] registry around the run and reports the
+    per-counter increase, and — when given a [Uu_support.Remark] sink —
+    installs it for the duration of the run so instrumented passes can
+    report every transform they applied or missed. *)
+
+open Uu_support
 open Uu_ir
 
 type t = { name : string; run : Func.t -> bool }
@@ -14,13 +21,16 @@ type report = {
   pass_times : (string * float) list;  (** seconds per executed pass, in order *)
   total_time : float;
   changed : bool;
+  stats : (string * int) list;
+      (** statistic-counter increases during this run, sorted by name *)
 }
 
-val run : ?verify:bool -> t list -> Func.t -> report
-(** Run the pipeline once, in order. [verify] defaults to [true]. *)
+val run : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.t -> report
+(** Run the pipeline once, in order. [verify] defaults to [true]. When
+    [remarks] is given it becomes the active sink for the whole run. *)
 
-val run_module : ?verify:bool -> t list -> Func.modul -> report
-(** Run the pipeline on every function; times are summed. *)
+val run_module : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.modul -> report
+(** Run the pipeline on every function; times and stats are summed. *)
 
 val fixpoint : ?max_rounds:int -> string -> t list -> t
 (** A pass that repeats the given sub-pipeline until no sub-pass changes

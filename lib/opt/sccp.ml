@@ -1,4 +1,7 @@
+open Uu_support
 open Uu_ir
+
+let stat_consts = Statistic.counter "sccp.constants_propagated"
 
 type lattice = Top | Const of Eval.rvalue | Bottom
 
@@ -150,6 +153,12 @@ let run f =
   in
   if Value.Var_map.is_empty subst then false
   else begin
+    let n = Value.Var_map.cardinal subst in
+    Statistic.incr ~by:n stat_consts;
+    Remark.applied ~pass:"sccp" ~func:f.Func.name
+      ~args:[ ("constants", Remark.Int n) ]
+      "sparse conditional constant propagation replaced registers with \
+       constants";
     Clone.replace_uses_with_values f subst;
     ignore (Dce.pass.run f);
     true

@@ -1,4 +1,8 @@
+open Uu_support
 open Uu_ir
+
+let stat_branches = Statistic.counter "simplifycfg.branches_folded"
+let stat_merged = Statistic.counter "simplifycfg.blocks_merged"
 
 let fold_branches f =
   let changed = ref false in
@@ -21,6 +25,7 @@ let fold_branches f =
             (match Func.find_block f dead with
             | Some db -> Block.remove_incoming b.Block.label db
             | None -> ());
+            Statistic.incr stat_branches;
             changed := true
           | Value.Undef _ ->
             b.Block.term <- Instr.Br if_true;
@@ -110,6 +115,7 @@ let merge_straight_line f =
                 Func.remove_block f s;
                 Hashtbl.replace touched b.Block.label ();
                 Hashtbl.replace touched s ();
+                Statistic.incr stat_merged;
                 changed := true;
                 continue := true
               | Some _ | None -> ())

@@ -1,5 +1,9 @@
+open Uu_support
 open Uu_ir
 open Uu_analysis
+
+let stat_unrolled = Statistic.counter "unroll.loops_unrolled"
+let stat_full = Statistic.counter "unroll.loops_fully_unrolled"
 
 (* Fix the phis of clone [i]'s header: its only predecessors are the
    latches of copy [i-1], and the values flowing in are copy [i-1]'s
@@ -33,9 +37,17 @@ let unroll_loop ?(exact = false) f ~header ~factor =
   if factor < 2 then false
   else
     match Loop_utils.canonicalize f header with
-    | None -> false
+    | None ->
+      Remark.missed ~pass:"unroll" ~func:f.Func.name ~block:header
+        "loop could not be canonicalized (no preheader/dedicated exits)";
+      false
     | Some loop ->
-      if Loops.contains_convergent f loop then false
+      if Loops.contains_convergent f loop then begin
+        Remark.missed ~pass:"unroll" ~func:f.Func.name ~block:header
+          "loop contains a convergent operation (syncthreads); unrolling \
+           would break reconvergence";
+        false
+      end
       else begin
         let region = Value.Label_set.elements loop.blocks in
         let exit_targets = List.sort_uniq compare (List.map snd loop.exits) in
@@ -183,6 +195,10 @@ let unroll_loop ?(exact = false) f ~header ~factor =
                   })
                 hb.Block.phis
         end;
+        Statistic.incr stat_unrolled;
+        Remark.applied ~pass:"unroll" ~func:f.Func.name ~block:header
+          ~args:[ ("factor", Remark.Int factor); ("exact", Remark.Bool exact) ]
+          "unrolled loop by whole-body cloning";
         true
       end
 
@@ -215,6 +231,10 @@ let baseline_full_unroll ?(max_trip = 16) ?(size_budget = 320) () =
         in
         if unroll_loop ~exact:true f ~header:l.header ~factor:n then begin
           Hashtbl.replace f.Func.pragmas l.header Func.Pragma_nounroll;
+          Statistic.incr stat_full;
+          Remark.applied ~pass:"full-unroll" ~func:f.Func.name ~block:l.header
+            ~args:[ ("trip_count", Remark.Int n) ]
+            "constant-trip-count loop fully unrolled; back edge eliminated";
           changed := true;
           continue := true
         end

@@ -1,0 +1,145 @@
+type kind = Applied | Missed | Analysis
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  kind : kind;
+  pass : string;
+  func : string;
+  block : int option;
+  message : string;
+  args : (string * arg) list;
+}
+
+(* Sinks collect in reverse; [remarks] re-reverses. The active sink is a
+   dynamically scoped global so passes can emit without threading a sink
+   through every transform helper; [with_sink] nests correctly because it
+   restores whatever was active before. *)
+type sink = t list ref
+
+let create () = ref []
+let remarks s = List.rev !s
+let clear s = s := []
+
+let active : sink option ref = ref None
+
+let enabled () = Option.is_some !active
+
+let with_sink s body =
+  let saved = !active in
+  active := Some s;
+  Fun.protect ~finally:(fun () -> active := saved) body
+
+let emit ~kind ~pass ~func ?block ?(args = []) message =
+  match !active with
+  | None -> ()
+  | Some s -> s := { kind; pass; func; block; message; args } :: !s
+
+let applied ~pass ~func ?block ?args message =
+  emit ~kind:Applied ~pass ~func ?block ?args message
+
+let missed ~pass ~func ?block ?args message =
+  emit ~kind:Missed ~pass ~func ?block ?args message
+
+let analysis ~pass ~func ?block ?args message =
+  emit ~kind:Analysis ~pass ~func ?block ?args message
+
+let find_arg r key = List.assoc_opt key r.args
+
+let int_arg r key =
+  match find_arg r key with Some (Int n) -> Some n | Some _ | None -> None
+
+let kind_string = function
+  | Applied -> "applied"
+  | Missed -> "missed"
+  | Analysis -> "analysis"
+
+let arg_string = function
+  | Int n -> string_of_int n
+  | Float x -> Printf.sprintf "%g" x
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let to_text r =
+  let loc = match r.block with Some b -> Printf.sprintf " bb%d" b | None -> "" in
+  let args =
+    match r.args with
+    | [] -> ""
+    | _ :: _ ->
+      " {"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (arg_string v)) r.args)
+      ^ "}"
+  in
+  Printf.sprintf "%s: %s: @%s%s: %s%s" (kind_string r.kind) r.pass r.func loc
+    r.message args
+
+(* Hand-rolled JSON: the container has no JSON library and the shapes here
+   are flat, so a correct string escaper is all that is needed. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else if Float.is_finite x then Printf.sprintf "%.17g" x
+  else json_string (Printf.sprintf "%h" x)
+
+let arg_json = function
+  | Int n -> string_of_int n
+  | Float x -> json_float x
+  | Str s -> json_string s
+  | Bool b -> string_of_bool b
+
+let to_json r =
+  let fields =
+    [
+      ("kind", json_string (kind_string r.kind));
+      ("pass", json_string r.pass);
+      ("function", json_string r.func);
+    ]
+    @ (match r.block with Some b -> [ ("block", string_of_int b) ] | None -> [])
+    @ [ ("message", json_string r.message) ]
+    @
+    match r.args with
+    | [] -> []
+    | _ :: _ ->
+      [
+        ( "args",
+          "{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> json_string k ^ ":" ^ arg_json v) r.args)
+          ^ "}" );
+      ]
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let list_to_json rs =
+  match rs with
+  | [] -> "[]"
+  | _ :: _ -> "[\n  " ^ String.concat ",\n  " (List.map to_json rs) ^ "\n]"
+
+let stats_to_json stats =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v) stats)
+  ^ "}"

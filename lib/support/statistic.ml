@@ -1,0 +1,54 @@
+(* Registry: dotted name -> mutable count. Counters are created on first
+   use and live for the whole process, like LLVM's STATISTIC globals. *)
+
+type t = { name : string; mutable count : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { name; count = 0 } in
+    Hashtbl.replace registry name c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+let name c = c.name
+
+let snapshot () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let prev = match List.assoc_opt name before with Some p -> p | None -> 0 in
+      if v > prev then Some (name, v - prev) else None)
+    after
+
+let merge a b =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (name, v) ->
+      let cur = match Hashtbl.find_opt tbl name with Some c -> c | None -> 0 in
+      Hashtbl.replace tbl name (cur + v))
+    (a @ b);
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+
+let render stats =
+  match stats with
+  | [] -> "(no statistics collected)\n"
+  | _ :: _ ->
+    let width =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 stats
+    in
+    String.concat ""
+      (List.map
+         (fun (n, v) ->
+           Printf.sprintf "%s%s  %d\n" n (String.make (width - String.length n) ' ') v)
+         stats)

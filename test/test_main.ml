@@ -8,6 +8,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("passes", Test_passes.suite);
       ("transforms", Test_transforms.suite);
+      ("remarks", Test_remarks.suite);
       ("gpusim", Test_gpusim.suite);
       ("differential", Test_differential.suite);
       ("harness", Test_harness.suite);
