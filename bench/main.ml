@@ -54,7 +54,7 @@ let rainflow_fn () =
       (app "rainflow").Uu_benchmarks.App.source
   in
   let f = List.hd m.Uu_ir.Func.funcs in
-  ignore (Uu_opt.Pass.run ~verify:false Uu_core.Pipelines.early_passes f);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Uu_core.Pipelines.early_passes f);
   let forest = Uu_analysis.Loops.analyze f in
   (f, (List.hd (Uu_analysis.Loops.loops forest)).Uu_analysis.Loops.header)
 

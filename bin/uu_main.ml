@@ -32,22 +32,6 @@ let read_source spec =
                  (fun (a : Uu_benchmarks.App.t) -> a.Uu_benchmarks.App.name)
                  Uu_benchmarks.Registry.all)))
 
-let parse_config s ~factor =
-  match s with
-  | "baseline" -> Ok Uu_core.Pipelines.Baseline
-  | "unroll" -> Ok (Uu_core.Pipelines.Unroll factor)
-  | "unmerge" -> Ok Uu_core.Pipelines.Unmerge
-  | "uu" -> Ok (Uu_core.Pipelines.Uu factor)
-  | "uu-selective" -> Ok (Uu_core.Pipelines.Uu_selective factor)
-  | "heuristic" -> Ok Uu_core.Pipelines.Uu_heuristic
-  | "heuristic-div" -> Ok Uu_core.Pipelines.Uu_heuristic_divergence
-  | _ ->
-    Error
-      (`Msg
-        (Printf.sprintf
-           "unknown config %s (expected baseline|unroll|unmerge|uu|heuristic|heuristic-div)"
-           s))
-
 let file_arg =
   Arg.(
     required
@@ -62,7 +46,9 @@ let config_arg =
     & info [ "c"; "config" ] ~docv:"CONFIG"
         ~doc:
           "Pipeline configuration: baseline, unroll, unmerge, uu, uu-selective, \
-           heuristic (default; the paper's evaluated configuration), heuristic-div")
+           heuristic (default; the paper's evaluated configuration), heuristic-div. \
+           Factor-carrying names also accept an inline suffix (uu-4, unroll:8), \
+           overriding $(b,--factor)")
 
 let factor_arg =
   Arg.(value & opt int 2 & info [ "u"; "factor" ] ~docv:"N" ~doc:"Unroll factor for unroll/uu")
@@ -113,8 +99,8 @@ let handle_errors f =
     exit 1
 
 let compile_with ?remarks source config_name factor loop =
-  match parse_config config_name ~factor with
-  | Error (`Msg m) -> failwith m
+  match Uu_core.Pipelines.config_of_string ~default_factor:factor config_name with
+  | Error m -> failwith m
   | Ok config ->
     let name, text = read_source source in
     let m = Uu_frontend.Lower.compile ~name text in
@@ -134,7 +120,8 @@ let compile_with ?remarks source config_name factor loop =
         in
         Uu_core.Pipelines.Only headers
     in
-    let report = Uu_core.Pipelines.optimize_module ~targets ?remarks config m in
+    let options = Uu_opt.Pass.options ?remarks () in
+    let report = Uu_core.Pipelines.optimize_module ~targets ~options config m in
     (m, report, config)
 
 let compile_run source config factor loop dot remarks stats =
@@ -200,7 +187,9 @@ let loops_cmd =
         let m = Uu_frontend.Lower.compile ~name text in
         List.iter
           (fun f ->
-            ignore (Uu_opt.Pass.run ~verify:false Uu_core.Pipelines.early_passes f);
+            ignore
+              (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified
+                 Uu_core.Pipelines.early_passes f);
             let forest = Uu_analysis.Loops.analyze f in
             List.iter
               (fun (l : Uu_analysis.Loops.loop) ->

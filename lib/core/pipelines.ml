@@ -10,6 +10,11 @@ type config =
   | Uu_heuristic_divergence
   | Uu_selective of int
 
+(* Bumped whenever the pipeline's behaviour changes in a way that
+   invalidates previously measured results; part of every result-cache
+   key, so stale cache entries are simply never looked up again. *)
+let version = "2"
+
 let config_name = function
   | Baseline -> "baseline"
   | Unroll u -> Printf.sprintf "unroll-%d" u
@@ -18,6 +23,55 @@ let config_name = function
   | Uu_heuristic -> "u&u-heuristic"
   | Uu_heuristic_divergence -> "u&u-heuristic+div"
   | Uu_selective u -> Printf.sprintf "u&u-selective-%d" u
+
+let config_to_string = config_name
+
+(* Accepts the canonical [config_name] spelling plus the historical CLI
+   aliases (uu, heuristic, ...), with an optional -N or :N factor suffix
+   on the factor-carrying configurations. *)
+let config_of_string ?(default_factor = 2) s =
+  let s = String.trim s in
+  let split_factor prefix =
+    (* "prefix", "prefix-N", or "prefix:N" -> Some factor *)
+    let pl = String.length prefix and sl = String.length s in
+    if sl < pl || String.sub s 0 pl <> prefix then None
+    else if sl = pl then Some default_factor
+    else if (s.[pl] = '-' || s.[pl] = ':') && sl > pl + 1 then
+      int_of_string_opt (String.sub s (pl + 1) (sl - pl - 1))
+    else None
+  in
+  let first_some options =
+    List.fold_left
+      (fun acc (prefix, make) ->
+        match acc with
+        | Some _ -> acc
+        | None -> Option.map make (split_factor prefix))
+      None options
+  in
+  match s with
+  | "baseline" -> Ok Baseline
+  | "unmerge" -> Ok Unmerge
+  | "heuristic" | "u&u-heuristic" | "uu-heuristic" -> Ok Uu_heuristic
+  | "heuristic-div" | "u&u-heuristic+div" | "uu-heuristic-div" ->
+    Ok Uu_heuristic_divergence
+  | _ -> (
+    (* Longest prefixes first so "uu-selective-4" is not read as Uu. *)
+    match
+      first_some
+        [
+          ("u&u-selective", fun u -> Uu_selective u);
+          ("uu-selective", fun u -> Uu_selective u);
+          ("unroll", fun u -> Unroll u);
+          ("u&u", fun u -> Uu u);
+          ("uu", fun u -> Uu u);
+        ]
+    with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown config %s (expected baseline|unroll[-N]|unmerge|uu[-N]|uu-selective[-N]|heuristic|heuristic-div)"
+           s))
 
 let all_standard =
   [ Baseline; Unroll 2; Unroll 4; Unroll 8; Unmerge; Uu 2; Uu 4; Uu 8; Uu_heuristic ]
@@ -104,8 +158,8 @@ let late =
 let pipeline ?(targets = All_loops) config =
   early @ transform ~targets config @ late
 
-let optimize ?(targets = All_loops) ?verify ?remarks config f =
-  Pass.run ?verify ?remarks (pipeline ~targets config) f
+let optimize ?(targets = All_loops) ?options config f =
+  Pass.exec ?options (pipeline ~targets config) f
 
-let optimize_module ?(targets = All_loops) ?verify ?remarks config m =
-  Pass.run_module ?verify ?remarks (pipeline ~targets config) m
+let optimize_module ?(targets = All_loops) ?options config m =
+  Pass.exec_module ?options (pipeline ~targets config) m

@@ -31,7 +31,22 @@ type config =
       (** extension (SVI future work): u&u duplicating only phi-carrying
           merges *)
 
+val version : string
+(** Pipeline-behaviour version; bump when a change invalidates previously
+    measured results. Folded into every [Uu_harness] result-cache key. *)
+
 val config_name : config -> string
+
+val config_to_string : config -> string
+(** Canonical, round-trippable spelling; identical to {!config_name}
+    (e.g. ["u&u-4"], ["baseline"], ["u&u-heuristic+div"]). *)
+
+val config_of_string : ?default_factor:int -> string -> (config, string) result
+(** Inverse of {!config_to_string}; also accepts the CLI aliases
+    ([unroll], [uu], [uu-selective], [heuristic], [heuristic-div]) with
+    an optional [-N] or [:N] factor suffix. A factor-carrying name
+    without a suffix gets [default_factor] (default 2).
+    [config_of_string (config_to_string c) = Ok c] for every [c]. *)
 
 val all_standard : config list
 (** The five configurations evaluated in the paper, with unroll factors
@@ -48,20 +63,18 @@ val pipeline : ?targets:targets -> config -> Uu_opt.Pass.t list
 
 val optimize :
   ?targets:targets ->
-  ?verify:bool ->
-  ?remarks:Uu_support.Remark.sink ->
+  ?options:Uu_opt.Pass.options ->
   config ->
   Func.t ->
   Uu_opt.Pass.report
-(** Run the configuration's pipeline on a function. [remarks] installs an
-    optimization-remark sink for the whole run (see
-    [Uu_support.Remark]); the report's [stats] field carries the
+(** Run the configuration's pipeline on a function under the given
+    manager options (verification, remark sink, timeout — see
+    [Uu_opt.Pass.options]); the report's [stats] field carries the
     statistic-counter deltas either way. *)
 
 val optimize_module :
   ?targets:targets ->
-  ?verify:bool ->
-  ?remarks:Uu_support.Remark.sink ->
+  ?options:Uu_opt.Pass.options ->
   config ->
   Func.modul ->
   Uu_opt.Pass.report

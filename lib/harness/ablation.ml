@@ -38,74 +38,85 @@ let late_pipeline =
   (* Everything of the standard pipeline after the structural transform. *)
   Pipelines.pipeline ~targets:(Pipelines.Only []) Pipelines.Baseline
 
-let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) () =
-  List.concat_map
-    (fun name ->
-      match Uu_benchmarks.Registry.find name with
-      | None -> []
-      | Some app ->
-        let baseline = Runner.run_exn app Pipelines.Baseline in
-        List.map
-          (fun (variant, transform) ->
-            let m =
-              Uu_frontend.Lower.compile ~name:app.Uu_benchmarks.App.name
-                app.Uu_benchmarks.App.source
-            in
-            (* Transform only the first kernel's first loop, by hand. *)
-            let dup = ref 0 in
-            List.iteri
-              (fun i f ->
-                if i = 0 then begin
-                  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes f);
-                  (match
-                     Uu_analysis.Loops.loops (Uu_analysis.Loops.analyze f)
-                   with
-                  | l :: _ -> dup := transform f l.Uu_analysis.Loops.header
-                  | [] -> ());
-                  ignore (Uu_opt.Pass.run late_pipeline f)
-                end
-                else ignore (Pipelines.optimize Pipelines.Baseline f))
-              m.Func.funcs;
-            (* Simulate via the runner's machinery: rebuild an instance and
-               launch each kernel of the transformed module. *)
-            let instance =
-              app.Uu_benchmarks.App.setup (Uu_support.Rng.create 0x5EEDL)
-            in
-            let cycles = ref 0.0 in
-            let code = ref app.Uu_benchmarks.App.rest_bytes in
-            let seen = Hashtbl.create 4 in
-            List.iter
-              (fun (l : Uu_benchmarks.App.launch) ->
-                match Func.find_func m l.Uu_benchmarks.App.kernel with
-                | None -> ()
-                | Some f ->
-                  let r =
-                    Uu_gpusim.Kernel.launch instance.Uu_benchmarks.App.mem f
-                      ~grid_dim:l.Uu_benchmarks.App.grid_dim
-                      ~block_dim:l.Uu_benchmarks.App.block_dim
-                      ~args:l.Uu_benchmarks.App.args
-                  in
-                  cycles := !cycles +. r.Uu_gpusim.Kernel.kernel_cycles;
-                  if not (Hashtbl.mem seen l.Uu_benchmarks.App.kernel) then begin
-                    Hashtbl.replace seen l.Uu_benchmarks.App.kernel ();
-                    code := !code + r.Uu_gpusim.Kernel.code_bytes
-                  end)
-              instance.Uu_benchmarks.App.launches;
-            (match instance.Uu_benchmarks.App.check () with
-            | Ok () -> ()
-            | Error msg ->
-              failwith (Printf.sprintf "ablation %s on %s: %s" variant name msg));
-            let kernel_ms = !cycles /. Runner.cycles_per_ms in
-            {
-              app = name;
-              variant;
-              speedup = baseline.Runner.kernel_ms /. kernel_ms;
-              code_ratio =
-                float_of_int !code /. float_of_int baseline.Runner.code_bytes;
-              duplicated_blocks = !dup;
-            })
-          variants)
-    apps
+let dup_stat = "ablation.duplicated_blocks"
+
+(* Build the transformed module and wrap it as a [Runner.compiled], so the
+   job layer simulates, validates, and caches it exactly like a stock
+   configuration. The duplicated-block count rides along in the
+   measurement's stats. *)
+let compile_variant (app : Uu_benchmarks.App.t) transform () =
+  let m =
+    Uu_frontend.Lower.compile ~name:app.Uu_benchmarks.App.name
+      app.Uu_benchmarks.App.source
+  in
+  (* Transform only the first kernel's first loop, by hand. *)
+  let dup = ref 0 in
+  List.iteri
+    (fun i f ->
+      if i = 0 then begin
+        ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes f);
+        (match Uu_analysis.Loops.loops (Uu_analysis.Loops.analyze f) with
+        | l :: _ -> dup := transform f l.Uu_analysis.Loops.header
+        | [] -> ());
+        ignore (Uu_opt.Pass.exec late_pipeline f)
+      end
+      else ignore (Pipelines.optimize Pipelines.Baseline f))
+    m.Func.funcs;
+  Runner.make_compiled ~app ~config:Pipelines.Baseline ~stats:[ (dup_stat, !dup) ] m
+
+let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) ?jobs ?cache () =
+  let apps =
+    List.filter_map (fun name -> Uu_benchmarks.Registry.find name) apps
+  in
+  let per_app =
+    List.map
+      (fun (app : Uu_benchmarks.App.t) ->
+        Jobs.job app Pipelines.Baseline
+        :: List.map
+             (fun (variant, transform) ->
+               Jobs.custom ~name:("ablation:" ^ variant)
+                 ~compile:(compile_variant app transform) app Pipelines.Baseline)
+             variants)
+      apps
+  in
+  let results = Jobs.run_all ?jobs ?cache (List.concat per_app) in
+  let rec rows apps results =
+    match (apps, results) with
+    | [], [] -> []
+    | (app : Uu_benchmarks.App.t) :: apps', baseline_r :: rest ->
+      let variant_rs, results' =
+        let rec split n rs =
+          if n = 0 then ([], rs)
+          else
+            match rs with
+            | r :: rs' ->
+              let taken, left = split (n - 1) rs' in
+              (r :: taken, left)
+            | [] -> assert false
+        in
+        split (List.length variants) rest
+      in
+      let baseline = List.hd (Jobs.measurements_exn baseline_r) in
+      List.map2
+        (fun (variant, _) variant_r ->
+          let m = List.hd (Jobs.measurements_exn variant_r) in
+          {
+            app = app.Uu_benchmarks.App.name;
+            variant;
+            speedup = baseline.Runner.kernel_ms /. m.Runner.kernel_ms;
+            code_ratio =
+              float_of_int m.Runner.code_bytes
+              /. float_of_int baseline.Runner.code_bytes;
+            duplicated_blocks =
+              (match List.assoc_opt dup_stat m.Runner.stats with
+              | Some n -> n
+              | None -> 0);
+          })
+        variants variant_rs
+      @ rows apps' results'
+    | _ -> assert false
+  in
+  rows apps results
 
 let render rows =
   Report.render_table

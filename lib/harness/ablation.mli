@@ -18,7 +18,12 @@ type row = {
   duplicated_blocks : int;
 }
 
-val run : ?apps:string list -> unit -> row list
-(** Default apps: bezier-surface, rainflow, XSBench. *)
+val run :
+  ?apps:string list -> ?jobs:int -> ?cache:Result_cache.t -> unit -> row list
+(** Default apps: bezier-surface, rainflow, XSBench. Variants execute as
+    [Jobs.Custom] work on the domain pool ([jobs] domains) and are cached
+    under their stable variant names like any other job; the
+    duplicated-block count travels in the measurement's stats.
+    @raise Failure if a variant fails after its retry. *)
 
 val render : row list -> string

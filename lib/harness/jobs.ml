@@ -1,0 +1,184 @@
+open Uu_support
+open Uu_core
+
+type protocol = Once | Noisy of { runs : int }
+
+type work =
+  | Pipeline
+  | Custom of { name : string; compile : unit -> Runner.compiled }
+
+type job = {
+  app : Uu_benchmarks.App.t;
+  config : Pipelines.config;
+  target : Runner.loop_ref option;
+  protocol : protocol;
+  work : work;
+}
+
+let job ?target ?(protocol = Once) app config =
+  { app; config; target; protocol; work = Pipeline }
+
+let custom ~name ~compile ?(protocol = Once) app config =
+  { app; config; target = None; protocol; work = Custom { name; compile } }
+
+let target_string = function
+  | None -> "-"
+  | Some (t : Runner.loop_ref) ->
+    Printf.sprintf "%s#%d@bb%d" t.Runner.kernel t.Runner.loop_id t.Runner.header
+
+let protocol_string = function
+  | Once -> "once"
+  | Noisy { runs } -> Printf.sprintf "noisy-%d" runs
+
+let work_string = function
+  | Pipeline -> "pipeline"
+  | Custom { name; _ } -> "custom:" ^ name
+
+let label j =
+  let base =
+    Printf.sprintf "%s/%s" j.app.Uu_benchmarks.App.name
+      (match j.work with
+      | Pipeline -> Pipelines.config_to_string j.config
+      | Custom { name; _ } -> name)
+  in
+  match j.target with None -> base | Some t -> base ^ "@" ^ target_string (Some t)
+
+let spec_v ~version j =
+  Printf.sprintf "v%s;app=%s;config=%s;target=%s;protocol=%s;work=%s" version
+    j.app.Uu_benchmarks.App.name
+    (Pipelines.config_to_string j.config)
+    (target_string j.target) (protocol_string j.protocol) (work_string j.work)
+
+let spec j = spec_v ~version:Pipelines.version j
+
+let key ?(version = Pipelines.version) j =
+  Digest.to_hex (Digest.string (spec_v ~version j))
+
+let noise_seed ~key i =
+  (* Fold the first 8 digest bytes of "key#run<i>" into an int64: a pure
+     function of the job identity and the run index, so repeated noisy
+     runs are reproducible no matter which domain executes them or in
+     what order. *)
+  let d = Digest.string (Printf.sprintf "%s#run%d" key i) in
+  let v = ref 0L in
+  for j = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.[j]))
+  done;
+  !v
+
+type failure = {
+  job_label : string;
+  job_key : string;
+  message : string;
+  attempts : int;
+}
+
+type result = {
+  rjob : job;
+  rkey : string;
+  outcome : (Runner.measurement list, failure) Stdlib.result;
+  from_cache : bool;
+}
+
+let execute_once ?timeout j jkey =
+  let compiled =
+    match j.work with
+    | Pipeline -> Runner.compile ?target:j.target ?timeout j.app j.config
+    | Custom { compile; _ } -> compile ()
+  in
+  let measurements =
+    match j.protocol with
+    | Once -> [ Runner.simulate compiled ]
+    | Noisy { runs } ->
+      List.init runs (fun i -> Runner.simulate ~noise_seed:(noise_seed ~key:jkey i) compiled)
+  in
+  List.iter
+    (fun (m : Runner.measurement) ->
+      match m.Runner.check with
+      | Ok () -> ()
+      | Error msg ->
+        failwith
+          (Printf.sprintf "%s: oracle check failed: %s" (label j) msg))
+    measurements;
+  measurements
+
+let execute ?timeout ~retries j jkey =
+  let rec go attempt =
+    match execute_once ?timeout j jkey with
+    | measurements -> Ok measurements
+    | exception e ->
+      if attempt <= retries then go (attempt + 1)
+      else
+        Error
+          {
+            job_label = label j;
+            job_key = jkey;
+            message = Printexc.to_string e;
+            attempts = attempt;
+          }
+  in
+  go 1
+
+let run_all ?jobs ?cache ?timeout ?(retries = 1) job_list =
+  let arr = Array.of_list job_list in
+  let keys = Array.map (fun j -> key j) arr in
+  (* Cache I/O stays on the calling domain: probe everything up front,
+     fan only the real work out to the pool, store new results after the
+     pool has been joined. *)
+  let cached =
+    Array.mapi
+      (fun i _ ->
+        match cache with
+        | None -> None
+        | Some c -> Result_cache.lookup c ~key:keys.(i))
+      arr
+  in
+  let todo =
+    List.filter (fun i -> cached.(i) = None) (List.init (Array.length arr) Fun.id)
+  in
+  let executed =
+    Parallel.map ?jobs (fun i -> (i, execute ?timeout ~retries arr.(i) keys.(i))) todo
+  in
+  let outcomes = Array.make (Array.length arr) None in
+  Array.iteri (fun i c ->
+      match c with Some ms -> outcomes.(i) <- Some (Ok ms, true) | None -> ())
+    cached;
+  List.iter
+    (fun (i, outcome) ->
+      (match (outcome, cache) with
+      | Ok measurements, Some c ->
+        Result_cache.store c ~key:keys.(i) ~spec:(spec arr.(i)) measurements
+      | _ -> ());
+      outcomes.(i) <- Some (outcome, false))
+    executed;
+  List.mapi
+    (fun i j ->
+      match outcomes.(i) with
+      | Some (outcome, from_cache) -> { rjob = j; rkey = keys.(i); outcome; from_cache }
+      | None -> assert false)
+    job_list
+
+let measurements_exn r =
+  match r.outcome with
+  | Ok measurements -> measurements
+  | Error f ->
+    failwith
+      (Printf.sprintf "job %s failed after %d attempts: %s" f.job_label f.attempts
+         f.message)
+
+let summarize ?cache results =
+  let total = List.length results in
+  let hits = List.length (List.filter (fun r -> r.from_cache) results) in
+  let failed =
+    List.length (List.filter (fun r -> Stdlib.Result.is_error r.outcome) results)
+  in
+  [
+    ("harness.jobs_total", total);
+    ("harness.jobs_executed", total - hits);
+    ("harness.jobs_failed", failed);
+    ("harness.cache_hits", hits);
+  ]
+  @
+  match cache with
+  | None -> []
+  | Some c -> [ ("harness.cache_misses", Result_cache.misses c) ]

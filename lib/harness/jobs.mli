@@ -1,0 +1,120 @@
+(** The experiment job graph.
+
+    Every measurement the harness produces — sweep points, Table I rows,
+    ablation variants — is one {e job}: an application compiled under a
+    configuration (optionally restricted to one loop) and simulated under
+    a run protocol. [Sweep], [Table1], and [Ablation] all describe their
+    work as job lists and hand them to {!run_all}, which executes them on
+    a [Uu_support.Parallel] domain pool, serves repeats from the on-disk
+    [Result_cache], isolates faults, and returns results in input order.
+
+    {b Determinism.} Results are ordered by job, never by completion;
+    compilation and noise-free simulation are pure functions of the job;
+    and noisy protocols derive their per-run seeds from the job's
+    content-hash {!key} (see {!noise_seed}), not from scheduling order.
+    Running with 1 domain, N domains, or a warm cache therefore yields
+    identical measurements.
+
+    {b Fault isolation.} A job that raises (a pass bug, a failed oracle
+    check, a [Uu_opt.Pass.Timeout]) is retried once; a second failure
+    becomes a structured {!failure} record in that job's result, and the
+    remaining jobs are unaffected. *)
+
+open Uu_core
+
+type protocol =
+  | Once  (** one deterministic simulation, no latency jitter *)
+  | Noisy of { runs : int }
+      (** compile once, simulate [runs] times with per-run noise seeds —
+          the paper's 20-run Table I protocol (§IV-B) *)
+
+type work =
+  | Pipeline
+      (** compile with [Runner.compile] under the job's configuration *)
+  | Custom of { name : string; compile : unit -> Runner.compiled }
+      (** a hand-rolled transform (the ablation variants). [name] must
+          uniquely and stably identify the transform — it substitutes for
+          the configuration in the cache {!key}. *)
+
+type job = {
+  app : Uu_benchmarks.App.t;
+  config : Pipelines.config;
+  target : Runner.loop_ref option;
+  protocol : protocol;
+  work : work;
+}
+
+val job :
+  ?target:Runner.loop_ref ->
+  ?protocol:protocol ->
+  Uu_benchmarks.App.t ->
+  Pipelines.config ->
+  job
+(** A standard pipeline job; [protocol] defaults to {!Once}. *)
+
+val custom :
+  name:string ->
+  compile:(unit -> Runner.compiled) ->
+  ?protocol:protocol ->
+  Uu_benchmarks.App.t ->
+  Pipelines.config ->
+  job
+(** A custom-transform job; [config] is what the resulting measurements
+    report (typically [Baseline] for ablations). *)
+
+val label : job -> string
+(** Human-readable identifier, e.g. ["rainflow/u&u-4@kernel#2"]. *)
+
+val spec : job -> string
+(** The canonical content string the cache key is hashed from: pipeline
+    version, app name, config string, target, protocol, and work kind. *)
+
+val key : ?version:string -> job -> string
+(** Stable content-hash key (hex digest of {!spec}). [version] defaults
+    to [Uu_core.Pipelines.version]; it is exposed so tests can assert
+    that bumping it invalidates keys. *)
+
+val noise_seed : key:string -> int -> int64
+(** The noise seed of run [i] of the job with the given key — a pure
+    function of [(key, i)], which is what makes noisy protocols immune
+    to scheduling order. *)
+
+type failure = {
+  job_label : string;
+  job_key : string;
+  message : string;  (** the final attempt's exception *)
+  attempts : int;
+}
+
+type result = {
+  rjob : job;
+  rkey : string;
+  outcome : (Runner.measurement list, failure) Stdlib.result;
+      (** one measurement per protocol run *)
+  from_cache : bool;
+}
+
+val run_all :
+  ?jobs:int ->
+  ?cache:Result_cache.t ->
+  ?timeout:float ->
+  ?retries:int ->
+  job list ->
+  result list
+(** Execute a job list. [jobs] is the domain-pool size (default
+    [Parallel.available_domains ()]); [timeout] is a per-attempt
+    compilation budget in seconds; [retries] (default 1) is how many
+    times a failed job is re-attempted before a {!failure} is recorded.
+    Cache lookups and stores happen on the calling domain only. Results
+    are in input order. *)
+
+val measurements_exn : result -> Runner.measurement list
+(** The job's measurements. @raise Failure with the failure message when
+    the job failed — for callers (Table I, ablations) that keep the old
+    fail-fast behaviour. *)
+
+val summarize : ?cache:Result_cache.t -> result list -> (string * int) list
+(** Counter-style summary for [--stats]: [harness.jobs_total],
+    [harness.jobs_executed], [harness.jobs_failed], [harness.cache_hits],
+    and (when [cache] is given) [harness.cache_misses]. Render with
+    [Report.render_stats]. *)

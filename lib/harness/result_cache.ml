@@ -1,0 +1,213 @@
+open Uu_support
+open Uu_core
+open Uu_gpusim
+
+type t = { cache_dir : string; mutable hit_count : int; mutable miss_count : int }
+
+let create ~dir = { cache_dir = dir; hit_count = 0; miss_count = 0 }
+let dir t = t.cache_dir
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+(* --- serialization ------------------------------------------------- *)
+
+let metrics_to_json (m : Metrics.t) =
+  Json.Obj
+    [
+      ("cycles", Json.Int m.Metrics.cycles);
+      ("warp_instrs", Json.Int m.Metrics.warp_instrs);
+      ("thread_instrs", Json.Int m.Metrics.thread_instrs);
+      ("active_lane_sum", Json.Int m.Metrics.active_lane_sum);
+      ("inst_misc", Json.Int m.Metrics.inst_misc);
+      ("inst_control", Json.Int m.Metrics.inst_control);
+      ("inst_memory", Json.Int m.Metrics.inst_memory);
+      ("gld_bytes", Json.Int m.Metrics.gld_bytes);
+      ("gst_bytes", Json.Int m.Metrics.gst_bytes);
+      ("mem_transactions", Json.Int m.Metrics.mem_transactions);
+      ("fetch_stall_cycles", Json.Int m.Metrics.fetch_stall_cycles);
+      ("divergent_branches", Json.Int m.Metrics.divergent_branches);
+      ("warps_launched", Json.Int m.Metrics.warps_launched);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv v =
+  match Option.bind (Json.member name v) conv with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "cache entry: bad or missing field %s" name)
+
+let metrics_of_json v =
+  let* cycles = field "cycles" Json.to_int v in
+  let* warp_instrs = field "warp_instrs" Json.to_int v in
+  let* thread_instrs = field "thread_instrs" Json.to_int v in
+  let* active_lane_sum = field "active_lane_sum" Json.to_int v in
+  let* inst_misc = field "inst_misc" Json.to_int v in
+  let* inst_control = field "inst_control" Json.to_int v in
+  let* inst_memory = field "inst_memory" Json.to_int v in
+  let* gld_bytes = field "gld_bytes" Json.to_int v in
+  let* gst_bytes = field "gst_bytes" Json.to_int v in
+  let* mem_transactions = field "mem_transactions" Json.to_int v in
+  let* fetch_stall_cycles = field "fetch_stall_cycles" Json.to_int v in
+  let* divergent_branches = field "divergent_branches" Json.to_int v in
+  let* warps_launched = field "warps_launched" Json.to_int v in
+  Ok
+    {
+      Metrics.cycles;
+      warp_instrs;
+      thread_instrs;
+      active_lane_sum;
+      inst_misc;
+      inst_control;
+      inst_memory;
+      gld_bytes;
+      gst_bytes;
+      mem_transactions;
+      fetch_stall_cycles;
+      divergent_branches;
+      warps_launched;
+    }
+
+let target_to_json = function
+  | None -> Json.Null
+  | Some (t : Runner.loop_ref) ->
+    Json.Obj
+      [
+        ("kernel", Json.Str t.Runner.kernel);
+        ("loop_id", Json.Int t.Runner.loop_id);
+        ("header", Json.Int t.Runner.header);
+      ]
+
+let target_of_json = function
+  | Json.Null -> Ok None
+  | v ->
+    let* kernel = field "kernel" Json.to_str v in
+    let* loop_id = field "loop_id" Json.to_int v in
+    let* header = field "header" Json.to_int v in
+    Ok (Some { Runner.kernel; loop_id; header })
+
+let measurement_to_json (m : Runner.measurement) =
+  Json.Obj
+    [
+      ("config", Json.Str (Pipelines.config_to_string m.Runner.config));
+      ("target", target_to_json m.Runner.target);
+      ("kernel_ms", Json.Float m.Runner.kernel_ms);
+      ("transfer_ms", Json.Float m.Runner.transfer_ms);
+      ("code_bytes", Json.Int m.Runner.code_bytes);
+      ("compile_seconds", Json.Float m.Runner.compile_seconds);
+      ("metrics", metrics_to_json m.Runner.metrics);
+      ( "check",
+        match m.Runner.check with Ok () -> Json.Null | Error e -> Json.Str e );
+      ("remarks", Json.Arr (List.map Remark.to_json_value m.Runner.remarks));
+      ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.Runner.stats));
+    ]
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = collect f rest in
+    Ok (y :: ys)
+
+let measurement_of_json v =
+  let* config_s = field "config" Json.to_str v in
+  let* config = Pipelines.config_of_string config_s in
+  let* target =
+    match Json.member "target" v with
+    | Some tv -> target_of_json tv
+    | None -> Error "cache entry: missing target"
+  in
+  let* kernel_ms = field "kernel_ms" Json.to_float v in
+  let* transfer_ms = field "transfer_ms" Json.to_float v in
+  let* code_bytes = field "code_bytes" Json.to_int v in
+  let* compile_seconds = field "compile_seconds" Json.to_float v in
+  let* metrics =
+    match Json.member "metrics" v with
+    | Some mv -> metrics_of_json mv
+    | None -> Error "cache entry: missing metrics"
+  in
+  let* check =
+    match Json.member "check" v with
+    | Some Json.Null -> Ok (Ok ())
+    | Some (Json.Str e) -> Ok (Error e)
+    | _ -> Error "cache entry: bad check field"
+  in
+  let* remarks =
+    match Json.member "remarks" v with
+    | Some (Json.Arr items) -> collect Remark.of_json_value items
+    | _ -> Error "cache entry: bad remarks field"
+  in
+  let* stats =
+    match Json.member "stats" v with
+    | Some (Json.Obj fields) ->
+      collect
+        (fun (k, jv) ->
+          match Json.to_int jv with
+          | Some n -> Ok ((k, n))
+          | None -> Error "cache entry: non-integer stat")
+        fields
+    | _ -> Error "cache entry: bad stats field"
+  in
+  Ok
+    {
+      Runner.config;
+      target;
+      kernel_ms;
+      transfer_ms;
+      code_bytes;
+      compile_seconds;
+      metrics;
+      check;
+      remarks;
+      stats;
+    }
+
+let encode ~spec measurements =
+  Json.to_string
+    (Json.Obj
+       [
+         ("version", Json.Str Pipelines.version);
+         ("spec", Json.Str spec);
+         ("measurements", Json.Arr (List.map measurement_to_json measurements));
+       ])
+  ^ "\n"
+
+let decode text =
+  let* v = Json.of_string (String.trim text) in
+  match Json.member "measurements" v with
+  | Some (Json.Arr items) -> collect measurement_of_json items
+  | _ -> Error "cache entry: missing measurements array"
+
+(* --- the store ----------------------------------------------------- *)
+
+let path_of t ~key = Filename.concat t.cache_dir (key ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lookup t ~key =
+  let path = path_of t ~key in
+  if not (Sys.file_exists path) then begin
+    t.miss_count <- t.miss_count + 1;
+    None
+  end
+  else
+    match decode (read_file path) with
+    | Ok measurements ->
+      t.hit_count <- t.hit_count + 1;
+      Some measurements
+    | Error msg ->
+      Printf.eprintf "warning: dropping corrupt cache entry %s: %s\n%!" path msg;
+      (try Sys.remove path with Sys_error _ -> ());
+      t.miss_count <- t.miss_count + 1;
+      None
+    | exception Sys_error msg ->
+      Printf.eprintf "warning: unreadable cache entry %s: %s\n%!" path msg;
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let store t ~key ~spec measurements =
+  Report.write_text ~path:(path_of t ~key ^ ".tmp") (encode ~spec measurements);
+  Sys.rename (path_of t ~key ^ ".tmp") (path_of t ~key)

@@ -1,0 +1,48 @@
+(** On-disk cache of experiment measurements.
+
+    Layout: one file per job under [<dir>/<key>.json] (canonically
+    [results/cache/]), where [key] is the job's content hash (see
+    [Uu_harness.Jobs.key]). Each file holds the job's serialized
+    [Runner.measurement] list — every field, including metrics, remarks,
+    and statistic deltas — so a warm re-run reproduces the cold run's
+    results byte for byte without compiling or simulating anything.
+
+    Entries never expire: the key already encodes everything a
+    measurement depends on (app, config, target, protocol, and
+    [Uu_core.Pipelines.version]), so a stale entry is simply an entry
+    nobody looks up anymore.
+
+    Lookups and stores are performed by the job scheduler on the
+    coordinating domain only, never inside pool workers, so the mutable
+    hit/miss counters need no synchronization. Stores write to a
+    temporary file and rename, so a crash mid-write never leaves a
+    truncated entry behind. *)
+
+type t
+
+val create : dir:string -> t
+(** Cache rooted at [dir]; the directory is created on first store. *)
+
+val dir : t -> string
+
+val lookup : t -> key:string -> Runner.measurement list option
+(** [Some measurements] on a hit; [None] (counted as a miss) when the
+    entry is absent or unreadable. A corrupt entry is deleted so the
+    next store can replace it. *)
+
+val store : t -> key:string -> spec:string -> Runner.measurement list -> unit
+(** Persist a job's measurements. [spec] is the human-readable job
+    description the key was hashed from; it is stored alongside the data
+    for debuggability and has no effect on lookups. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Counters since [create], maintained across {!lookup} calls. *)
+
+(** {1 Serialization}
+
+    Exposed for tests, which assert that a cache round-trip is
+    byte-identical. *)
+
+val encode : spec:string -> Runner.measurement list -> string
+val decode : string -> (Runner.measurement list, string) result

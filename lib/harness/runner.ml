@@ -20,7 +20,7 @@ let loop_inventory (app : App.t) =
   let m = compile_app app in
   List.concat_map
     (fun f ->
-      ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes f);
+      ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes f);
       let forest = Uu_analysis.Loops.analyze f in
       List.map
         (fun (l : Uu_analysis.Loops.loop) ->
@@ -43,6 +43,13 @@ type measurement = {
 
 let cycles_per_ms = 5_000.0
 
+(* Modeled compiler throughput: pass-work units (instructions walked per
+   executed pass, see [Uu_opt.Pass.report.work]) per modeled second.
+   Using the deterministic work metric instead of wall-clock pass times
+   keeps compile-time ratios identical between serial, parallel, and
+   cache-served runs. *)
+let compile_work_per_second = 200_000.0
+
 (* Modeled PCIe-ish transfer rate, in bytes per simulated millisecond. *)
 let transfer_bytes_per_ms = 65_536.0
 
@@ -56,13 +63,14 @@ type compiled = {
   c_stats : (string * int) list;
 }
 
-let compile ?target (app : App.t) config =
+let compile ?target ?timeout (app : App.t) config =
   let m = compile_app app in
   (* Optimize each kernel; the transform is restricted to the target loop
      when one is given. Remarks and statistic deltas are collected across
      all kernels of the application. *)
   let sink = Remark.create () in
-  let compile_seconds, stats =
+  let deadline = Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout in
+  let work, stats =
     List.fold_left
       (fun (acc, stats) f ->
         let targets =
@@ -72,11 +80,20 @@ let compile ?target (app : App.t) config =
             if t.kernel = f.Func.name then Pipelines.Only [ t.header ]
             else Pipelines.Only []
         in
-        let report = Pipelines.optimize ~targets ~remarks:sink config f in
-        ( acc +. report.Uu_opt.Pass.total_time,
+        let options =
+          (* The budget spans all kernels: each kernel gets what is left
+             of the job's deadline, not a fresh allowance. *)
+          let timeout =
+            Option.map (fun d -> Float.max 0.001 (d -. Unix.gettimeofday ())) deadline
+          in
+          { Uu_opt.Pass.default_options with remarks = Some sink; timeout }
+        in
+        let report = Pipelines.optimize ~targets ~options config f in
+        ( acc + report.Uu_opt.Pass.work,
           Statistic.merge stats report.Uu_opt.Pass.stats ))
-      (0.0, []) m.Func.funcs
+      (0, []) m.Func.funcs
   in
+  let compile_seconds = float_of_int work /. compile_work_per_second in
   {
     c_app = app;
     c_config = config;
@@ -84,6 +101,18 @@ let compile ?target (app : App.t) config =
     modul = m;
     compile_seconds;
     c_remarks = Remark.remarks sink;
+    c_stats = stats;
+  }
+
+let make_compiled ?target ?(compile_seconds = 0.0) ?(remarks = []) ?(stats = [])
+    ~app ~config modul =
+  {
+    c_app = app;
+    c_config = config;
+    c_target = target;
+    modul;
+    compile_seconds;
+    c_remarks = remarks;
     c_stats = stats;
   }
 

@@ -39,7 +39,30 @@ type compiled
 (** A compiled application (all kernels optimized under one
     configuration), reusable across simulation runs. *)
 
-val compile : ?target:loop_ref -> Uu_benchmarks.App.t -> Pipelines.config -> compiled
+val compile :
+  ?target:loop_ref ->
+  ?timeout:float ->
+  Uu_benchmarks.App.t ->
+  Pipelines.config ->
+  compiled
+(** [timeout] is a wall-clock budget in seconds covering the whole
+    compilation (all kernels), enforced cooperatively between passes —
+    see [Uu_opt.Pass.Timeout]. *)
+
+val make_compiled :
+  ?target:loop_ref ->
+  ?compile_seconds:float ->
+  ?remarks:Uu_support.Remark.t list ->
+  ?stats:(string * int) list ->
+  app:Uu_benchmarks.App.t ->
+  config:Pipelines.config ->
+  Uu_ir.Func.modul ->
+  compiled
+(** Wrap an already-optimized module as a {!compiled} application so
+    hand-rolled transforms (the ablation variants) go through the same
+    simulation, measurement, and caching path as stock pipeline
+    configurations. [config] is recorded in the resulting measurements;
+    extra [stats] entries ride along in [measurement.stats]. *)
 
 val compiled_remarks : compiled -> Uu_support.Remark.t list
 val compiled_stats : compiled -> (string * int) list

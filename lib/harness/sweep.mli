@@ -2,7 +2,10 @@
     loop of every application, compiled under unroll (factors 2/4/8),
     unmerge, and u&u (factors 2/4/8), applied to that loop alone (§IV-B),
     plus the per-app baseline and heuristic runs. Deterministic (no
-    latency jitter). *)
+    latency jitter) regardless of parallelism: the sweep is described as
+    a [Jobs] list and executed on the domain pool, and points are
+    assembled in job order, so [run ~jobs:n] is point-for-point identical
+    to the serial run for every [n]. *)
 
 open Uu_core
 
@@ -18,13 +21,27 @@ type point = {
 type t = {
   points : point list;
   baselines : (string * Runner.measurement) list;  (** per app *)
+  failures : Jobs.failure list;
+      (** jobs that failed after retry; their points are absent. A failed
+          baseline additionally drops the app's dependent points. *)
 }
 
 val loop_configs : Pipelines.config list
 (** unroll 2/4/8, unmerge, u&u 2/4/8. *)
 
-val run : ?apps:Uu_benchmarks.App.t list -> unit -> t
-(** Runs the full sweep (oracle-checked); a few minutes of simulation. *)
+val run :
+  ?apps:Uu_benchmarks.App.t list ->
+  ?jobs:int ->
+  ?cache:Result_cache.t ->
+  ?timeout:float ->
+  unit ->
+  t
+(** Runs the full sweep (oracle-checked). [jobs] sizes the domain pool
+    (default: all available cores); [cache] serves previously measured
+    jobs from disk; [timeout] bounds each job's compilation in seconds. *)
 
 val points_for :
   t -> ?config:Pipelines.config -> ?app:string -> unit -> point list
+(** Filter points. Configurations are compared by their canonical string
+    ([Pipelines.config_to_string]), so values built directly and values
+    parsed via [config_of_string] select the same points. *)

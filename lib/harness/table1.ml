@@ -13,24 +13,33 @@ type row = {
   heuristic_rsd : float;
 }
 
-let timed_runs ~runs app config =
-  (* Compile once; the repeated runs vary only the latency jitter seed,
-     exactly like re-running the same binary (SIV-B). *)
-  let compiled = Runner.compile app config in
-  List.init runs (fun i ->
-      let m = Runner.simulate ~noise_seed:(Int64.of_int (1000 + i)) compiled in
-      (match m.Runner.check with
-      | Ok () -> ()
-      | Error msg -> failwith (Printf.sprintf "table1: %s" msg));
-      m.Runner.kernel_ms)
-
-let compute ?(runs = 20) ?(apps = Uu_benchmarks.Registry.all) () =
-  List.map
-    (fun (app : Uu_benchmarks.App.t) ->
-      let base = Runner.run_exn app Pipelines.Baseline in
-      let base_times = timed_runs ~runs app Pipelines.Baseline in
-      let heur_times = timed_runs ~runs app Pipelines.Uu_heuristic in
-      let loops = List.length (Runner.loop_inventory app) in
+(* Three jobs per application: a deterministic baseline run (for the
+   compute fraction) and the two noisy 20-run protocols, which compile
+   once and re-simulate with per-job-key noise seeds (SIV-B). All apps'
+   jobs go to the pool as one batch. *)
+let compute ?(runs = 20) ?(apps = Uu_benchmarks.Registry.all) ?jobs ?cache () =
+  let per_app =
+    List.map
+      (fun (app : Uu_benchmarks.App.t) ->
+        [
+          Jobs.job app Pipelines.Baseline;
+          Jobs.job ~protocol:(Jobs.Noisy { runs }) app Pipelines.Baseline;
+          Jobs.job ~protocol:(Jobs.Noisy { runs }) app Pipelines.Uu_heuristic;
+        ])
+      apps
+  in
+  let results = Jobs.run_all ?jobs ?cache (List.concat per_app) in
+  let loop_counts =
+    Parallel.map ?jobs (fun app -> List.length (Runner.loop_inventory app)) apps
+  in
+  let kernel_times rs = List.map (fun (m : Runner.measurement) -> m.Runner.kernel_ms) rs in
+  let rec rows apps loop_counts results =
+    match (apps, loop_counts, results) with
+    | [], [], [] -> []
+    | (app : Uu_benchmarks.App.t) :: apps', loops :: counts', b :: bn :: hn :: results' ->
+      let base = List.hd (Jobs.measurements_exn b) in
+      let base_times = kernel_times (Jobs.measurements_exn bn) in
+      let heur_times = kernel_times (Jobs.measurements_exn hn) in
       {
         name = app.Uu_benchmarks.App.name;
         category = app.Uu_benchmarks.App.category;
@@ -42,8 +51,11 @@ let compute ?(runs = 20) ?(apps = Uu_benchmarks.Registry.all) () =
         baseline_rsd = Stats.rsd base_times;
         heuristic_mean_ms = Stats.mean heur_times;
         heuristic_rsd = Stats.rsd heur_times;
-      })
-    apps
+      }
+      :: rows apps' counts' results'
+    | _ -> assert false
+  in
+  rows apps loop_counts results
 
 let csv_header =
   [

@@ -15,8 +15,19 @@ type row = {
   heuristic_rsd : float;
 }
 
-val compute : ?runs:int -> ?apps:Uu_benchmarks.App.t list -> unit -> row list
-(** Default 20 runs per configuration. *)
+val compute :
+  ?runs:int ->
+  ?apps:Uu_benchmarks.App.t list ->
+  ?jobs:int ->
+  ?cache:Result_cache.t ->
+  unit ->
+  row list
+(** Default 20 runs per configuration, executed as [Jobs] on the domain
+    pool ([jobs] domains, default all cores) with optional result
+    caching. Noise seeds derive from each job's content key, so rows are
+    independent of scheduling.
+    @raise Failure if a job fails after its retry (oracle mismatch or a
+    pass error). *)
 
 val render : row list -> string
 val to_csv : row list -> string list list

@@ -6,11 +6,16 @@
     disabled — verifies structural, type, and SSA-dominance well-formedness
     after each pass, failing fast on the first broken invariant.
 
-    Observability: the manager snapshots the global
+    Observability: the manager snapshots the (domain-local)
     [Uu_support.Statistic] registry around the run and reports the
     per-counter increase, and — when given a [Uu_support.Remark] sink —
     installs it for the duration of the run so instrumented passes can
-    report every transform they applied or missed. *)
+    report every transform they applied or missed.
+
+    Manager knobs travel in one {!options} record rather than a growing
+    surface of optional arguments; {!run} and {!run_module} with
+    [?verify]/[?remarks] remain as thin deprecated wrappers for one
+    release. *)
 
 open Uu_support
 open Uu_ir
@@ -20,17 +25,59 @@ type t = { name : string; run : Func.t -> bool }
 type report = {
   pass_times : (string * float) list;  (** seconds per executed pass, in order *)
   total_time : float;
+  work : int;
+      (** deterministic compile-cost metric: instructions walked, summed
+          over executed passes. Unlike the wall-clock fields it is
+          identical across machines, domains, and reruns — the harness's
+          compile-time ratios (Fig. 6c) are computed from it so parallel
+          and serial sweeps agree bit for bit *)
   changed : bool;
   stats : (string * int) list;
       (** statistic-counter increases during this run, sorted by name *)
 }
 
-val run : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.t -> report
-(** Run the pipeline once, in order. [verify] defaults to [true]. When
-    [remarks] is given it becomes the active sink for the whole run. *)
+type options = {
+  verify : bool;
+      (** check IR well-formedness after every changing pass (default true) *)
+  remarks : Remark.sink option;
+      (** when set, the active optimization-remark sink for the whole run *)
+  timeout : float option;
+      (** wall-clock budget in seconds for the whole pipeline, checked
+          cooperatively between passes; exceeding it raises {!Timeout} *)
+}
 
-val run_module : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.modul -> report
-(** Run the pipeline on every function; times and stats are summed. *)
+val default_options : options
+(** [{ verify = true; remarks = None; timeout = None }]. *)
+
+val options :
+  ?verify:bool -> ?remarks:Remark.sink -> ?timeout:float -> unit -> options
+(** Builder over {!default_options} for call sites that set one knob. *)
+
+val unverified : options
+(** [options ~verify:false ()] — the common fast path for analyses that
+    re-run a known-good pipeline prefix. *)
+
+exception Timeout of { pipeline : string; elapsed : float; budget : float }
+(** Raised between passes when [options.timeout] is exhausted. [pipeline]
+    names the pass about to be skipped. The check is cooperative: a
+    single pass that never returns is not interrupted. *)
+
+val exec : ?options:options -> t list -> Func.t -> report
+(** Run the pipeline once, in order, under the given options (default
+    {!default_options}). *)
+
+val exec_module : ?options:options -> t list -> Func.modul -> report
+(** Run the pipeline on every function; times and stats are summed. The
+    timeout budget, when present, covers the whole module. *)
+
+val run : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.t -> report
+[@@ocaml.deprecated "use Pass.exec with Pass.options instead"]
+(** @deprecated Thin wrapper over {!exec}, kept for one release. *)
+
+val run_module :
+  ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.modul -> report
+[@@ocaml.deprecated "use Pass.exec_module with Pass.options instead"]
+(** @deprecated Thin wrapper over {!exec_module}, kept for one release. *)
 
 val fixpoint : ?max_rounds:int -> string -> t list -> t
 (** A pass that repeats the given sub-pipeline until no sub-pass changes

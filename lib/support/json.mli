@@ -1,0 +1,49 @@
+(** A minimal JSON tree, printer, and parser.
+
+    The container ships no JSON library, and the harness needs a real
+    round-trip (the on-disk result cache stores serialized measurements
+    that later runs must read back), so this module implements the small
+    subset of JSON the repository emits: finite numbers, strings with
+    standard escapes, booleans, null, arrays, and objects. Integers and
+    floats are kept distinct — the printer always writes floats with a
+    fraction or exponent, so [of_string] can recover the original
+    constructor. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Non-finite floats
+    are rendered as strings (["inf"], ["-inf"], ["nan"]) since JSON has
+    no literal for them. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; trailing garbage is an error. Numbers with
+    a ['.'], ['e'], or ['E'] parse as {!Float}, all others as {!Int}
+    (falling back to {!Float} on int overflow). *)
+
+val of_string_exn : string -> t
+(** @raise Failure on a parse error. *)
+
+(** {1 Accessors}
+
+    Total accessors returning [option]; they make the cache decoder
+    explicit about shape mismatches instead of raising. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both {!Int} and {!Float}. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

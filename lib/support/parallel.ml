@@ -1,0 +1,47 @@
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+let map_result ?jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let jobs =
+      let requested = match jobs with Some j -> j | None -> available_domains () in
+      max 1 (min requested n)
+    in
+    (* One slot per item: written exactly once by whichever domain claims
+       the index, read only after every worker has been joined, so the
+       joins provide the necessary happens-before edges. *)
+    let out = Array.make n None in
+    let run i = out.(i) <- Some (try Ok (f arr.(i)) with e -> Error e) in
+    if jobs = 1 then
+      for i = 0 to n - 1 do
+        run i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            run i;
+            go ()
+          end
+        in
+        go ()
+      in
+      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned
+    end;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every index was claimed before the joins *))
+         out)
+  end
+
+let map ?jobs f items =
+  let results = map_result ?jobs f items in
+  List.map (function Ok v -> v | Error e -> raise e) results

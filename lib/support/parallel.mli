@@ -1,0 +1,30 @@
+(** A fixed-size domain pool for embarrassingly parallel work.
+
+    The experiment harness fans hundreds of independent compile+simulate
+    jobs over the cores of the machine (OCaml 5 domains). The pool model
+    is deliberately simple: one shared atomic cursor over an array of
+    work items, [jobs - 1] spawned worker domains plus the calling
+    domain, each pulling the next unclaimed index until the array is
+    drained. Results land in a slot per item, so the output order is the
+    input order regardless of which domain ran what — determinism by
+    construction, not by scheduling.
+
+    Workers inherit nothing dynamically scoped from the caller: the
+    remark sink and the statistic registry are domain-local (see
+    [Remark] and [Statistic]), so work items observe only their own
+    emissions. *)
+
+val available_domains : unit -> int
+(** The runtime's recommended domain count for this machine (at least 1). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item on a pool of [jobs]
+    domains (default {!available_domains}; clamped to the item count;
+    [jobs <= 1] runs inline without spawning). Results are returned in
+    input order. If any application raised, the first exception in input
+    order is re-raised after all items finish. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but captures each item's exception instead of re-raising,
+    preserving input order — the building block for fault-isolated job
+    execution. *)

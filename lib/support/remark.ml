@@ -15,27 +15,29 @@ type t = {
   args : (string * arg) list;
 }
 
-(* Sinks collect in reverse; [remarks] re-reverses. The active sink is a
-   dynamically scoped global so passes can emit without threading a sink
-   through every transform helper; [with_sink] nests correctly because it
-   restores whatever was active before. *)
+(* Sinks collect in reverse; [remarks] re-reverses. The active sink is
+   dynamically scoped and domain-local, so passes can emit without
+   threading a sink through every transform helper, and experiment jobs
+   running on parallel domains each observe only their own sink;
+   [with_sink] nests correctly because it restores whatever was active
+   before on the same domain. *)
 type sink = t list ref
 
 let create () = ref []
 let remarks s = List.rev !s
 let clear s = s := []
 
-let active : sink option ref = ref None
+let active_key : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = Option.is_some !active
+let enabled () = Option.is_some (Domain.DLS.get active_key)
 
 let with_sink s body =
-  let saved = !active in
-  active := Some s;
-  Fun.protect ~finally:(fun () -> active := saved) body
+  let saved = Domain.DLS.get active_key in
+  Domain.DLS.set active_key (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set active_key saved) body
 
 let emit ~kind ~pass ~func ?block ?(args = []) message =
-  match !active with
+  match Domain.DLS.get active_key with
   | None -> ()
   | Some s -> s := { kind; pass; func; block; message; args } :: !s
 
@@ -143,3 +145,73 @@ let stats_to_json stats =
   ^ String.concat ","
       (List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v) stats)
   ^ "}"
+
+(* Json.t converters for the result cache, which must read remarks back
+   from disk (the string emitters above are write-only). *)
+
+let arg_to_json_value = function
+  | Int n -> Json.Int n
+  | Float x -> Json.Float x
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let arg_of_json_value = function
+  | Json.Int n -> Ok (Int n)
+  | Json.Float x -> Ok (Float x)
+  | Json.Str s -> Ok (Str s)
+  | Json.Bool b -> Ok (Bool b)
+  | Json.Null | Json.Arr _ | Json.Obj _ -> Error "remark arg: expected a scalar"
+
+let to_json_value r =
+  Json.Obj
+    ([
+       ("kind", Json.Str (kind_string r.kind));
+       ("pass", Json.Str r.pass);
+       ("function", Json.Str r.func);
+     ]
+    @ (match r.block with Some b -> [ ("block", Json.Int b) ] | None -> [])
+    @ [ ("message", Json.Str r.message) ]
+    @
+    match r.args with
+    | [] -> []
+    | _ :: _ ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json_value v)) r.args)) ])
+
+let of_json_value v =
+  let ( let* ) = Result.bind in
+  let str field =
+    match Json.member field v with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "remark: missing string field %s" field)
+  in
+  let* kind_s = str "kind" in
+  let* kind =
+    match kind_s with
+    | "applied" -> Ok Applied
+    | "missed" -> Ok Missed
+    | "analysis" -> Ok Analysis
+    | other -> Error (Printf.sprintf "remark: unknown kind %s" other)
+  in
+  let* pass = str "pass" in
+  let* func = str "function" in
+  let* message = str "message" in
+  let* block =
+    match Json.member "block" v with
+    | None -> Ok None
+    | Some (Json.Int b) -> Ok (Some b)
+    | Some _ -> Error "remark: block must be an integer"
+  in
+  let* args =
+    match Json.member "args" v with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, jv) ->
+          let* acc = acc in
+          let* a = arg_of_json_value jv in
+          Ok ((k, a) :: acc))
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error "remark: args must be an object"
+  in
+  Ok { kind; pass; func; block; message; args }

@@ -44,7 +44,9 @@ val clear : sink -> unit
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s body] makes [s] the active sink while [body] runs,
     restoring the previously active sink (if any) afterwards, also on
-    exceptions. Nested calls shadow correctly. *)
+    exceptions. Nested calls shadow correctly. The active sink is
+    domain-local: installing a sink on one domain is invisible to work
+    running on other domains (see [Uu_support.Parallel]). *)
 
 val enabled : unit -> bool
 (** Whether a sink is currently active — lets a pass skip building an
@@ -92,3 +94,10 @@ val list_to_json : t list -> string
 
 val stats_to_json : (string * int) list -> string
 (** A flat JSON object mapping counter names to values. *)
+
+val to_json_value : t -> Json.t
+(** The same shape as {!to_json}, as a [Json.t] tree — used by the
+    on-disk result cache, which needs to parse remarks back. *)
+
+val of_json_value : Json.t -> (t, string) result
+(** Inverse of {!to_json_value}. *)

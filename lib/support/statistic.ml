@@ -1,24 +1,42 @@
-(* Registry: dotted name -> mutable count. Counters are created on first
-   use and live for the whole process, like LLVM's STATISTIC globals. *)
+(* Registry: dotted name -> mutable count, like LLVM's STATISTIC globals.
 
-type t = { name : string; mutable count : int }
+   The registry is domain-local (one table per domain) so that parallel
+   experiment jobs — each of which runs entirely on one domain — can
+   snapshot/diff their own compilation's counters without seeing
+   increments from jobs running concurrently on other domains. Counter
+   handles are just the registered name; [incr] resolves the handle in
+   the current domain's table, so handles created at module-init time on
+   the main domain work unchanged inside workers. *)
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+type t = string
+
+let registry_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let cell name =
+  let registry = Domain.DLS.get registry_key in
+  match Hashtbl.find_opt registry name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace registry name r;
+    r
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { name; count = 0 } in
-    Hashtbl.replace registry name c;
-    c
+  ignore (cell name);
+  name
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
-let name c = c.name
+let incr ?(by = 1) c =
+  let r = cell c in
+  r := !r + by
+
+let value c = !(cell c)
+let name c = c
 
 let snapshot () =
-  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  Hashtbl.fold
+    (fun name r acc -> (name, !r) :: acc)
+    (Domain.DLS.get registry_key) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let diff ~before ~after =
@@ -38,7 +56,7 @@ let merge a b =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0) (Domain.DLS.get registry_key)
 
 let render stats =
   match stats with

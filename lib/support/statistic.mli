@@ -2,10 +2,13 @@
     style of LLVM's [Statistic] (e.g. [gvn.loads_eliminated],
     [unmerge.paths_duplicated]).
 
-    Counters are process-global and always on: passes bump them
+    Counters are domain-local and always on: passes bump them
     unconditionally, and consumers interested in one compilation take a
     {!snapshot} before and after and {!diff} the two (the pass manager
-    does exactly this, see [Uu_opt.Pass.report]). *)
+    does exactly this, see [Uu_opt.Pass.report]). Each domain owns an
+    independent registry, so experiment jobs running in parallel on a
+    [Uu_support.Parallel] pool never see each other's increments; a
+    handle from {!counter} is valid on every domain. *)
 
 type t
 (** A named monotonic counter. *)

@@ -163,7 +163,7 @@ kernel k(int* restrict out, int n) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let forest = Loops.analyze fn in
   check int "two loops" 2 (List.length (Loops.loops forest));
   let inner_first = Loops.innermost_first forest in
@@ -188,7 +188,7 @@ kernel k(int* restrict out) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let forest = Loops.analyze fn in
   let l = List.hd (Loops.loops forest) in
   check (Alcotest.option int) "trip count 7" (Some 7) (Trip_count.constant_trip_count fn l)
@@ -208,7 +208,7 @@ kernel k(int* restrict out, int n) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let forest = Loops.analyze fn in
   let l = List.hd (Loops.loops forest) in
   check (Alcotest.option int) "runtime bound -> unknown" None
@@ -251,7 +251,7 @@ kernel k(int* restrict out, const int* restrict data, int n) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let div = Divergence.analyze fn in
   (* Find vars by hint. *)
   let var_named name =
@@ -281,7 +281,7 @@ let test_divergent_loop_detection () =
   let complex = Uu_benchmarks.Complex_app.app in
   let m = Uu_frontend.Lower.compile ~name:"c" complex.Uu_benchmarks.App.source in
   let fn = List.hd m.Func.funcs in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let forest = Loops.analyze fn in
   let div = Divergence.analyze fn in
   let l = List.hd (Loops.loops forest) in
@@ -291,7 +291,7 @@ let test_divergent_loop_detection () =
   let bez = Uu_benchmarks.Bezier_surface.app in
   let m2 = Uu_frontend.Lower.compile ~name:"b" bez.Uu_benchmarks.App.source in
   let fn2 = List.hd m2.Func.funcs in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn2);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn2);
   let forest2 = Loops.analyze fn2 in
   let div2 = Divergence.analyze fn2 in
   let l2 = List.hd (Loops.loops forest2) in
@@ -313,7 +313,7 @@ kernel k(int* restrict out, int n) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Uu_opt.Pass.run Uu_core.Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec Uu_core.Pipelines.early_passes fn);
   let forest = Loops.analyze fn in
   let l = List.hd (Loops.loops forest) in
   check bool "syncthreads loop is convergent" true (Loops.contains_convergent fn l)

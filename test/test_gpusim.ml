@@ -174,7 +174,7 @@ kernel k(int* restrict out, int n) {
 }
 |}
   in
-  ignore (Uu_opt.Pass.run [ Uu_opt.Mem2reg.pass ] fn);
+  ignore (Uu_opt.Pass.exec [ Uu_opt.Mem2reg.pass ] fn);
   let mem = Memory.create () in
   let out = Memory.zeros_i64 mem 32 in
   let r =

@@ -12,6 +12,7 @@ let () =
       ("gpusim", Test_gpusim.suite);
       ("differential", Test_differential.suite);
       ("harness", Test_harness.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
       ("benchmarks", Test_benchmarks.suite);
     ]

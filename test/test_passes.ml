@@ -26,7 +26,7 @@ let is_div = function Instr.Binop { op = Instr.Sdiv | Instr.Udiv | Instr.Fdiv; _
 let is_sub = function Instr.Binop { op = Instr.Sub; _ } -> true | _ -> false
 let is_cmp = function Instr.Cmp _ -> true | _ -> false
 
-let run_pass p fn = ignore (Pass.run [ p ] fn)
+let run_pass p fn = ignore (Pass.exec [ p ] fn)
 
 let test_mem2reg_promotes () =
   let fn =
@@ -80,7 +80,7 @@ kernel k(int* restrict out) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Sccp.pass; Simplify_cfg.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Sccp.pass; Simplify_cfg.pass ] fn);
   (* Everything folds to a single store of 10. *)
   check int "one block" 1 (List.length (Func.labels fn));
   let got = Ir_helpers.run_kernel ~elems:1 fn [] in
@@ -97,7 +97,7 @@ kernel k(int* restrict out, int c) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Sccp.pass; Simplify_cfg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Sccp.pass; Simplify_cfg.pass; Dce.pass ] fn);
   let got = Ir_helpers.run_kernel ~elems:1 fn [ 1L ] in
   check Alcotest.int64 "phi of equal constants folds" 8L got.(0)
 
@@ -119,7 +119,7 @@ kernel k(int* restrict out, int x) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Instcombine.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Instcombine.pass; Dce.pass ] fn);
   let muls = count (function Instr.Binop { op = Instr.Mul; _ } -> true | _ -> false) fn in
   check int "x*1 removed" 0 muls;
   check int "x-x removed" 0 (count is_sub fn);
@@ -135,7 +135,7 @@ kernel k(int* restrict out, int x, int y) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
   let adds = count (function Instr.Binop { op = Instr.Add; _ } -> true | _ -> false) fn in
   check int "duplicate add merged" 1 adds
 
@@ -148,7 +148,7 @@ kernel k(int* restrict out, const int* restrict a, int i) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
   check int "second load eliminated" 1 (count is_load fn)
 
 let test_gvn_store_forwarding () =
@@ -161,7 +161,7 @@ kernel k(int* restrict out, int v) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass; Dce.dead_load_pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass; Dce.dead_load_pass ] fn);
   check int "load forwarded from store" 0 (count is_load fn);
   let got = Ir_helpers.run_kernel ~elems:4 fn [ 42L ] in
   check Alcotest.int64 "forwarded value" 42L got.(0)
@@ -179,7 +179,7 @@ kernel k(int* restrict out, int* a, int* b, int i) {
   in
   (* a and b are NOT restrict here: the store through b may alias a, so
      the second load of a[i] must survive. *)
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
   check int "aliasing store kills availability" 2 (count is_load fn)
 
 let test_gvn_restrict_preserves () =
@@ -193,7 +193,7 @@ kernel k(int* restrict out, const int* restrict a, int* restrict b, int i) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
   check int "restrict store does not kill" 1 (count is_load fn)
 
 let test_gvn_sync_kills () =
@@ -207,7 +207,7 @@ kernel k(int* restrict out, const int* a, int i) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Gvn.pass; Dce.pass ] fn);
   check int "barrier kills availability" 2 (count is_load fn)
 
 let test_cond_prop_same_condition () =
@@ -223,7 +223,7 @@ kernel k(int* restrict out, int x, int y) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
   check int "inner check folded" 1 (count is_cmp fn);
   let got = Ir_helpers.run_kernel ~elems:1 fn [ 5L; 3L ] in
   check Alcotest.int64 "value" 1L got.(0)
@@ -243,7 +243,7 @@ kernel k(int* restrict out, int x, int y) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
   check int "all implied checks folded" 1 (count is_cmp fn);
   let got = Ir_helpers.run_kernel ~elems:1 fn [ 5L; 3L ] in
   check Alcotest.int64 "value" 101L got.(0)
@@ -261,7 +261,7 @@ kernel k(int* restrict out, int x, int y) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
   check int "negated check folded" 1 (count is_cmp fn)
 
 let test_cond_prop_float_nan_safe () =
@@ -277,7 +277,7 @@ kernel k(int* restrict out, float x, float y) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Cond_prop.pass; Simplify_cfg.pass; Dce.pass ] fn);
   (* foeq false does NOT imply fone true (NaN): both compares survive. *)
   check int "unordered negation NOT folded" 2 (count is_cmp fn)
 
@@ -292,7 +292,7 @@ kernel k(int* restrict out, int x) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Dce.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Dce.pass ] fn);
   check int "dead arithmetic removed" 0
     (count (function Instr.Binop _ -> true | _ -> false) fn);
   check int "store kept" 1 (count (function Instr.Store _ -> true | _ -> false) fn)
@@ -318,7 +318,7 @@ kernel k(int* restrict out) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass ] fn);
   check int "collapsed to one block" 1 (List.length (Func.labels fn))
 
 let test_if_convert_diamond () =
@@ -332,7 +332,7 @@ kernel k(int* restrict out, int x) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass; Simplify_cfg.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass; Simplify_cfg.pass ] fn);
   check int "one block after if-conversion" 1 (List.length (Func.labels fn));
   check int "one select" 1 (count is_select fn);
   let got = Ir_helpers.run_kernel ~elems:1 fn [ 5L ] in
@@ -351,7 +351,7 @@ kernel k(int* restrict out, const int* restrict a, int x) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass ] fn);
   (* The load must not be speculated: branch remains. *)
   check bool "branch kept" true (List.length (Func.labels fn) > 1);
   check int "no select" 0 (count is_select fn)
@@ -369,10 +369,10 @@ kernel k(float* restrict out, float x) {
 |}
   in
   let fn = Ir_helpers.compile_one src in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass_with_threshold 4 ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass_with_threshold 4 ] fn);
   check bool "big side not converted at threshold 4" true (List.length (Func.labels fn) > 1);
   let fn2 = Ir_helpers.compile_one src in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass_with_threshold 40 ] fn2);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; If_convert.pass_with_threshold 40 ] fn2);
   check bool "converted at threshold 40" true (count is_select fn2 > 0)
 
 let test_baseline_full_unroll () =
@@ -391,7 +391,7 @@ kernel k(int* restrict out, int x) {
 |}
   in
   ignore
-    (Pass.run
+    (Pass.exec
        [ Mem2reg.pass; Instcombine.pass; Simplify_cfg.pass;
          Unroll.baseline_full_unroll (); Sccp.pass;
          Pass.fixpoint "cleanup" [ Simplify_cfg.pass; Cond_prop.pass; Instcombine.pass; Gvn.pass; Sccp.pass; Dce.pass ] ]
@@ -417,7 +417,7 @@ kernel k(int* restrict out, int x) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Instcombine.pass; Simplify_cfg.pass; Unroll.baseline_full_unroll () ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Instcombine.pass; Simplify_cfg.pass; Unroll.baseline_full_unroll () ] fn);
   let loops = Uu_analysis.Loops.loops (Uu_analysis.Loops.analyze fn) in
   check int "pragma keeps the loop" 1 (List.length loops)
 
@@ -436,7 +436,7 @@ kernel k(int* restrict out, int n, int a, int b) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Licm.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Licm.pass ] fn);
   (* a*b+7 moved out: the loop blocks contain no multiply. *)
   let forest = Uu_analysis.Loops.analyze fn in
   let loop = List.hd (Uu_analysis.Loops.loops forest) in
@@ -470,7 +470,7 @@ kernel k(int* restrict out, int* a, int n) {
 }
 |}
   in
-  ignore (Pass.run [ Mem2reg.pass; Simplify_cfg.pass; Licm.pass ] fn);
+  ignore (Pass.exec [ Mem2reg.pass; Simplify_cfg.pass; Licm.pass ] fn);
   let forest = Uu_analysis.Loops.analyze fn in
   let loop = List.hd (Uu_analysis.Loops.loops forest) in
   let loads_in_loop =

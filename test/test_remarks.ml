@@ -30,9 +30,13 @@ kernel k(int* restrict out, int n) {
    remark stream plus the statistic deltas of the run. *)
 let heuristic_run params =
   let fn = Ir_helpers.compile_one loop_src in
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let sink = Remark.create () in
-  let report = Uu_opt.Pass.run ~remarks:sink [ Uu.heuristic_pass params ] fn in
+  let report =
+    Uu_opt.Pass.exec
+      ~options:(Uu_opt.Pass.options ~remarks:sink ())
+      [ Uu.heuristic_pass params ] fn
+  in
   (Remark.remarks sink, report.Uu_opt.Pass.stats)
 
 let heuristic_decisions remarks =

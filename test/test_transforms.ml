@@ -9,7 +9,7 @@ let bool = Alcotest.bool
 let int = Alcotest.int
 
 let first_loop fn =
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let forest = Uu_analysis.Loops.analyze fn in
   (List.hd (Uu_analysis.Loops.loops forest)).Uu_analysis.Loops.header
 
@@ -150,7 +150,7 @@ let test_uu_sets_pragma () =
 
 let test_heuristic_plan () =
   let fn = Ir_helpers.compile_one counted_loop_src in
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let plan = Uu.plan_heuristic fn Uu.default_params in
   check int "one loop chosen" 1 (List.length plan);
   let _, factor = List.hd plan in
@@ -179,7 +179,7 @@ kernel k(int* restrict out, int n) {
 }
 |}
   in
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   check int "annotated loop skipped" 0 (List.length (Uu.plan_heuristic fn Uu.default_params))
 
 let test_heuristic_innermost_first () =
@@ -201,7 +201,7 @@ kernel k(int* restrict out, int n) {
 }
 |}
   in
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let plan = Uu.plan_heuristic fn Uu.default_params in
   (* Only the inner loop is transformed; the outer is skipped because a
      descendant was chosen (SIII-C). *)
@@ -219,7 +219,7 @@ let test_heuristic_divergence_extension () =
   let complex = Uu_benchmarks.Complex_app.app in
   let m = Uu_frontend.Lower.compile ~name:"c" complex.Uu_benchmarks.App.source in
   let fn = List.hd m.Func.funcs in
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let base_plan = Uu.plan_heuristic fn Uu.default_params in
   let div_plan =
     Uu.plan_heuristic fn { Uu.default_params with Uu.avoid_divergent = true }
@@ -277,7 +277,7 @@ kernel k(int* restrict out, int n) {
 |}
 
 let outer_loop fn =
-  ignore (Uu_opt.Pass.run ~verify:false Pipelines.early_passes fn);
+  ignore (Uu_opt.Pass.exec ~options:Uu_opt.Pass.unverified Pipelines.early_passes fn);
   let forest = Uu_analysis.Loops.analyze fn in
   (List.find (fun (l : Uu_analysis.Loops.loop) -> l.depth = 1)
      (Uu_analysis.Loops.loops forest))
