@@ -89,6 +89,94 @@ let ablation_rollback =
          let f, header = rainflow_fn () in
          ignore (Uu_core.Uu.uu_loop ~budget:64 f ~header ~factor:8)))
 
+(* Simulator engine throughput: the pre-decoded warp engine vs the
+   tree-walking reference interpreter, and decode-cold (fresh decode per
+   simulation) vs decode-warm (per-module decode cache, the harness's
+   steady state). The module is compiled once outside the timed region so
+   only simulation is measured. *)
+
+let sim_module config =
+  let a = app "XSBench" in
+  let m = Uu_frontend.Lower.compile ~name:a.Uu_benchmarks.App.name a.Uu_benchmarks.App.source in
+  List.iter
+    (fun f ->
+      ignore (Uu_core.Pipelines.optimize ~targets:Uu_core.Pipelines.All_loops config f))
+    m.Uu_ir.Func.funcs;
+  (a, m)
+
+let simulate_module ~engine ?decode_cache ((a : Uu_benchmarks.App.t), m) =
+  let instance = a.Uu_benchmarks.App.setup (Uu_support.Rng.create 0x5EEDL) in
+  let total = Uu_gpusim.Metrics.create () in
+  List.iter
+    (fun (l : Uu_benchmarks.App.launch) ->
+      let f =
+        match Uu_ir.Func.find_func m l.Uu_benchmarks.App.kernel with
+        | Some f -> f
+        | None -> failwith ("unknown kernel " ^ l.Uu_benchmarks.App.kernel)
+      in
+      let r =
+        Uu_gpusim.Kernel.launch ~engine ?decode_cache instance.Uu_benchmarks.App.mem f
+          ~grid_dim:l.Uu_benchmarks.App.grid_dim
+          ~block_dim:l.Uu_benchmarks.App.block_dim ~args:l.Uu_benchmarks.App.args
+      in
+      Uu_gpusim.Metrics.add total r.Uu_gpusim.Kernel.metrics)
+    instance.Uu_benchmarks.App.launches;
+  total
+
+let sim_reference_test =
+  let cm = lazy (sim_module (Uu_core.Pipelines.Uu 4)) in
+  Test.make ~name:"sim:reference"
+    (Staged.stage (fun () ->
+         ignore (simulate_module ~engine:Uu_gpusim.Kernel.Reference (Lazy.force cm))))
+
+let sim_decoded_cold_test =
+  let cm = lazy (sim_module (Uu_core.Pipelines.Uu 4)) in
+  Test.make ~name:"sim:decoded-cold"
+    (Staged.stage (fun () ->
+         (* no cache: every launch re-decodes its kernel *)
+         ignore (simulate_module ~engine:Uu_gpusim.Kernel.Decoded (Lazy.force cm))))
+
+let sim_decoded_warm_test =
+  let cm = lazy (sim_module (Uu_core.Pipelines.Uu 4)) in
+  let cache = Uu_gpusim.Decode.create_cache () in
+  Test.make ~name:"sim:decoded-warm"
+    (Staged.stage (fun () ->
+         ignore
+           (simulate_module ~engine:Uu_gpusim.Kernel.Decoded ~decode_cache:cache
+              (Lazy.force cm))))
+
+let sim_tests = [ sim_reference_test; sim_decoded_cold_test; sim_decoded_warm_test ]
+
+(* Directly measured warp-instructions/second per engine (the number the
+   ROADMAP's perf item is tracked by), on XSBench under u&u-4. *)
+let sim_throughput_report () =
+  let cm = sim_module (Uu_core.Pipelines.Uu 4) in
+  let cache = Uu_gpusim.Decode.create_cache () in
+  let measure name ~engine ?decode_cache ~reps () =
+    (* one untimed warm-up simulation populates the decode cache *)
+    ignore (simulate_module ~engine ?decode_cache cm);
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 in
+    for _ = 1 to reps do
+      let m = simulate_module ~engine ?decode_cache cm in
+      instrs := !instrs + m.Uu_gpusim.Metrics.warp_instrs
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let wips = float_of_int !instrs /. dt in
+    Printf.printf "  %-22s %10.2f Mwinstr/s  (%.3f s / %d reps)\n" name
+      (wips /. 1e6) dt reps;
+    wips
+  in
+  print_endline "== sim-throughput: warp-instructions/second (XSBench, u&u-4) ==";
+  let reference = measure "reference" ~engine:Uu_gpusim.Kernel.Reference ~reps:3 () in
+  let cold = measure "decoded-cold" ~engine:Uu_gpusim.Kernel.Decoded ~reps:3 () in
+  let warm =
+    measure "decoded-warm" ~engine:Uu_gpusim.Kernel.Decoded ~decode_cache:cache
+      ~reps:3 ()
+  in
+  Printf.printf "  decoded-warm / reference: %.2fx\n" (warm /. reference);
+  (reference, cold, warm)
+
 let compile_bench config =
   Test.make
     ~name:(Printf.sprintf "compile:xsbench:%s" (Uu_core.Pipelines.config_name config))
@@ -100,7 +188,7 @@ let compile_bench config =
 
 let tests =
   Test.make_grouped ~name:"uu"
-    [
+    ([
       table1_test; fig6a_test; fig6b_test; fig6c_test; fig7_test; fig8a_test;
       fig8b_test; ablation_uu_order; ablation_unmerge_then_unroll; ablation_dbds;
       ablation_selective; ablation_rollback;
@@ -108,6 +196,7 @@ let tests =
       compile_bench (Uu_core.Pipelines.Uu 4);
       compile_bench Uu_core.Pipelines.Uu_heuristic;
     ]
+    @ sim_tests)
 
 let run_bechamel () =
   let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 2.0) ~kde:None () in
@@ -136,7 +225,48 @@ let run_bechamel () =
     (fun (name, pretty) -> Printf.printf "%-45s %12s\n" name pretty)
     (List.sort compare !rows)
 
-let () =
+(* Full-scale engine comparison recorded in BENCH_sim.json: wall-clock of
+   Table I's complete 20-run protocol (all apps, no result cache) under
+   each engine. This is the harness's dominant workload, so its ratio is
+   the honest before/after number for the decoded-engine optimization. *)
+let sim_json path =
+  let time_table1 engine =
+    let t0 = Unix.gettimeofday () in
+    let rows = Uu_harness.Table1.compute ~runs:20 ~engine () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  table1 runs:20 %-10s %.2f s\n%!"
+      (match engine with
+      | Uu_gpusim.Kernel.Reference -> "reference"
+      | Uu_gpusim.Kernel.Decoded -> "decoded")
+      dt;
+    ignore rows;
+    dt
+  in
+  print_endline "== BENCH_sim: Table I (20 runs, all apps, no cache) per engine ==";
+  let reference_s = time_table1 Uu_gpusim.Kernel.Reference in
+  let decoded_s = time_table1 Uu_gpusim.Kernel.Decoded in
+  let reference_wips, cold_wips, warm_wips = sim_throughput_report () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "table1 --runs 20, all apps, no result cache",
+  "reference_engine_seconds": %.3f,
+  "decoded_engine_seconds": %.3f,
+  "speedup": %.2f,
+  "throughput_winstr_per_sec": {
+    "workload": "XSBench under uu-4",
+    "reference": %.0f,
+    "decoded_cold": %.0f,
+    "decoded_warm": %.0f
+  }
+}
+|}
+    reference_s decoded_s (reference_s /. decoded_s) reference_wips cold_wips
+    warm_wips;
+  close_out oc;
+  Printf.printf "  speedup: %.2fx -> %s\n" (reference_s /. decoded_s) path
+
+let main () =
   print_endline "== Bechamel: one benchmark per table/figure (reduced scale) ==";
   run_bechamel ();
   print_newline ();
@@ -162,3 +292,20 @@ let () =
   print_string (Uu_harness.Counters.render (Uu_harness.Counters.analyze ()));
   print_endline "== Ablations: transform design decisions ==";
   print_string (Uu_harness.Ablation.render (Uu_harness.Ablation.run ()))
+
+let () =
+  (* `bench sim-throughput` (CI smoke) and `bench sim-json [PATH]` run
+     only the engine benchmarks; no argument runs the full paper harness. *)
+  match Array.to_list Sys.argv with
+  | _ :: "sim-throughput" :: _ ->
+    let reference, _, warm = sim_throughput_report () in
+    if warm <= reference then begin
+      Printf.eprintf
+        "sim-throughput: decoded engine (%.0f winstr/s) is not faster than the \
+         reference engine (%.0f winstr/s)\n"
+        warm reference;
+      exit 1
+    end
+  | _ :: "sim-json" :: rest ->
+    sim_json (match rest with p :: _ -> p | [] -> "BENCH_sim.json")
+  | _ -> main ()

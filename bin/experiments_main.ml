@@ -39,6 +39,17 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Print scheduler statistics (jobs run, cache hits/misses) after the run")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("decoded", Uu_gpusim.Kernel.Decoded); ("reference", Uu_gpusim.Kernel.Reference) ])
+        Uu_gpusim.Kernel.Decoded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulator execution engine: $(b,decoded) (pre-decoded fast path, \
+           default) or $(b,reference) (the tree-walking oracle). Both produce \
+           identical measurements.")
+
 let configs_arg =
   Arg.(
     value & opt (some string) None
@@ -54,6 +65,7 @@ type ctx = {
   jobs : int option;
   cache : Result_cache.t option;
   stats : bool;
+  engine : Uu_gpusim.Kernel.engine;
 }
 
 let select_apps = function
@@ -69,7 +81,7 @@ let select_apps = function
           None)
       wanted
 
-let make_ctx runs out apps jobs no_cache stats =
+let make_ctx runs out apps jobs no_cache stats engine =
   {
     runs;
     out;
@@ -79,12 +91,13 @@ let make_ctx runs out apps jobs no_cache stats =
       (if no_cache then None
        else Some (Result_cache.create ~dir:(Filename.concat out "cache")));
     stats;
+    engine;
   }
 
 let ctx_term =
   Term.(
     const make_ctx $ runs_arg $ out_arg $ apps_arg $ jobs_arg $ no_cache_arg
-    $ stats_arg)
+    $ stats_arg $ engine_arg)
 
 let print_scheduler_stats ctx extra =
   if ctx.stats then begin
@@ -109,7 +122,10 @@ let print_failures failures =
     failures
 
 let do_table1 ctx =
-  let rows = Table1.compute ~runs:ctx.runs ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache () in
+  let rows =
+    Table1.compute ~runs:ctx.runs ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache
+      ~engine:ctx.engine ()
+  in
   print_string (Table1.render rows);
   Report.write_csv
     ~path:(Filename.concat ctx.out "table1.csv")
@@ -117,7 +133,9 @@ let do_table1 ctx =
 
 let with_sweep ctx k =
   Printf.eprintf "running the per-loop sweep (%d apps)...\n%!" (List.length ctx.apps);
-  let sweep = Sweep.run ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache () in
+  let sweep =
+    Sweep.run ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache ~engine:ctx.engine ()
+  in
   print_failures sweep.Sweep.failures;
   Report.write_csv
     ~path:(Filename.concat ctx.out "fig6.csv")

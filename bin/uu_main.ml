@@ -236,7 +236,20 @@ let run_cmd =
       value & opt int 1024
       & info [ "elems" ] ~docv:"N" ~doc:"Elements in synthetic buffer arguments")
   in
-  let run source config factor loop grid block elems =
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("decoded", Uu_gpusim.Kernel.Decoded);
+               ("reference", Uu_gpusim.Kernel.Reference) ])
+          Uu_gpusim.Kernel.Decoded
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulator execution engine: $(b,decoded) (default) or \
+             $(b,reference) (the tree-walking oracle)")
+  in
+  let run source config factor loop grid block elems engine =
     handle_errors (fun () ->
         let m, _, config = compile_with source config factor loop in
         let mem = Uu_gpusim.Memory.create () in
@@ -261,7 +274,8 @@ let run_cmd =
                 f.Func.params
             in
             let result =
-              Uu_gpusim.Kernel.launch mem f ~grid_dim:grid ~block_dim:block ~args
+              Uu_gpusim.Kernel.launch ~engine mem f ~grid_dim:grid
+                ~block_dim:block ~args
             in
             Printf.printf "@%s under %s: %.0f cycles, code %d bytes\n  %s\n" f.Func.name
               (Uu_core.Pipelines.config_name config)
@@ -276,7 +290,7 @@ let run_cmd =
           (last int parameter receives the element count)")
     Term.(
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
-      $ elems_arg)
+      $ elems_arg $ engine_arg)
 
 let () =
   let info =

@@ -1,34 +1,53 @@
-type 'k t = {
-  capacity : int;
-  entries : ('k, int) Hashtbl.t;  (* key -> last use *)
-  mutable clock : int;
+(* LRU via an intrusive doubly-linked list threaded through a hashtable:
+   touch and evict are O(1). Eviction picks the least recently touched
+   key, exactly as the original clock-scan implementation did (touch
+   clocks are unique, so there are no ties to break). *)
+
+type 'k node = {
+  key : 'k;
+  mutable prev : 'k node option;  (* towards most recently used *)
+  mutable next : 'k node option;  (* towards least recently used *)
 }
 
-let create ~capacity = { capacity = max 1 capacity; entries = Hashtbl.create 64; clock = 0 }
+type 'k t = {
+  capacity : int;
+  entries : ('k, 'k node) Hashtbl.t;
+  mutable mru : 'k node option;
+  mutable lru : 'k node option;
+}
+
+let create ~capacity =
+  { capacity = max 1 capacity; entries = Hashtbl.create 64; mru = None; lru = None }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
 
 let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun k at acc ->
-        match acc with
-        | Some (_, best) when best <= at -> acc
-        | Some _ | None -> Some (k, at))
-      t.entries None
-  in
-  match victim with
-  | Some (k, _) -> Hashtbl.remove t.entries k
+  match t.lru with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.entries n.key
   | None -> ()
 
 let touch t key =
-  t.clock <- t.clock + 1;
-  if Hashtbl.mem t.entries key then begin
-    Hashtbl.replace t.entries key t.clock;
+  match Hashtbl.find_opt t.entries key with
+  | Some n ->
+    unlink t n;
+    push_front t n;
     false
-  end
-  else begin
+  | None ->
     if Hashtbl.length t.entries >= t.capacity then evict_lru t;
-    Hashtbl.replace t.entries key t.clock;
+    let n = { key; prev = None; next = None } in
+    Hashtbl.replace t.entries key n;
+    push_front t n;
     true
-  end
 
 let mem t key = Hashtbl.mem t.entries key

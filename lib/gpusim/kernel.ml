@@ -39,9 +39,65 @@ let bind_args fn args =
              fn.Func.name p.pname (Types.to_string ty)))
     params args
 
-let launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000) ?tracer mem
-    fn ~grid_dim ~block_dim ~args =
+type engine = Reference | Decoded
+
+let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~decode_cache mem fn
+    ~grid_dim ~block_dim ~bound =
+  let prog =
+    match decode_cache with
+    | Some cache -> Decode.decode_cached cache device fn
+    | None -> Decode.decode device fn
+  in
+  let icache = Layout.icache_create device in
+  let dcache = Cache.create ~capacity:device.Device.l1_lines in
+  let env =
+    {
+      Warp.d_device = device;
+      prog;
+      d_mem = mem;
+      d_icache = icache;
+      d_args = bound;
+      d_block_dim = block_dim;
+      d_grid_dim = grid_dim;
+      d_noise = noise;
+      d_max_warp_cycles = max_warp_cycles;
+      d_dcache = dcache;
+      d_tracer = tracer;
+    }
+  in
+  let st = Warp.decoded_state env in
+  let total = Metrics.create () in
+  let warps_per_block =
+    (block_dim + device.Device.warp_size - 1) / device.Device.warp_size
+  in
+  for block_id = 0 to grid_dim - 1 do
+    for warp_id = 0 to warps_per_block - 1 do
+      let base = warp_id * device.Device.warp_size in
+      let lanes = min device.Device.warp_size (block_dim - base) in
+      if lanes > 0 then begin
+        let m = Warp.run_decoded env st ~block_id ~warp_id ~lanes in
+        Metrics.add total m
+      end
+    done
+  done;
+  {
+    metrics = total;
+    kernel_cycles = Metrics.kernel_time total ~device;
+    code_bytes = Decode.code_bytes prog;
+  }
+
+let rec launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
+    ?tracer ?(engine = Decoded) ?decode_cache mem fn ~grid_dim ~block_dim ~args =
   let bound = bind_args fn args in
+  match engine with
+  | Decoded ->
+    launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~decode_cache mem fn
+      ~grid_dim ~block_dim ~bound
+  | Reference -> launch_reference ~device ~noise ~max_warp_cycles ~tracer mem fn
+                   ~grid_dim ~block_dim ~bound
+
+and launch_reference ~device ~noise ~max_warp_cycles ~tracer mem fn ~grid_dim
+    ~block_dim ~bound =
   let layout = Layout.compute device fn in
   let icache = Layout.icache_create device in
   let dcache = Cache.create ~capacity:device.Device.l1_lines in

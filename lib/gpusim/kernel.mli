@@ -16,11 +16,21 @@ type result = {
   code_bytes : int;                  (** laid-out size of this kernel *)
 }
 
+type engine =
+  | Reference
+      (** The original tree-walking interpreter over the IR: the oracle
+          the decoded engine is checked against. *)
+  | Decoded
+      (** Executes the pre-decoded flat program ({!Decode}); the default.
+          Cycle-for-cycle metric-identical to [Reference]. *)
+
 val launch :
   ?device:Device.t ->
   ?noise:Rng.t ->
   ?max_warp_cycles:int ->
   ?tracer:Trace.t ->
+  ?engine:engine ->
+  ?decode_cache:Decode.cache ->
   Memory.t ->
   Func.t ->
   grid_dim:int ->
@@ -28,5 +38,8 @@ val launch :
   args:arg list ->
   result
 (** Execute the kernel over [grid_dim] blocks of [block_dim] threads.
+    [engine] defaults to [Decoded]; [decode_cache] (used only by the
+    decoded engine) memoizes the per-(function, device) decode across
+    launches — pass one cache for the lifetime of a compiled module.
     @raise Invalid_argument when arguments do not match the kernel's
     parameters; @raise Failure on interpreter errors. *)

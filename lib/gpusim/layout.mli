@@ -19,7 +19,9 @@ val code_bytes : t -> int
 val block_extent : t -> Value.label -> int * int
 (** (start address, byte length) of a block. *)
 
-type icache
+type icache = int Cache.t
+(** LRU over line addresses; exposed so the decoded engine can touch the
+    lines it pre-computed per block. *)
 
 val icache_create : Device.t -> icache
 

@@ -1,97 +1,212 @@
 open Uu_ir
 
-type buffer = { id : int; elt : Types.t; data : Eval.rvalue array }
+(* Buffers store their elements unboxed, selected by element type: floats
+   in a flat [float array], integers as native [int]s (the simulator's
+   integer values are 63-bit; see the fit check in [storei]), pointers as
+   parallel buffer/offset arrays. This keeps kernel-side loads and stores
+   allocation-free for the decoded engine, and makes host-side workload
+   setup a plain array copy instead of an element-wise boxing map. *)
+type payload =
+  | F of float array
+  | I of int array
+  | P of { pbuf : int array; poff : int array }
 
+type buffer = { id : int; elt : Types.t; esz : int; payload : payload }
+
+(* Buffer ids are allocated densely from 0, so the id -> buffer table is a
+   growable array rather than a hashtable: [find] on the load/store path
+   is a bounds check and an array read. *)
 type t = {
-  buffers : (int, buffer) Hashtbl.t;
+  mutable buffers : buffer option array;
   mutable next_id : int;
   mutable transferred : int;
 }
 
-let create () = { buffers = Hashtbl.create 17; next_id = 0; transferred = 0 }
+let create () = { buffers = Array.make 16 None; next_id = 0; transferred = 0 }
 
-let alloc t elt data =
-  let b = { id = t.next_id; elt; data } in
-  t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.buffers b.id b;
-  t.transferred <- t.transferred + (Array.length data * Types.size_bytes elt);
+let register t b =
+  if t.next_id >= Array.length t.buffers then begin
+    let grown = Array.make (2 * Array.length t.buffers) None in
+    Array.blit t.buffers 0 grown 0 (Array.length t.buffers);
+    t.buffers <- grown
+  end;
+  t.buffers.(b.id) <- Some b;
+  t.next_id <- t.next_id + 1
+
+let payload_len = function
+  | F a -> Array.length a
+  | I a -> Array.length a
+  | P { pbuf; _ } -> Array.length pbuf
+
+let int_fits v = Int64.of_int (Int64.to_int v) = v
+
+let fit v =
+  if int_fits v then Int64.to_int v
+  else
+    failwith
+      (Printf.sprintf
+         "simulated memory: integer %Ld does not fit the simulator's 63-bit \
+          storage"
+         v)
+
+let alloc t elt payload =
+  let b = { id = t.next_id; elt; esz = Types.size_bytes elt; payload } in
+  register t b;
+  t.transferred <- t.transferred + (payload_len payload * b.esz);
   b
 
-let alloc_f64 t host = alloc t Types.F64 (Array.map (fun x -> Eval.Float x) host)
-let alloc_i64 t host = alloc t Types.I64 (Array.map (fun x -> Eval.Int x) host)
-let zeros_f64 t n = alloc t Types.F64 (Array.make n (Eval.Float 0.0))
-let zeros_i64 t n = alloc t Types.I64 (Array.make n (Eval.Int 0L))
+let alloc_f64 t host = alloc t Types.F64 (F (Array.copy host))
+let alloc_i64 t host = alloc t Types.I64 (I (Array.map fit host))
+let zeros_f64 t n = alloc t Types.F64 (F (Array.make n 0.0))
+let zeros_i64 t n = alloc t Types.I64 (I (Array.make n 0))
 
 let alloc_scratch t elt n =
-  let b =
-    {
-      id = t.next_id;
-      elt;
-      data =
-        Array.make n
-          (match elt with
-          | Types.F64 -> Eval.Float 0.0
-          | Types.I1 | Types.I32 | Types.I64 -> Eval.Int 0L
-          | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
-          | Types.Void -> Eval.Int 0L);
-    }
+  let payload =
+    match elt with
+    | Types.F64 -> F (Array.make n 0.0)
+    | Types.I1 | Types.I32 | Types.I64 | Types.Void -> I (Array.make n 0)
+    | Types.Ptr _ -> P { pbuf = Array.make n (-1); poff = Array.make n 0 }
   in
-  t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.buffers b.id b;
+  let b = { id = t.next_id; elt; esz = Types.size_bytes elt; payload } in
+  register t b;
   b
 
 let buffer_id b = b.id
-let buffer_len b = Array.length b.data
+let buffer_len b = payload_len b.payload
 let buffer_elt b = b.elt
 
 let find t id =
-  match Hashtbl.find_opt t.buffers id with
-  | Some b -> b
-  | None -> failwith (Printf.sprintf "simulated memory: unknown buffer %d" id)
+  if id >= 0 && id < t.next_id then
+    match t.buffers.(id) with Some b -> b | None -> assert false
+  else failwith (Printf.sprintf "simulated memory: unknown buffer %d" id)
 
 let read_f64 b =
-  Array.map
-    (function
-      | Eval.Float x -> x
-      | Eval.Int _ | Eval.Ptr _ -> invalid_arg "Memory.read_f64: not an f64 buffer")
-    b.data
+  match b.payload with
+  | F a -> Array.copy a
+  | I _ | P _ -> invalid_arg "Memory.read_f64: not an f64 buffer"
 
 let read_i64 b =
-  Array.map
-    (function
-      | Eval.Int x -> x
-      | Eval.Float _ | Eval.Ptr _ -> invalid_arg "Memory.read_i64: not an i64 buffer")
-    b.data
+  match b.payload with
+  | I a -> Array.map Int64.of_int a
+  | F _ | P _ -> invalid_arg "Memory.read_i64: not an i64 buffer"
 
 let bytes_moved t = t.transferred
 
 let check b offset =
-  if offset < 0 || offset >= Array.length b.data then
+  if offset < 0 || offset >= payload_len b.payload then
     failwith
       (Printf.sprintf "simulated memory: buffer %d access out of bounds (%d of %d)"
-         b.id offset (Array.length b.data))
+         b.id offset (payload_len b.payload))
+
+let type_confusion b what =
+  failwith
+    (Printf.sprintf "simulated memory: buffer %d holds %s, accessed as %s" b.id
+       (Types.to_string b.elt) what)
 
 let load t ~buffer_id ~offset =
   let b = find t buffer_id in
   check b offset;
-  b.data.(offset)
+  match b.payload with
+  | F a -> Eval.Float a.(offset)
+  | I a -> Eval.Int (Int64.of_int a.(offset))
+  | P { pbuf; poff } -> Eval.Ptr { buffer = pbuf.(offset); offset = poff.(offset) }
 
 let store t ~buffer_id ~offset v =
   let b = find t buffer_id in
   check b offset;
-  b.data.(offset) <- v
+  match b.payload, v with
+  | F a, Eval.Float x -> a.(offset) <- x
+  | I a, Eval.Int x -> a.(offset) <- fit x
+  | P { pbuf; poff }, Eval.Ptr p ->
+    pbuf.(offset) <- p.buffer;
+    poff.(offset) <- p.offset
+  | F _, (Eval.Int _ | Eval.Ptr _) -> type_confusion b "a non-float"
+  | I _, (Eval.Float _ | Eval.Ptr _) -> type_confusion b "a non-integer"
+  | P _, (Eval.Float _ | Eval.Int _) -> type_confusion b "a non-pointer"
 
 let atomic_add t ~buffer_id ~offset v =
   let b = find t buffer_id in
   check b offset;
-  let old = b.data.(offset) in
-  let nw =
-    match old, v with
-    | Eval.Int a, Eval.Int x -> Eval.Int (Int64.add a x)
-    | Eval.Float a, Eval.Float x -> Eval.Float (a +. x)
-    | _, _ -> failwith "simulated memory: atomic_add type mismatch"
-  in
-  b.data.(offset) <- nw;
-  old
+  match b.payload, v with
+  | I a, Eval.Int x ->
+    let old = a.(offset) in
+    a.(offset) <- old + fit x;
+    Eval.Int (Int64.of_int old)
+  | F a, Eval.Float x ->
+    let old = a.(offset) in
+    a.(offset) <- old +. x;
+    Eval.Float old
+  | _, _ -> failwith "simulated memory: atomic_add type mismatch"
 
-let elt_size t ~buffer_id = Types.size_bytes (find t buffer_id).elt
+let elt_size t ~buffer_id = (find t buffer_id).esz
+
+(* Allocation-free accessors for the decoded engine. *)
+
+let fdata t ~buffer_id =
+  let b = find t buffer_id in
+  match b.payload with
+  | F a -> a
+  | I _ | P _ -> type_confusion b "a float"
+
+let loadi t ~buffer_id ~offset =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | I a -> a.(offset)
+  | F _ | P _ -> type_confusion b "an integer"
+
+let loadp t ~buffer_id ~offset =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | P { pbuf; poff } -> (pbuf.(offset), poff.(offset))
+  | F _ | I _ -> type_confusion b "a pointer"
+
+let storei t ~buffer_id ~offset x =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | I a -> a.(offset) <- x
+  | F _ | P _ -> type_confusion b "an integer"
+
+let storep t ~buffer_id ~offset ~pbuffer ~poffset =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | P { pbuf; poff } ->
+    pbuf.(offset) <- pbuffer;
+    poff.(offset) <- poffset
+  | F _ | I _ -> type_confusion b "a pointer"
+
+let atomic_addi t ~buffer_id ~offset x =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | I a ->
+    let old = a.(offset) in
+    a.(offset) <- old + x;
+    old
+  | F _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
+let atomic_addf t ~buffer_id ~offset x =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | F a ->
+    let old = a.(offset) in
+    a.(offset) <- old +. x;
+    old
+  | I _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
+let dump t =
+  List.init t.next_id (fun id ->
+      let b = find t id in
+      let data =
+        match b.payload with
+        | F a -> Array.map (fun x -> Eval.Float x) a
+        | I a -> Array.map (fun x -> Eval.Int (Int64.of_int x)) a
+        | P { pbuf; poff } ->
+          Array.init (Array.length pbuf) (fun i ->
+              Eval.Ptr { buffer = pbuf.(i); offset = poff.(i) })
+      in
+      (id, data))

@@ -15,6 +15,8 @@ val alloc_f64 : t -> float array -> buffer
 (** Copy a host array into a fresh f64 buffer. *)
 
 val alloc_i64 : t -> int64 array -> buffer
+(** Integers are stored unboxed as native [int]s.
+    @raise Failure if a value does not fit in 63 bits. *)
 
 val zeros_f64 : t -> int -> buffer
 val zeros_i64 : t -> int -> buffer
@@ -48,3 +50,32 @@ val atomic_add : t -> buffer_id:int -> offset:int -> Eval.rvalue -> Eval.rvalue
 
 val elt_size : t -> buffer_id:int -> int
 (** Element size in bytes, for coalescing computations. *)
+
+(** {1 Unboxed access (used by the decoded engine)}
+
+    Allocation-free counterparts of {!load}/{!store}. Integer values are
+    native [int]s — the simulator's integer domain is 63-bit (storing a
+    value outside it raises, see {!alloc_i64}).
+    @raise Failure on out-of-bounds, unknown buffer, or element-type
+    mismatch. *)
+
+val loadi : t -> buffer_id:int -> offset:int -> int
+val loadp : t -> buffer_id:int -> offset:int -> int * int
+(** A pointer element as [(buffer, offset)]. *)
+
+val fdata : t -> buffer_id:int -> float array
+(** The live float payload of an f64 buffer (no copy) — float loads and
+    stores read and write it directly so no box is allocated per lane.
+    Callers bounds-check offsets against its length themselves.
+    @raise Failure on unknown buffer or non-float buffer. *)
+
+val storei : t -> buffer_id:int -> offset:int -> int -> unit
+val storep : t -> buffer_id:int -> offset:int -> pbuffer:int -> poffset:int -> unit
+
+val atomic_addi : t -> buffer_id:int -> offset:int -> int -> int
+val atomic_addf : t -> buffer_id:int -> offset:int -> float -> float
+(** Add and return the previous value. *)
+
+val dump : t -> (int * Eval.rvalue array) list
+(** Snapshot of every buffer (id, copied contents) in allocation order —
+    used by the engine-equivalence tests to compare whole memory spaces. *)

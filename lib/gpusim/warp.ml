@@ -68,20 +68,24 @@ let run env ~block_id ~warp_id ~lanes =
     m.Metrics.inst_control <- m.Metrics.inst_control + control;
     m.Metrics.inst_memory <- m.Metrics.inst_memory + memory
   in
-  (* Distinct memory segments for the given per-lane pointers, split into
-     L1 hits and misses. *)
+  (* Distinct memory segments for the given per-lane pointers (in lane
+     order), split into L1 hits and misses. Segments are classified in
+     first-touching-lane order so the LRU touch sequence is deterministic
+     and engine-independent (a hashtable fold here would make hit/miss
+     counts depend on hash iteration order). *)
   let transactions_of ptrs =
-    let segs = Hashtbl.create 8 in
-    List.iter
-      (fun (buffer, offset) ->
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun (hits, misses) (buffer, offset) ->
         let esz = Memory.elt_size env.mem ~buffer_id:buffer in
         let seg = offset * esz / d.Device.transaction_bytes in
-        Hashtbl.replace segs (buffer, seg) ())
-      ptrs;
-    Hashtbl.fold
-      (fun key () (hits, misses) ->
-        if Cache.touch env.dcache key then (hits, misses + 1) else (hits + 1, misses))
-      segs (0, 0)
+        let key = (buffer, seg) in
+        if Hashtbl.mem seen key then (hits, misses)
+        else begin
+          Hashtbl.replace seen key ();
+          if Cache.touch env.dcache key then (hits, misses + 1) else (hits + 1, misses)
+        end)
+      (0, 0) ptrs
   in
   let expect_ptr = function
     | Eval.Ptr { buffer; offset } -> (buffer, offset)
@@ -140,7 +144,7 @@ let run env ~block_id ~warp_id ~lanes =
           ptrs := (buffer, offset) :: !ptrs;
           regs.(lane).(dst) <- Memory.load env.mem ~buffer_id:buffer ~offset)
         mask;
-      let hits, misses = transactions_of !ptrs in
+      let hits, misses = transactions_of (List.rev !ptrs) in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gld_bytes <-
         m.Metrics.gld_bytes + (active * Types.size_bytes ty);
@@ -167,7 +171,7 @@ let run env ~block_id ~warp_id ~lanes =
           ptrs := (buffer, offset) :: !ptrs;
           Memory.store env.mem ~buffer_id:buffer ~offset (eval lane value))
         mask;
-      let hits, misses = transactions_of !ptrs in
+      let hits, misses = transactions_of (List.rev !ptrs) in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * Types.size_bytes ty);
       charge ~memory:active
@@ -316,5 +320,1073 @@ let run env ~block_id ~warp_id ~lanes =
               push { block = if_true; mask = m_t; rpc = part_rpc }
           end
       end
+  done;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Decoded engine: the same machine run over [Decode.t] programs.      *)
+(* Every charge, cache touch, RNG draw, and failure message below      *)
+(* replicates [run] exactly; only the representation changed.          *)
+(* ------------------------------------------------------------------ *)
+
+type decoded_env = {
+  d_device : Device.t;
+  prog : Decode.t;
+  d_mem : Memory.t;
+  d_icache : Layout.icache;
+  d_args : (Value.var * Eval.rvalue) list;
+  d_block_dim : int;
+  d_grid_dim : int;
+  d_noise : Rng.t option;
+  d_max_warp_cycles : int;
+  d_dcache : int Cache.t;  (* L1 over (buffer lsl 32) lor segment *)
+  d_tracer : Trace.t option;
+}
+
+(* Per-launch scratch, reset per warp: unboxed register files (one row
+   of [warp_size] lanes per slot), phi staging, the reconvergence stack
+   as parallel int arrays, and coalescing scratch. *)
+type decoded_state = {
+  fregs : float array;
+  iregs : int array;
+  pregs_buf : int array;
+  pregs_off : int array;
+  dprev : int array;
+  ph_f : float array;
+  ph_i : int array;
+  ph_pb : int array;
+  ph_po : int array;
+  mutable st_blk : int array;
+  mutable st_msk : int array;
+  mutable st_rpc : int array;
+  tx_buf : int array;
+  tx_off : int array;
+  tx_seen : int array;
+}
+
+let decoded_state (env : decoded_env) =
+  let ws = env.d_device.Device.warp_size in
+  let p = env.prog in
+  let st =
+    {
+      fregs = Array.make (max 1 (p.Decode.n_f * ws)) 0.0;
+      iregs = Array.make (max 1 (p.Decode.n_i * ws)) 0;
+      pregs_buf = Array.make (max 1 (p.Decode.n_p * ws)) (-1);
+      pregs_off = Array.make (max 1 (p.Decode.n_p * ws)) 0;
+      dprev = Array.make ws (-1);
+      ph_f = Array.make (max 1 (p.Decode.max_phis * ws)) 0.0;
+      ph_i = Array.make (max 1 (p.Decode.max_phis * ws)) 0;
+      ph_pb = Array.make (max 1 (p.Decode.max_phis * ws)) 0;
+      ph_po = Array.make (max 1 (p.Decode.max_phis * ws)) 0;
+      st_blk = Array.make 16 0;
+      st_msk = Array.make 16 0;
+      st_rpc = Array.make 16 (-1);
+      tx_buf = Array.make ws 0;
+      tx_off = Array.make ws 0;
+      tx_seen = Array.make ws 0;
+    }
+  in
+  (* Parameters are warp-invariant, so their register rows are written
+     once per launch here. Everything else is SSA — every use is
+     dominated by a def executed earlier in the same warp — so the
+     register files need no per-warp reset. *)
+  List.iter
+    (fun (v, value) ->
+      let base = p.Decode.slot.(v) * ws in
+      match value with
+      | Eval.Float x -> Array.fill st.fregs base ws x
+      | Eval.Int n -> Array.fill st.iregs base ws (Int64.to_int n)
+      | Eval.Ptr { buffer; offset } ->
+        Array.fill st.pregs_buf base ws buffer;
+        Array.fill st.pregs_off base ws offset)
+    env.d_args;
+  st
+
+(* Copy of [Mask.popcount]'s SWAR (masks never set bit 62), kept here so
+   the per-instruction active-lane count is a direct static call. *)
+let popcount62 m =
+  let m = m - ((m lsr 1) land 0x1555_5555_5555_5555) in
+  let m = (m land 0x3333_3333_3333_3333) + ((m lsr 2) land 0x3333_3333_3333_3333) in
+  let m = (m + (m lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (m * 0x0101_0101_0101_0101) lsr 56
+
+let oob buffer offset len =
+  failwith
+    (Printf.sprintf "simulated memory: buffer %d access out of bounds (%d of %d)"
+       buffer offset len)
+
+(* Native-int integer ops, value-identical to [Eval.binop] over the
+   sign-extended range the benchmarks live in. [Int64] fallbacks cover
+   the corners where a 63-bit word could diverge (I64 unsigned division
+   and logical shifts of negative values, shift counts of 63). *)
+
+let inorm w v =
+  match w with
+  | Decode.W1 -> v land 1
+  | Decode.W32 -> (v lsl 31) asr 31
+  | Decode.W64 -> v
+
+let wbits = function Decode.W1 -> 0 | Decode.W32 -> 31 | Decode.W64 -> 63
+
+let iexec op w x y =
+  match op with
+  | Instr.Add -> inorm w (x + y)
+  | Instr.Sub -> inorm w (x - y)
+  | Instr.Mul -> inorm w (x * y)
+  | Instr.Sdiv -> if y = 0 then 0 else inorm w (x / y)
+  | Instr.Srem -> if y = 0 then 0 else inorm w (x mod y)
+  | Instr.Udiv ->
+    if y = 0 then 0
+    else (
+      match w with
+      | Decode.W1 -> x land 1
+      | Decode.W32 -> inorm w ((x land 0xFFFF_FFFF) / (y land 0xFFFF_FFFF))
+      | Decode.W64 ->
+        if x >= 0 && y >= 0 then x / y
+        else Int64.to_int (Int64.unsigned_div (Int64.of_int x) (Int64.of_int y)))
+  | Instr.Shl ->
+    let c = y land wbits w in
+    if c > 62 then Int64.to_int (Int64.shift_left (Int64.of_int x) c)
+    else inorm w (x lsl c)
+  | Instr.Lshr -> (
+    let c = y land wbits w in
+    match w with
+    | Decode.W1 -> x land 1
+    | Decode.W32 -> inorm w ((x land 0xFFFF_FFFF) lsr c)
+    | Decode.W64 ->
+      if x >= 0 then (if c > 62 then 0 else x lsr c)
+      else Int64.to_int (Int64.shift_right_logical (Int64.of_int x) c))
+  | Instr.Ashr -> inorm w (x asr min (y land wbits w) 62)
+  | Instr.And -> x land y
+  | Instr.Or -> x lor y
+  | Instr.Xor -> x lxor y
+  | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv -> assert false
+
+let b2i b = if b then 1 else 0
+
+(* Unsigned order of sign-extended values survives the 64 -> 63 bit
+   narrowing: flipping the native sign bit sorts negatives (huge
+   unsigned) above the non-negatives, exactly as
+   [Int64.unsigned_compare] does. *)
+let icmp_exec op x y =
+  match op with
+  | Instr.Eq -> b2i (x = y)
+  | Instr.Ne -> b2i (x <> y)
+  | Instr.Slt -> b2i (x < y)
+  | Instr.Sle -> b2i (x <= y)
+  | Instr.Sgt -> b2i (x > y)
+  | Instr.Sge -> b2i (x >= y)
+  | Instr.Ult -> b2i (x lxor min_int < y lxor min_int)
+  | Instr.Ule -> b2i (x lxor min_int <= y lxor min_int)
+  | Instr.Ugt -> b2i (x lxor min_int > y lxor min_int)
+  | Instr.Uge -> b2i (x lxor min_int >= y lxor min_int)
+  | _ -> assert false
+
+let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lanes =
+  let d = env.d_device in
+  let p = env.prog in
+  let ws = d.Device.warp_size in
+  let blocks = p.Decode.blocks in
+  let m = Metrics.create () in
+  m.Metrics.warps_launched <- 1;
+  let fregs = st.fregs and iregs = st.iregs in
+  let pbuf = st.pregs_buf and poff = st.pregs_off in
+  Array.fill st.dprev 0 ws (-1);
+  let retired = ref 0 in
+  let mem_factor =
+    match env.d_noise with
+    | Some rng -> Float.max 0.5 (Rng.gaussian rng ~mean:1.0 ~stddev:0.03)
+    | None -> 1.0
+  in
+  let mem_cost transactions =
+    int_of_float
+      (Float.round
+         (mem_factor *. float_of_int (d.Device.mem_transaction_cost * transactions)))
+  in
+  let charge ?(misc = 0) ?(control = 0) ?(memory = 0) ~cycles ~active () =
+    m.Metrics.cycles <- m.Metrics.cycles + cycles;
+    m.Metrics.warp_instrs <- m.Metrics.warp_instrs + 1;
+    m.Metrics.thread_instrs <- m.Metrics.thread_instrs + active;
+    m.Metrics.active_lane_sum <- m.Metrics.active_lane_sum + active;
+    m.Metrics.inst_misc <- m.Metrics.inst_misc + misc;
+    m.Metrics.inst_control <- m.Metrics.inst_control + control;
+    m.Metrics.inst_memory <- m.Metrics.inst_memory + memory
+  in
+  (* Classify the [n] pointers staged in [tx_buf]/[tx_off] (lane order)
+     into L1 hits and misses, deduplicating segments in
+     first-touching-lane order exactly like [transactions_of]. *)
+  let classify n =
+    let hits = ref 0 and misses = ref 0 and nseen = ref 0 in
+    for j = 0 to n - 1 do
+      let buffer = st.tx_buf.(j) in
+      let esz = Memory.elt_size env.d_mem ~buffer_id:buffer in
+      let seg = st.tx_off.(j) * esz / d.Device.transaction_bytes in
+      let key = (buffer lsl 32) lor seg in
+      let dup = ref false in
+      for k = 0 to !nseen - 1 do
+        if st.tx_seen.(k) = key then dup := true
+      done;
+      if not !dup then begin
+        st.tx_seen.(!nseen) <- key;
+        incr nseen;
+        if Cache.touch env.d_dcache key then incr misses else incr hits
+      end
+    done;
+    (!hits, !misses)
+  in
+  let live_streams = ref 1 in
+  (* Lane loops walk the mask by shifting it right one lane per
+     iteration — ascending lane order, two ALU ops per lane, and operand
+     reads are inlined matches so no float ever crosses a call boundary
+     (which would box it on this non-flambda compiler). *)
+  let exec_instr mask instr =
+    let active = popcount62 mask in
+    match instr with
+    | Decode.D_ibin { dst; op; w; a; b; cost } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match a with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          and y =
+            match b with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set iregs (base + !l) (iexec op w x y)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:cost ~active ()
+    | Decode.D_fbin { dst; op; a; b; cost } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match a with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          and y =
+            match b with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          in
+          Array.unsafe_set fregs (base + !l)
+            (match op with
+            | Instr.Fadd -> x +. y
+            | Instr.Fsub -> x -. y
+            | Instr.Fmul -> x *. y
+            | Instr.Fdiv -> x /. y
+            | _ -> assert false)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:cost ~active ()
+    | Decode.D_icmp { dst; op; a; b } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match a with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          and y =
+            match b with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set iregs (base + !l) (icmp_exec op x y)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_fcmp { dst; op; a; b } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match a with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          and y =
+            match b with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          in
+          Array.unsafe_set iregs (base + !l)
+            (match op with
+            | Instr.Foeq -> b2i (x = y)
+            | Instr.Fone -> b2i (x < y || x > y)
+            | Instr.Folt -> b2i (x < y)
+            | Instr.Fole -> b2i (x <= y)
+            | Instr.Fogt -> b2i (x > y)
+            | Instr.Foge -> b2i (x >= y)
+            | _ -> assert false)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_pcmp { dst; negate; a; b } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let ab =
+            match a with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and ao =
+            match a with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          and bb =
+            match b with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and bo =
+            match b with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          let same = ab = bb && ao = bo in
+          Array.unsafe_set iregs (base + !l)
+            (b2i (if negate then not same else same))
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_iunop { dst; op; src } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match src with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set iregs (base + !l)
+            (match op with
+            | Instr.Trunc_i32 -> (x lsl 31) asr 31
+            | Instr.Sext_i64 -> x
+            | Instr.Zext_i64 -> x land 0xFFFF_FFFF
+            | Instr.Not -> lnot x
+            | _ -> assert false)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_sitofp { dst; src } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match src with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set fregs (base + !l) (float_of_int x)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_fptosi { dst; src } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match src with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          in
+          Array.unsafe_set iregs (base + !l) (Int64.to_int (Int64.of_float x))
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_fneg { dst; src } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let x =
+            match src with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          in
+          Array.unsafe_set fregs (base + !l) (-.x)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_iselect { dst; cond; t; f } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let c =
+            match cond with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          let o = if c land 1 <> 0 then t else f in
+          Array.unsafe_set iregs (base + !l)
+            (match o with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~misc:active ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_fselect { dst; cond; t; f } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let c =
+            match cond with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          let o = if c land 1 <> 0 then t else f in
+          Array.unsafe_set fregs (base + !l)
+            (match o with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~misc:active ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_pselect { dst; cond; t; f } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let c =
+            match cond with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          let o = if c land 1 <> 0 then t else f in
+          (match o with
+          | Decode.P_reg s ->
+            Array.unsafe_set pbuf (base + !l) (Array.unsafe_get pbuf ((s * ws) + !l));
+            Array.unsafe_set poff (base + !l) (Array.unsafe_get poff ((s * ws) + !l))
+          | Decode.P_imm (b', o') ->
+            Array.unsafe_set pbuf (base + !l) b';
+            Array.unsafe_set poff (base + !l) o')
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~misc:active ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_gep { dst; base = b; index } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let bb =
+            match b with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and bo =
+            match b with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          and ix =
+            match index with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set pbuf (base + !l) bb;
+          Array.unsafe_set poff (base + !l) (bo + ix)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_iload { dst; addr; bytes } ->
+      let base = dst * ws in
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          Array.unsafe_set iregs (base + !l)
+            (Memory.loadi env.d_mem ~buffer_id:buffer ~offset)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      let latency =
+        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+      in
+      let exposed =
+        if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
+      in
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses + exposed)
+        ~active ()
+    | Decode.D_fload { dst; addr; bytes } ->
+      let base = dst * ws in
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          let a = Memory.fdata env.d_mem ~buffer_id:buffer in
+          if offset < 0 || offset >= Array.length a then
+            oob buffer offset (Array.length a);
+          Array.unsafe_set fregs (base + !l) (Array.unsafe_get a offset)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      let latency =
+        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+      in
+      let exposed =
+        if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
+      in
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses + exposed)
+        ~active ()
+    | Decode.D_pload { dst; addr; bytes } ->
+      let base = dst * ws in
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          let vb, vo = Memory.loadp env.d_mem ~buffer_id:buffer ~offset in
+          Array.unsafe_set pbuf (base + !l) vb;
+          Array.unsafe_set poff (base + !l) vo
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      let latency =
+        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+      in
+      let exposed =
+        if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
+      in
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses + exposed)
+        ~active ()
+    | Decode.D_istore { addr; value; bytes } ->
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          let v =
+            match value with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm x -> x
+          in
+          Memory.storei env.d_mem ~buffer_id:buffer ~offset v
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+        ~active ()
+    | Decode.D_fstore { addr; value; bytes } ->
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          let v =
+            match value with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm x -> x
+          in
+          let a = Memory.fdata env.d_mem ~buffer_id:buffer in
+          if offset < 0 || offset >= Array.length a then
+            oob buffer offset (Array.length a);
+          Array.unsafe_set a offset v
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+        ~active ()
+    | Decode.D_pstore { addr; value; bytes } ->
+      let n = ref 0 in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          st.tx_buf.(!n) <- buffer;
+          st.tx_off.(!n) <- offset;
+          incr n;
+          let vb =
+            match value with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and vo =
+            match value with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          in
+          Memory.storep env.d_mem ~buffer_id:buffer ~offset ~pbuffer:vb ~poffset:vo
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      let hits, misses = classify !n in
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      charge ~memory:active
+        ~cycles:
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+        ~active ()
+    | Decode.D_iatomic { dst; addr; value } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          and v =
+            match value with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm x -> x
+          in
+          Array.unsafe_set iregs (base + !l)
+            (Memory.atomic_addi env.d_mem ~buffer_id:buffer ~offset v)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + active;
+      charge ~memory:active ~cycles:(d.Device.atomic_cost * max 1 active) ~active ()
+    | Decode.D_fatomic { dst; addr; value } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let buffer =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+            | Decode.P_imm (b', _) -> b'
+          and offset =
+            match addr with
+            | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+            | Decode.P_imm (_, o) -> o
+          and v =
+            match value with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm x -> x
+          in
+          Array.unsafe_set fregs (base + !l)
+            (Memory.atomic_addf env.d_mem ~buffer_id:buffer ~offset v)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      m.Metrics.mem_transactions <- m.Metrics.mem_transactions + active;
+      charge ~memory:active ~cycles:(d.Device.atomic_cost * max 1 active) ~active ()
+    | Decode.D_fintrinsic { dst; op; args } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let arg i =
+            match Array.unsafe_get args i with
+            | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
+            | Decode.F_imm v -> v
+          in
+          Array.unsafe_set fregs (base + !l)
+            (match op with
+            | Instr.Sqrt -> sqrt (arg 0)
+            | Instr.Exp -> exp (arg 0)
+            | Instr.Log -> log (arg 0)
+            | Instr.Sin -> sin (arg 0)
+            | Instr.Cos -> cos (arg 0)
+            | Instr.Fabs -> Float.abs (arg 0)
+            | Instr.Pow -> Float.pow (arg 0) (arg 1)
+            | Instr.Fmin -> Float.min (arg 0) (arg 1)
+            | Instr.Fmax -> Float.max (arg 0) (arg 1)
+            | _ -> assert false)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.intrinsic_cost ~active ()
+    | Decode.D_iintrinsic { dst; op; args } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          let arg i =
+            match Array.unsafe_get args i with
+            | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+            | Decode.I_imm n -> n
+          in
+          Array.unsafe_set iregs (base + !l)
+            (match op with
+            | Instr.Imin -> min (arg 0) (arg 1)
+            | Instr.Imax -> max (arg 0) (arg 1)
+            | Instr.Iabs -> abs (arg 0)
+            | _ -> assert false)
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.intrinsic_cost ~active ()
+    | Decode.D_special { dst; op } ->
+      let base = dst * ws in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then
+          Array.unsafe_set iregs (base + !l)
+            (match op with
+            | Instr.Thread_idx -> (warp_id * ws) + !l
+            | Instr.Block_idx -> block_id
+            | Instr.Block_dim -> env.d_block_dim
+            | Instr.Grid_dim -> env.d_grid_dim);
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_alloca { dst; ty } ->
+      (* One cell per lane, so each lane gets a private slot. *)
+      let buf = Memory.alloc_scratch env.d_mem ty ws in
+      let base = dst * ws in
+      let bid = Memory.buffer_id buf in
+      let mm = ref mask and l = ref 0 in
+      while !mm <> 0 do
+        if !mm land 1 <> 0 then begin
+          Array.unsafe_set pbuf (base + !l) bid;
+          Array.unsafe_set poff (base + !l) !l
+        end;
+        incr l;
+        mm := !mm lsr 1
+      done;
+      charge ~cycles:d.Device.alu_cost ~active ()
+    | Decode.D_sync -> charge ~cycles:d.Device.sync_cost ~active ()
+  in
+  let phi_fail orig pr =
+    failwith
+      (Printf.sprintf "simulator: phi in bb%d has no incoming for predecessor bb%d"
+         orig
+         (if pr >= 0 then blocks.(pr).Decode.orig else pr))
+  in
+  let exec_phis mask (b : Decode.dblock) =
+    let nph = Array.length b.Decode.phis in
+    if nph > 0 then begin
+      let active = popcount62 mask in
+      for pi = 0 to nph - 1 do
+        let pbase = pi * ws in
+        (match b.Decode.phis.(pi) with
+        | Decode.Phi_f { inc; _ } ->
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then begin
+              let pr = st.dprev.(!l) in
+              match if pr >= 0 then inc.(pr) else None with
+              | Some (Decode.F_reg s) ->
+                st.ph_f.(pbase + !l) <- Array.unsafe_get fregs ((s * ws) + !l)
+              | Some (Decode.F_imm v) -> st.ph_f.(pbase + !l) <- v
+              | None -> phi_fail b.Decode.orig pr
+            end;
+            incr l;
+            mm := !mm lsr 1
+          done
+        | Decode.Phi_i { inc; _ } ->
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then begin
+              let pr = st.dprev.(!l) in
+              match if pr >= 0 then inc.(pr) else None with
+              | Some (Decode.I_reg s) ->
+                st.ph_i.(pbase + !l) <- Array.unsafe_get iregs ((s * ws) + !l)
+              | Some (Decode.I_imm n) -> st.ph_i.(pbase + !l) <- n
+              | None -> phi_fail b.Decode.orig pr
+            end;
+            incr l;
+            mm := !mm lsr 1
+          done
+        | Decode.Phi_p { inc; _ } ->
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then begin
+              let pr = st.dprev.(!l) in
+              match if pr >= 0 then inc.(pr) else None with
+              | Some (Decode.P_reg s) ->
+                st.ph_pb.(pbase + !l) <- Array.unsafe_get pbuf ((s * ws) + !l);
+                st.ph_po.(pbase + !l) <- Array.unsafe_get poff ((s * ws) + !l)
+              | Some (Decode.P_imm (b', o')) ->
+                st.ph_pb.(pbase + !l) <- b';
+                st.ph_po.(pbase + !l) <- o'
+              | None -> phi_fail b.Decode.orig pr
+            end;
+            incr l;
+            mm := !mm lsr 1
+          done);
+        charge ~misc:active ~cycles:d.Device.alu_cost ~active ()
+      done;
+      (* Parallel semantics: all reads above, all writes here. *)
+      for pi = 0 to nph - 1 do
+        let pbase = pi * ws in
+        match b.Decode.phis.(pi) with
+        | Decode.Phi_f { dst; _ } ->
+          let base = dst * ws in
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then
+              Array.unsafe_set fregs (base + !l) st.ph_f.(pbase + !l);
+            incr l;
+            mm := !mm lsr 1
+          done
+        | Decode.Phi_i { dst; _ } ->
+          let base = dst * ws in
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then
+              Array.unsafe_set iregs (base + !l) st.ph_i.(pbase + !l);
+            incr l;
+            mm := !mm lsr 1
+          done
+        | Decode.Phi_p { dst; _ } ->
+          let base = dst * ws in
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then begin
+              Array.unsafe_set pbuf (base + !l) st.ph_pb.(pbase + !l);
+              Array.unsafe_set poff (base + !l) st.ph_po.(pbase + !l)
+            end;
+            incr l;
+            mm := !mm lsr 1
+          done
+      done
+    end
+  in
+  let depth = ref 1 in
+  st.st_blk.(0) <- p.Decode.entry;
+  st.st_msk.(0) <- Mask.bits (Mask.full ~width:lanes);
+  st.st_rpc.(0) <- -1;
+  let push blk msk rpc =
+    if !depth >= Array.length st.st_blk then begin
+      let n = 2 * Array.length st.st_blk in
+      let grow a = Array.append a (Array.make (n - Array.length a) 0) in
+      st.st_blk <- grow st.st_blk;
+      st.st_msk <- grow st.st_msk;
+      st.st_rpc <- grow st.st_rpc
+    end;
+    st.st_blk.(!depth) <- blk;
+    st.st_msk.(!depth) <- msk;
+    st.st_rpc.(!depth) <- rpc;
+    incr depth
+  in
+  let set_prev mask cur =
+    let mm = ref mask and l = ref 0 in
+    while !mm <> 0 do
+      if !mm land 1 <> 0 then st.dprev.(!l) <- cur;
+      incr l;
+      mm := !mm lsr 1
+    done
+  in
+  let continue = ref true in
+  while !continue do
+    if !depth = 0 then continue := false
+    else begin
+      let ti = !depth - 1 in
+      if m.Metrics.cycles > env.d_max_warp_cycles then
+        failwith
+          (Printf.sprintf "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
+             env.d_max_warp_cycles p.Decode.fn_name);
+      let mask = st.st_msk.(ti) land lnot !retired in
+      let cur = st.st_blk.(ti) in
+      let rpc = st.st_rpc.(ti) in
+      if mask = 0 then decr depth
+      else if cur = rpc then decr depth
+      else begin
+        live_streams := !depth;
+        let b = blocks.(cur) in
+        (match env.d_tracer with
+        | Some t ->
+          Trace.record t
+            { Trace.block_id; warp_id; label = b.Decode.orig; mask = Mask.of_bits mask }
+        | None -> ());
+        let fmisses = ref 0 in
+        for line = b.Decode.line_first to b.Decode.line_last do
+          if Cache.touch env.d_icache line then incr fmisses
+        done;
+        if !fmisses > 0 then begin
+          let stall = !fmisses * d.Device.fetch_miss_penalty in
+          m.Metrics.cycles <- m.Metrics.cycles + stall;
+          m.Metrics.fetch_stall_cycles <- m.Metrics.fetch_stall_cycles + stall
+        end;
+        exec_phis mask b;
+        let instrs = b.Decode.instrs in
+        for k = 0 to Array.length instrs - 1 do
+          exec_instr mask instrs.(k)
+        done;
+        let active = popcount62 mask in
+        match b.Decode.term with
+        | Decode.T_ret ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          retired := !retired lor mask;
+          decr depth
+        | Decode.T_unreachable ->
+          failwith (Printf.sprintf "simulator: reached unreachable bb%d" b.Decode.orig)
+        | Decode.T_br target ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          set_prev mask cur;
+          if target = rpc then decr depth else st.st_blk.(ti) <- target
+        | Decode.T_cbr { cond; if_true; if_false } ->
+          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+          let mt = ref 0 in
+          let mm = ref mask and l = ref 0 in
+          while !mm <> 0 do
+            if !mm land 1 <> 0 then begin
+              let c =
+                match cond with
+                | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+                | Decode.I_imm n -> n
+              in
+              if c land 1 <> 0 then mt := !mt lor (1 lsl !l)
+            end;
+            incr l;
+            mm := !mm lsr 1
+          done;
+          let mt = !mt in
+          let mf = mask land lnot mt in
+          set_prev mask cur;
+          if mf = 0 then begin
+            if if_true = rpc then decr depth else st.st_blk.(ti) <- if_true
+          end
+          else if mt = 0 then begin
+            if if_false = rpc then decr depth else st.st_blk.(ti) <- if_false
+          end
+          else begin
+            m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
+            m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
+            let r = p.Decode.ipdom.(cur) in
+            decr depth;
+            if r >= 0 then push r mask rpc;
+            let part_rpc = if r >= 0 then r else rpc in
+            if if_false <> part_rpc then push if_false mf part_rpc;
+            if if_true <> part_rpc then push if_true mt part_rpc
+          end
+      end
+    end
   done;
   m

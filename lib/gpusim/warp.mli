@@ -36,3 +36,41 @@ val run :
     thread [warp_id * warp_size] of the block). Returns its metrics.
     @raise Failure on interpreter errors (out-of-bounds access, type
     confusion) or when [max_warp_cycles] is exceeded. *)
+
+(** {1 Decoded engine}
+
+    The same machine run over a pre-decoded flat program ({!Decode}):
+    unboxed per-class register files, dense int block ids, baked
+    post-dominators and icache extents. Charges, cache touches, RNG
+    draws, and failure messages replicate {!run} exactly. *)
+
+type decoded_env = {
+  d_device : Device.t;
+  prog : Decode.t;
+  d_mem : Memory.t;
+  d_icache : Layout.icache;
+  d_args : (Value.var * Eval.rvalue) list;
+  d_block_dim : int;
+  d_grid_dim : int;
+  d_noise : Rng.t option;
+  d_max_warp_cycles : int;
+  d_dcache : int Cache.t;  (** L1 over [(buffer lsl 32) lor segment] *)
+  d_tracer : Trace.t option;
+}
+
+type decoded_state
+(** Per-launch scratch (register files, reconvergence stack, coalescing
+    staging), reset at the start of each warp — allocate once per launch
+    with {!decoded_state} and reuse across the grid. *)
+
+val decoded_state : decoded_env -> decoded_state
+
+val run_decoded :
+  decoded_env ->
+  decoded_state ->
+  block_id:int ->
+  warp_id:int ->
+  lanes:int ->
+  Metrics.t
+(** Decoded counterpart of {!run}: identical metrics, memory effects,
+    and failures for any program both engines can execute. *)

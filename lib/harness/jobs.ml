@@ -80,7 +80,7 @@ type result = {
   from_cache : bool;
 }
 
-let execute_once ?timeout j jkey =
+let execute_once ?timeout ?engine j jkey =
   let compiled =
     match j.work with
     | Pipeline -> Runner.compile ?target:j.target ?timeout j.app j.config
@@ -88,9 +88,10 @@ let execute_once ?timeout j jkey =
   in
   let measurements =
     match j.protocol with
-    | Once -> [ Runner.simulate compiled ]
+    | Once -> [ Runner.simulate ?engine compiled ]
     | Noisy { runs } ->
-      List.init runs (fun i -> Runner.simulate ~noise_seed:(noise_seed ~key:jkey i) compiled)
+      List.init runs (fun i ->
+          Runner.simulate ?engine ~noise_seed:(noise_seed ~key:jkey i) compiled)
   in
   List.iter
     (fun (m : Runner.measurement) ->
@@ -102,9 +103,9 @@ let execute_once ?timeout j jkey =
     measurements;
   measurements
 
-let execute ?timeout ~retries j jkey =
+let execute ?timeout ?engine ~retries j jkey =
   let rec go attempt =
-    match execute_once ?timeout j jkey with
+    match execute_once ?timeout ?engine j jkey with
     | measurements -> Ok measurements
     | exception e ->
       if attempt <= retries then go (attempt + 1)
@@ -119,7 +120,7 @@ let execute ?timeout ~retries j jkey =
   in
   go 1
 
-let run_all ?jobs ?cache ?timeout ?(retries = 1) job_list =
+let run_all ?jobs ?cache ?timeout ?engine ?(retries = 1) job_list =
   let arr = Array.of_list job_list in
   let keys = Array.map (fun j -> key j) arr in
   (* Cache I/O stays on the calling domain: probe everything up front,
@@ -137,7 +138,9 @@ let run_all ?jobs ?cache ?timeout ?(retries = 1) job_list =
     List.filter (fun i -> cached.(i) = None) (List.init (Array.length arr) Fun.id)
   in
   let executed =
-    Parallel.map ?jobs (fun i -> (i, execute ?timeout ~retries arr.(i) keys.(i))) todo
+    Parallel.map ?jobs
+      (fun i -> (i, execute ?timeout ?engine ~retries arr.(i) keys.(i)))
+      todo
   in
   let outcomes = Array.make (Array.length arr) None in
   Array.iteri (fun i c ->

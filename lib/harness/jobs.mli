@@ -98,15 +98,18 @@ val run_all :
   ?jobs:int ->
   ?cache:Result_cache.t ->
   ?timeout:float ->
+  ?engine:Uu_gpusim.Kernel.engine ->
   ?retries:int ->
   job list ->
   result list
 (** Execute a job list. [jobs] is the domain-pool size (default
     [Parallel.available_domains ()]); [timeout] is a per-attempt
-    compilation budget in seconds; [retries] (default 1) is how many
-    times a failed job is re-attempted before a {!failure} is recorded.
-    Cache lookups and stores happen on the calling domain only. Results
-    are in input order. *)
+    compilation budget in seconds; [engine] selects the simulator
+    execution engine (default [Kernel.Decoded]) — engines are
+    metric-identical, so it does not enter the cache key; [retries]
+    (default 1) is how many times a failed job is re-attempted before a
+    {!failure} is recorded. Cache lookups and stores happen on the
+    calling domain only. Results are in input order. *)
 
 val measurements_exn : result -> Runner.measurement list
 (** The job's measurements. @raise Failure with the failure message when

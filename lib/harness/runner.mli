@@ -69,12 +69,19 @@ val compiled_stats : compiled -> (string * int) list
 (** The remark stream / statistic deltas of a compilation, without
     simulating (used by the [experiments remarks] subcommand). *)
 
-val simulate : ?noise_seed:int64 -> compiled -> measurement
+val simulate :
+  ?noise_seed:int64 ->
+  ?engine:Uu_gpusim.Kernel.engine ->
+  compiled ->
+  measurement
 (** Simulate a previously compiled application; used by Table I's 20-run
-    protocol to avoid recompiling per run. *)
+    protocol to avoid recompiling per run. [engine] defaults to
+    [Kernel.Decoded]; each {!compiled} carries its own decode cache, so
+    repeated simulations decode every kernel exactly once. *)
 
 val run :
   ?noise_seed:int64 ->
+  ?engine:Uu_gpusim.Kernel.engine ->
   ?target:loop_ref ->
   Uu_benchmarks.App.t ->
   Pipelines.config ->
@@ -86,6 +93,7 @@ val run :
 
 val run_exn :
   ?noise_seed:int64 ->
+  ?engine:Uu_gpusim.Kernel.engine ->
   ?target:loop_ref ->
   Uu_benchmarks.App.t ->
   Pipelines.config ->

@@ -34,6 +34,7 @@ val run :
   ?jobs:int ->
   ?cache:Result_cache.t ->
   ?timeout:float ->
+  ?engine:Uu_gpusim.Kernel.engine ->
   unit ->
   t
 (** Runs the full sweep (oracle-checked). [jobs] sizes the domain pool

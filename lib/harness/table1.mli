@@ -20,6 +20,7 @@ val compute :
   ?apps:Uu_benchmarks.App.t list ->
   ?jobs:int ->
   ?cache:Result_cache.t ->
+  ?engine:Uu_gpusim.Kernel.engine ->
   unit ->
   row list
 (** Default 20 runs per configuration, executed as [Jobs] on the domain

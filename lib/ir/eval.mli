@@ -17,6 +17,12 @@ type rvalue =
 val normalize : Types.t -> int64 -> int64
 (** Truncate/sign-extend an int64 to the given integer type's range. *)
 
+val expect_int : rvalue -> int64
+(** @raise Invalid_argument on non-[Int] values. *)
+
+val expect_float : rvalue -> float
+(** @raise Invalid_argument on non-[Float] values. *)
+
 val binop : Instr.binop -> Types.t -> rvalue -> rvalue -> rvalue
 val cmp : Instr.cmpop -> rvalue -> rvalue -> rvalue
 (** Result is [Int 0L] or [Int 1L]. *)

@@ -17,9 +17,14 @@ let diff a b = a land lnot b
 let equal (a : int) b = a = b
 let subset a b = a land lnot b = 0
 
+(* SWAR popcount over the 62 usable bits of a mask (widths are capped at
+   62, so bit 62 of the int is never set and the 2-bit-group identity
+   holds for every group). Constant-time, no allocation. *)
 let popcount m =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go m 0
+  let m = m - ((m lsr 1) land 0x1555_5555_5555_5555) in
+  let m = (m land 0x3333_3333_3333_3333) + ((m lsr 2) land 0x3333_3333_3333_3333) in
+  let m = (m + (m lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (m * 0x0101_0101_0101_0101) lsr 56
 
 let iter f m =
   let rec go i m =
@@ -37,7 +42,11 @@ let fold f m init =
 
 let to_list m = List.rev (fold (fun i acc -> i :: acc) m [])
 let of_list l = List.fold_left (fun m i -> add i m) empty l
-let first m = if m = 0 then None else Some (fold (fun i acc -> min i acc) m max_int)
+(* Trailing-zero count via popcount of (lowest-set-bit - 1). *)
+let first m = if m = 0 then None else Some (popcount ((m land -m) - 1))
+
+let bits m = m
+let of_bits b = b
 
 let pp ppf m =
   let width =

@@ -38,5 +38,12 @@ val of_list : int list -> t
 val first : t -> int option
 (** Lowest set lane, if any. *)
 
+val bits : t -> int
+(** Raw bit image: lane [i] is bit [i]. Free (masks are immediate ints);
+    lets hot loops iterate lanes without closures. *)
+
+val of_bits : int -> t
+(** Inverse of {!bits}. The caller must keep bits 62 and above clear. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as a bit string, lane 0 leftmost. *)

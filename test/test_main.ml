@@ -10,6 +10,7 @@ let () =
       ("transforms", Test_transforms.suite);
       ("remarks", Test_remarks.suite);
       ("gpusim", Test_gpusim.suite);
+      ("engine-equiv", Test_engine_equiv.suite);
       ("differential", Test_differential.suite);
       ("harness", Test_harness.suite);
       ("parallel", Test_parallel.suite);
