@@ -104,7 +104,7 @@ let sim_module config =
     m.Uu_ir.Func.funcs;
   (a, m)
 
-let simulate_module ~engine ?decode_cache ((a : Uu_benchmarks.App.t), m) =
+let simulate_module ~engine ?decode_cache ?sim_jobs ((a : Uu_benchmarks.App.t), m) =
   let instance = a.Uu_benchmarks.App.setup (Uu_support.Rng.create 0x5EEDL) in
   let total = Uu_gpusim.Metrics.create () in
   List.iter
@@ -115,7 +115,8 @@ let simulate_module ~engine ?decode_cache ((a : Uu_benchmarks.App.t), m) =
         | None -> failwith ("unknown kernel " ^ l.Uu_benchmarks.App.kernel)
       in
       let r =
-        Uu_gpusim.Kernel.launch ~engine ?decode_cache instance.Uu_benchmarks.App.mem f
+        Uu_gpusim.Kernel.launch ~engine ?decode_cache ?sim_jobs
+          instance.Uu_benchmarks.App.mem f
           ~grid_dim:l.Uu_benchmarks.App.grid_dim
           ~block_dim:l.Uu_benchmarks.App.block_dim ~args:l.Uu_benchmarks.App.args
       in
@@ -176,6 +177,96 @@ let sim_throughput_report () =
   in
   Printf.printf "  decoded-warm / reference: %.2fx\n" (warm /. reference);
   (reference, cold, warm)
+
+(* Block-shard scaling: the same Table I-scale workload (XSBench under
+   u&u-4, its own launch schedule and grids) simulated at increasing
+   --sim-jobs widths. Two things are recorded: that metrics stay
+   byte-identical at every width (the determinism contract), and the
+   wall-clock speedup over the serial sweep, which tracks the machine's
+   core count — a 1-core container measures the sharding overhead,
+   anything wider measures the win. *)
+let sim_parallel_report path =
+  let scale_n = 65536 in
+  let _, m = sim_module (Uu_core.Pipelines.Uu 4) in
+  let cache = Uu_gpusim.Decode.create_cache () in
+  let avail = Uu_support.Parallel.available_domains () in
+  let widths =
+    List.sort_uniq compare (List.filter (fun j -> j <= max 4 avail) [ 1; 2; 4; avail ])
+  in
+  print_endline "== sim-parallel: --sim-jobs sweep (XSBench, u&u-4, decoded engine) ==";
+  Printf.printf "  available domains: %d, grid %d blocks per launch\n%!" avail
+    (scale_n / 128);
+  let reps = 3 in
+  let simulate_instance ~sim_jobs (instance : Uu_benchmarks.App.instance) =
+    let total = Uu_gpusim.Metrics.create () in
+    List.iter
+      (fun (l : Uu_benchmarks.App.launch) ->
+        let f =
+          match Uu_ir.Func.find_func m l.Uu_benchmarks.App.kernel with
+          | Some f -> f
+          | None -> failwith ("unknown kernel " ^ l.Uu_benchmarks.App.kernel)
+        in
+        let r =
+          Uu_gpusim.Kernel.launch ~engine:Uu_gpusim.Kernel.Decoded ~decode_cache:cache
+            ~sim_jobs instance.Uu_benchmarks.App.mem f
+            ~grid_dim:l.Uu_benchmarks.App.grid_dim
+            ~block_dim:l.Uu_benchmarks.App.block_dim ~args:l.Uu_benchmarks.App.args
+        in
+        Uu_gpusim.Metrics.add total r.Uu_gpusim.Kernel.metrics)
+      instance.Uu_benchmarks.App.launches;
+    total
+  in
+  let measure sim_jobs =
+    (* Fresh scaled instance per width (setup outside the timed region);
+       one untimed warm-up populates the decode cache and spawn paths. *)
+    let instance =
+      Uu_benchmarks.Xsbench.setup_scaled ~n:scale_n (Uu_support.Rng.create 0x5EEDL)
+    in
+    let m0 = simulate_instance ~sim_jobs instance in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (simulate_instance ~sim_jobs instance)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  sim-jobs %-3d %8.3f s / %d reps\n%!" sim_jobs dt reps;
+    (sim_jobs, dt, m0)
+  in
+  let rows = List.map measure widths in
+  let _, serial_s, serial_m = List.hd rows in
+  let mismatches =
+    List.filter (fun (_, _, m) -> m <> serial_m) (List.tl rows)
+  in
+  List.iter
+    (fun (j, _, _) ->
+      Printf.eprintf "sim-parallel: sim-jobs %d metrics differ from serial\n" j)
+    mismatches;
+  let best_j, best_s, _ =
+    List.fold_left
+      (fun (bj, bs, bm) (j, s, m) -> if s < bs then (j, s, m) else (bj, bs, bm))
+      (List.hd rows) (List.tl rows)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "XSBench launch schedule under uu-4 scaled to %d blocks per launch, decoded engine, %d reps per width",
+  "available_domains": %d,
+  "widths": [%s],
+  "seconds": [%s],
+  "speedup_vs_serial": [%s],
+  "best": { "sim_jobs": %d, "speedup": %.2f },
+  "metrics_identical_across_widths": %b
+}
+|}
+    (scale_n / 128) reps avail
+    (String.concat ", " (List.map (fun (j, _, _) -> string_of_int j) rows))
+    (String.concat ", " (List.map (fun (_, s, _) -> Printf.sprintf "%.3f" s) rows))
+    (String.concat ", "
+       (List.map (fun (_, s, _) -> Printf.sprintf "%.2f" (serial_s /. s)) rows))
+    best_j (serial_s /. best_s) (mismatches = []);
+  close_out oc;
+  Printf.printf "  best: sim-jobs %d at %.2fx vs serial -> %s\n" best_j
+    (serial_s /. best_s) path;
+  if mismatches <> [] then exit 1
 
 let compile_bench config =
   Test.make
@@ -294,9 +385,12 @@ let main () =
   print_string (Uu_harness.Ablation.render (Uu_harness.Ablation.run ()))
 
 let () =
-  (* `bench sim-throughput` (CI smoke) and `bench sim-json [PATH]` run
-     only the engine benchmarks; no argument runs the full paper harness. *)
+  (* `bench sim-throughput` (CI smoke), `bench sim-json [PATH]`, and
+     `bench sim-parallel [PATH]` run only the engine benchmarks; no
+     argument runs the full paper harness. *)
   match Array.to_list Sys.argv with
+  | _ :: "sim-parallel" :: rest ->
+    sim_parallel_report (match rest with p :: _ -> p | [] -> "BENCH_sim_parallel.json")
   | _ :: "sim-throughput" :: _ ->
     let reference, _, warm = sim_throughput_report () in
     if warm <= reference then begin

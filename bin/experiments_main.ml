@@ -27,6 +27,16 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Domain-pool size for experiment jobs (default: all available cores)")
 
+let sim_jobs_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "sim-jobs" ] ~docv:"N"
+        ~doc:
+          "Block-shard width inside each simulated launch. Measurements are \
+           byte-identical for any value (default: budgeted from the cores the \
+           job pool leaves over — a full queue simulates serially, a lone job \
+           gets every core)")
+
 let no_cache_arg =
   Arg.(
     value & flag
@@ -63,6 +73,7 @@ type ctx = {
   out : string;
   apps : Uu_benchmarks.App.t list;
   jobs : int option;
+  sim_jobs : int option;
   cache : Result_cache.t option;
   stats : bool;
   engine : Uu_gpusim.Kernel.engine;
@@ -81,12 +92,13 @@ let select_apps = function
           None)
       wanted
 
-let make_ctx runs out apps jobs no_cache stats engine =
+let make_ctx runs out apps jobs sim_jobs no_cache stats engine =
   {
     runs;
     out;
     apps = select_apps apps;
     jobs;
+    sim_jobs;
     cache =
       (if no_cache then None
        else Some (Result_cache.create ~dir:(Filename.concat out "cache")));
@@ -96,8 +108,8 @@ let make_ctx runs out apps jobs no_cache stats engine =
 
 let ctx_term =
   Term.(
-    const make_ctx $ runs_arg $ out_arg $ apps_arg $ jobs_arg $ no_cache_arg
-    $ stats_arg $ engine_arg)
+    const make_ctx $ runs_arg $ out_arg $ apps_arg $ jobs_arg $ sim_jobs_arg
+    $ no_cache_arg $ stats_arg $ engine_arg)
 
 let print_scheduler_stats ctx extra =
   if ctx.stats then begin
@@ -123,8 +135,8 @@ let print_failures failures =
 
 let do_table1 ctx =
   let rows =
-    Table1.compute ~runs:ctx.runs ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache
-      ~engine:ctx.engine ()
+    Table1.compute ~runs:ctx.runs ~apps:ctx.apps ?jobs:ctx.jobs
+      ?sim_jobs:ctx.sim_jobs ?cache:ctx.cache ~engine:ctx.engine ()
   in
   print_string (Table1.render rows);
   Report.write_csv
@@ -134,7 +146,8 @@ let do_table1 ctx =
 let with_sweep ctx k =
   Printf.eprintf "running the per-loop sweep (%d apps)...\n%!" (List.length ctx.apps);
   let sweep =
-    Sweep.run ~apps:ctx.apps ?jobs:ctx.jobs ?cache:ctx.cache ~engine:ctx.engine ()
+    Sweep.run ~apps:ctx.apps ?jobs:ctx.jobs ?sim_jobs:ctx.sim_jobs ?cache:ctx.cache
+      ~engine:ctx.engine ()
   in
   print_failures sweep.Sweep.failures;
   Report.write_csv
@@ -251,7 +264,9 @@ let remarks_cmd =
 
 let do_ablations ctx =
   print_endline "== Ablations (design decisions; see DESIGN.md) ==";
-  print_string (Ablation.render (Ablation.run ?jobs:ctx.jobs ?cache:ctx.cache ()))
+  print_string
+    (Ablation.render
+       (Ablation.run ?jobs:ctx.jobs ?sim_jobs:ctx.sim_jobs ?cache:ctx.cache ()))
 
 let ablations_cmd =
   cmd "ablations" "Transform-design ablations (order, DBDS, selective)" do_ablations

@@ -249,9 +249,33 @@ let run_cmd =
             "Simulator execution engine: $(b,decoded) (default) or \
              $(b,reference) (the tree-walking oracle)")
   in
-  let run source config factor loop grid block elems engine =
+  let sim_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sim-jobs" ] ~docv:"N"
+          ~doc:
+            "Shard each launch's thread blocks over $(docv) domains. Metrics are \
+             byte-identical for any value; defaults to all available cores (an \
+             interactive run has the machine to itself)")
+  in
+  let races_arg =
+    Arg.(
+      value & flag
+      & info [ "check-races" ]
+          ~doc:
+            "Record every block's global write set and report cells written by more \
+             than one block (violations of the disjoint-writes contract the parallel \
+             shard relies on). Forces serial simulation.")
+  in
+  let run source config factor loop grid block elems engine sim_jobs check_races =
     handle_errors (fun () ->
         let m, _, config = compile_with source config factor loop in
+        let sim_jobs =
+          match sim_jobs with
+          | Some n -> max 1 n
+          | None -> Uu_support.Parallel.available_domains ()
+        in
         let mem = Uu_gpusim.Memory.create () in
         let rng = Uu_support.Rng.create 7L in
         List.iter
@@ -273,14 +297,20 @@ let run_cmd =
                     failwith ("unsupported parameter type for " ^ p.pname))
                 f.Func.params
             in
+            let races =
+              if check_races then Some (Uu_gpusim.Racecheck.create ()) else None
+            in
             let result =
-              Uu_gpusim.Kernel.launch ~engine mem f ~grid_dim:grid
+              Uu_gpusim.Kernel.launch ~engine ?races ~sim_jobs mem f ~grid_dim:grid
                 ~block_dim:block ~args
             in
             Printf.printf "@%s under %s: %.0f cycles, code %d bytes\n  %s\n" f.Func.name
               (Uu_core.Pipelines.config_name config)
               result.Uu_gpusim.Kernel.kernel_cycles result.Uu_gpusim.Kernel.code_bytes
-              (Format.asprintf "%a" Uu_gpusim.Metrics.pp result.Uu_gpusim.Kernel.metrics))
+              (Format.asprintf "%a" Uu_gpusim.Metrics.pp result.Uu_gpusim.Kernel.metrics);
+            match races with
+            | None -> ()
+            | Some r -> Printf.printf "  %s\n" (Uu_gpusim.Racecheck.report r))
           m.Func.funcs)
   in
   Cmd.v
@@ -290,7 +320,7 @@ let run_cmd =
           (last int parameter receives the element count)")
     Term.(
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
-      $ elems_arg $ engine_arg)
+      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg)
 
 let () =
   let info =

@@ -51,3 +51,8 @@ let touch t key =
     true
 
 let mem t key = Hashtbl.mem t.entries key
+
+let reset t =
+  Hashtbl.clear t.entries;
+  t.mru <- None;
+  t.lru <- None

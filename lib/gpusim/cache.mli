@@ -11,3 +11,8 @@ val touch : 'k t -> 'k -> bool
     if full). Returns [true] on a miss. *)
 
 val mem : 'k t -> 'k -> bool
+
+val reset : 'k t -> unit
+(** Drop every entry, keeping the capacity — indistinguishable from a
+    fresh {!create}. The per-block L1 model resets one cache per block
+    instead of allocating grid-size caches. *)

@@ -1,4 +1,11 @@
 open Uu_ir
+open Uu_support
+
+(* Bump whenever a change alters the metrics or final memory a launch
+   produces for the same inputs (the per-block L1 switch, a cost-model
+   change, ...). The harness folds this into its result-cache keys, so
+   stale entries from the previous semantics are never served. *)
+let semantics_version = "2"
 
 type arg =
   | Buf of Memory.buffer
@@ -41,66 +48,96 @@ let bind_args fn args =
 
 type engine = Reference | Decoded
 
-let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~decode_cache mem fn
-    ~grid_dim ~block_dim ~bound =
+(* Kernels whose execution is inherently block-order dependent must not
+   be sharded: [Alloca] allocates from the shared buffer table (ids
+   depend on allocation order), and [Atomic_add] returns old values that
+   depend on which block got there first. Such launches run serially,
+   where both are deterministic. *)
+let order_dependent fn =
+  Func.fold_blocks
+    (fun b acc ->
+      acc
+      || List.exists
+           (function Instr.Alloca _ | Instr.Atomic_add _ -> true | _ -> false)
+           b.Block.instrs)
+    fn false
+
+(* The per-launch noise draw keeps [Runner]'s cross-launch rng sequencing
+   (one [next] per launch), and each block derives a private stream from
+   it — warp jitter is a function of (launch, block, warp), never of
+   which domain simulated the block or in what order. *)
+let block_noise launch_seed block_id =
+  match launch_seed with
+  | None -> None
+  | Some seed -> Some (Rng.stream seed block_id)
+
+let warps_per_block ~device ~block_dim =
+  (block_dim + device.Device.warp_size - 1) / device.Device.warp_size
+
+(* Run a shard of blocks with worker-private per-block caches ([reset]
+   per block: every block starts cold, the per-SM L1 model) and reduce
+   chunk metrics in ascending block order — byte-identical totals for
+   any [sim_jobs]/chunking. *)
+let reduce_blocks ~grid_dim ~sim_jobs run_shard =
+  let total = Metrics.create () in
+  if sim_jobs <= 1 then Metrics.add total (run_shard ~lo:0 ~hi:grid_dim)
+  else
+    List.iter (Metrics.add total)
+      (Parallel.map_range ~jobs:sim_jobs ~n:grid_dim run_shard);
+  total
+
+let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
+    ~sim_jobs mem fn ~grid_dim ~block_dim ~bound =
   let prog =
     match decode_cache with
     | Some cache -> Decode.decode_cached cache device fn
     | None -> Decode.decode device fn
   in
-  let icache = Layout.icache_create device in
-  let dcache = Cache.create ~capacity:device.Device.l1_lines in
   let env =
     {
       Warp.d_device = device;
       prog;
       d_mem = mem;
-      d_icache = icache;
       d_args = bound;
       d_block_dim = block_dim;
       d_grid_dim = grid_dim;
-      d_noise = noise;
       d_max_warp_cycles = max_warp_cycles;
-      d_dcache = dcache;
       d_tracer = tracer;
+      d_races = races;
     }
   in
-  let st = Warp.decoded_state env in
-  let total = Metrics.create () in
-  let warps_per_block =
-    (block_dim + device.Device.warp_size - 1) / device.Device.warp_size
+  let wpb = warps_per_block ~device ~block_dim in
+  let launch_seed = Option.map Rng.next noise in
+  let run_shard ~lo ~hi =
+    let st = Warp.decoded_state env in
+    let icache = Layout.icache_create device in
+    let dcache = Cache.create ~capacity:device.Device.l1_lines in
+    let acc = Metrics.create () in
+    for block_id = lo to hi - 1 do
+      Cache.reset icache;
+      Cache.reset dcache;
+      let noise = block_noise launch_seed block_id in
+      for warp_id = 0 to wpb - 1 do
+        let base = warp_id * device.Device.warp_size in
+        let lanes = min device.Device.warp_size (block_dim - base) in
+        if lanes > 0 then
+          Metrics.add acc
+            (Warp.run_decoded env st ~dcache ~icache ~noise ~block_id ~warp_id
+               ~lanes)
+      done
+    done;
+    acc
   in
-  for block_id = 0 to grid_dim - 1 do
-    for warp_id = 0 to warps_per_block - 1 do
-      let base = warp_id * device.Device.warp_size in
-      let lanes = min device.Device.warp_size (block_dim - base) in
-      if lanes > 0 then begin
-        let m = Warp.run_decoded env st ~block_id ~warp_id ~lanes in
-        Metrics.add total m
-      end
-    done
-  done;
+  let total = reduce_blocks ~grid_dim ~sim_jobs run_shard in
   {
     metrics = total;
     kernel_cycles = Metrics.kernel_time total ~device;
     code_bytes = Decode.code_bytes prog;
   }
 
-let rec launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
-    ?tracer ?(engine = Decoded) ?decode_cache mem fn ~grid_dim ~block_dim ~args =
-  let bound = bind_args fn args in
-  match engine with
-  | Decoded ->
-    launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~decode_cache mem fn
-      ~grid_dim ~block_dim ~bound
-  | Reference -> launch_reference ~device ~noise ~max_warp_cycles ~tracer mem fn
-                   ~grid_dim ~block_dim ~bound
-
-and launch_reference ~device ~noise ~max_warp_cycles ~tracer mem fn ~grid_dim
-    ~block_dim ~bound =
+let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs mem
+    fn ~grid_dim ~block_dim ~bound =
   let layout = Layout.compute device fn in
-  let icache = Layout.icache_create device in
-  let dcache = Cache.create ~capacity:device.Device.l1_lines in
   let post = Uu_analysis.Dominance.compute_post fn in
   let env =
     {
@@ -108,31 +145,62 @@ and launch_reference ~device ~noise ~max_warp_cycles ~tracer mem fn ~grid_dim
       fn;
       mem;
       layout;
-      icache;
       ipdom = (fun l -> Uu_analysis.Dominance.idom post l);
       args = bound;
       block_dim;
       grid_dim;
-      noise;
       max_warp_cycles;
-      dcache;
       tracer;
+      races;
     }
   in
-  let total = Metrics.create () in
-  let warps_per_block = (block_dim + device.Device.warp_size - 1) / device.Device.warp_size in
-  for block_id = 0 to grid_dim - 1 do
-    for warp_id = 0 to warps_per_block - 1 do
-      let base = warp_id * device.Device.warp_size in
-      let lanes = min device.Device.warp_size (block_dim - base) in
-      if lanes > 0 then begin
-        let m = Warp.run env ~block_id ~warp_id ~lanes in
-        Metrics.add total m
-      end
-    done
-  done;
+  let wpb = warps_per_block ~device ~block_dim in
+  let launch_seed = Option.map Rng.next noise in
+  let run_shard ~lo ~hi =
+    let icache = Layout.icache_create device in
+    let dcache = Cache.create ~capacity:device.Device.l1_lines in
+    let acc = Metrics.create () in
+    for block_id = lo to hi - 1 do
+      Cache.reset icache;
+      Cache.reset dcache;
+      let noise = block_noise launch_seed block_id in
+      for warp_id = 0 to wpb - 1 do
+        let base = warp_id * device.Device.warp_size in
+        let lanes = min device.Device.warp_size (block_dim - base) in
+        if lanes > 0 then
+          Metrics.add acc
+            (Warp.run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes)
+      done
+    done;
+    acc
+  in
+  let total = reduce_blocks ~grid_dim ~sim_jobs run_shard in
   {
     metrics = total;
     kernel_cycles = Metrics.kernel_time total ~device;
     code_bytes = Layout.code_bytes layout;
   }
+
+let launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
+    ?tracer ?races ?(engine = Decoded) ?decode_cache ?(sim_jobs = 1) mem fn
+    ~grid_dim ~block_dim ~args =
+  let bound = bind_args fn args in
+  let sim_jobs =
+    (* Traced and race-checked launches share a mutable recorder (and
+       traces promise execution order); order-dependent kernels are
+       wrong under any interleaving. All run serially. *)
+    if
+      sim_jobs <= 1 || grid_dim <= 1
+      || Option.is_some tracer
+      || Option.is_some races
+      || order_dependent fn
+    then 1
+    else min sim_jobs grid_dim
+  in
+  match engine with
+  | Decoded ->
+    launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
+      ~sim_jobs mem fn ~grid_dim ~block_dim ~bound
+  | Reference ->
+    launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs mem
+      fn ~grid_dim ~block_dim ~bound

@@ -5,6 +5,14 @@
 open Uu_ir
 open Uu_support
 
+val semantics_version : string
+(** Version of the simulator's observable semantics: bumped whenever a
+    change alters the metrics or final memory a launch produces for the
+    same inputs (cost-model changes, the per-block L1 switch, ...).
+    The harness folds it into result-cache keys so entries computed
+    under older semantics are never served. Engine choice and [sim_jobs]
+    are deliberately {e not} part of it — they are metric-identical. *)
+
 type arg =
   | Buf of Memory.buffer
   | Int_arg of int64
@@ -29,8 +37,10 @@ val launch :
   ?noise:Rng.t ->
   ?max_warp_cycles:int ->
   ?tracer:Trace.t ->
+  ?races:Racecheck.t ->
   ?engine:engine ->
   ?decode_cache:Decode.cache ->
+  ?sim_jobs:int ->
   Memory.t ->
   Func.t ->
   grid_dim:int ->
@@ -38,6 +48,23 @@ val launch :
   args:arg list ->
   result
 (** Execute the kernel over [grid_dim] blocks of [block_dim] threads.
+    Every block gets its own cold L1 data cache, icache residency, and
+    noise stream (the per-SM model), so block results are independent of
+    grid execution order.
+
+    [sim_jobs] (default 1) shards blocks of the launch over that many
+    OCaml domains in chunked ranges; metrics are reduced in block order
+    and blocks are order-independent, so the result — metrics, final
+    memory, everything — is byte-identical for any [sim_jobs] value.
+    Launches that are inherently order-dependent (kernels with [Alloca]
+    or [Atomic_add]), traced ([?tracer] promises execution order), or
+    race-checked ([?races] is shared mutable state) silently run with
+    one domain.
+
+    [races] audits the sharding contract itself: it records each block's
+    global-memory write set and {!Racecheck.overlaps} then lists any
+    cell written by more than one block.
+
     [engine] defaults to [Decoded]; [decode_cache] (used only by the
     decoded engine) memoizes the per-(function, device) decode across
     launches — pass one cache for the lifetime of a compiled module.

@@ -1,0 +1,57 @@
+(* Write-set tracking for the order-independence audit. Every global
+   store (and atomic update) records its (buffer, offset) cell against
+   the writing block; cells touched by more than one block are the
+   launch's inter-block write overlaps. The collector is shared mutable
+   state, so race-checked launches run serially (Kernel forces
+   sim_jobs = 1), which is fine: the point is to audit the workload, not
+   to be fast. *)
+
+type t = {
+  (* cell -> distinct blocks that wrote it, most recent first *)
+  writers : (int * int, int list ref) Hashtbl.t;
+  mutable writes : int;
+}
+
+type overlap = { buffer : int; offset : int; blocks : int list }
+
+let create () = { writers = Hashtbl.create 1024; writes = 0 }
+
+let record t ~block_id ~buffer ~offset =
+  t.writes <- t.writes + 1;
+  match Hashtbl.find_opt t.writers (buffer, offset) with
+  | Some l -> if not (List.mem block_id !l) then l := block_id :: !l
+  | None -> Hashtbl.add t.writers (buffer, offset) (ref [ block_id ])
+
+let writes t = t.writes
+let cells t = Hashtbl.length t.writers
+
+let overlaps t =
+  Hashtbl.fold
+    (fun (buffer, offset) l acc ->
+      match !l with
+      | [] | [ _ ] -> acc
+      | blocks -> { buffer; offset; blocks = List.sort compare blocks } :: acc)
+    t.writers []
+  |> List.sort (fun a b -> compare (a.buffer, a.offset) (b.buffer, b.offset))
+
+let report t =
+  match overlaps t with
+  | [] ->
+    Printf.sprintf
+      "race check: no inter-block write overlaps (%d writes to %d cells)"
+      (writes t) (cells t)
+  | os ->
+    let head =
+      Printf.sprintf
+        "race check: %d cell(s) written by more than one block (%d writes to %d \
+         cells)"
+        (List.length os) (writes t) (cells t)
+    in
+    let lines =
+      List.map
+        (fun o ->
+          Printf.sprintf "  buffer %d offset %d <- blocks %s" o.buffer o.offset
+            (String.concat ", " (List.map string_of_int o.blocks)))
+        os
+    in
+    String.concat "\n" (head :: lines)

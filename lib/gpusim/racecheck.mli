@@ -1,0 +1,40 @@
+(** Inter-block write-overlap detection.
+
+    Parallel block sharding assumes CUDA's contract that blocks of a
+    launch write disjoint global memory (absent atomics): only then is
+    final memory independent of block execution order. [--check-races]
+    verifies the assumption empirically — attach a collector to
+    {!Kernel.launch} via [?races] and every global store and atomic
+    update records its cell against the writing block; {!overlaps} lists
+    the cells written by more than one block.
+
+    A race-checked launch always runs serially (the collector is shared
+    mutable state); use it to audit workloads, not to measure them. *)
+
+type t
+
+type overlap = {
+  buffer : int;
+  offset : int;
+  blocks : int list;  (** sorted, distinct; always at least two *)
+}
+
+val create : unit -> t
+
+val record : t -> block_id:int -> buffer:int -> offset:int -> unit
+(** Called by the warp engines on every global store and atomic update,
+    once per active lane. *)
+
+val writes : t -> int
+(** Total writes recorded (lane grain). *)
+
+val cells : t -> int
+(** Distinct (buffer, offset) cells written. *)
+
+val overlaps : t -> overlap list
+(** Cells written by ≥ 2 distinct blocks, sorted by (buffer, offset).
+    Empty means block-order independence of final memory holds for this
+    input. *)
+
+val report : t -> string
+(** Human-readable summary, one line per overlapping cell. *)

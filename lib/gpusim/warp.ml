@@ -1,20 +1,23 @@
 open Uu_ir
 open Uu_support
 
+(* The env carries only launch-wide state that is immutable (or, for
+   [mem], written at block-disjoint cells) during the grid walk, so one
+   env can be shared read-only by every domain simulating blocks of the
+   launch. All mutable per-block state — the per-SM L1 model, icache
+   residency, the noise stream — is passed to [run] per block. *)
 type launch_env = {
   device : Device.t;
   fn : Func.t;
   mem : Memory.t;
   layout : Layout.t;
-  icache : Layout.icache;
   ipdom : Value.label -> Value.label option;
   args : (Value.var * Eval.rvalue) list;
   block_dim : int;
   grid_dim : int;
-  noise : Rng.t option;
   max_warp_cycles : int;
-  dcache : (int * int) Cache.t;  (* L1 over (buffer, segment) *)
   tracer : Trace.t option;
+  races : Racecheck.t option;  (* inter-block write-overlap audit *)
 }
 
 type entry = {
@@ -29,7 +32,7 @@ let default_of_ty = function
   | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
   | Types.Void -> Eval.Int 0L
 
-let run env ~block_id ~warp_id ~lanes =
+let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
   let d = env.device in
   let fn = env.fn in
   let m = Metrics.create () in
@@ -41,9 +44,11 @@ let run env ~block_id ~warp_id ~lanes =
     env.args;
   let prev = Array.make d.Device.warp_size (-1) in
   let retired = ref Mask.empty in
-  (* Per-warp memory jitter factor, the source of run-to-run variance. *)
+  (* Per-warp memory jitter factor, the source of run-to-run variance.
+     [noise] is the block's private stream, so the draw sequence is a
+     function of (block, warp) alone, not of grid execution order. *)
   let mem_factor =
-    match env.noise with
+    match noise with
     | Some rng -> Float.max 0.5 (Rng.gaussian rng ~mean:1.0 ~stddev:0.03)
     | None -> 1.0
   in
@@ -83,7 +88,7 @@ let run env ~block_id ~warp_id ~lanes =
         if Hashtbl.mem seen key then (hits, misses)
         else begin
           Hashtbl.replace seen key ();
-          if Cache.touch env.dcache key then (hits, misses + 1) else (hits + 1, misses)
+          if Cache.touch dcache key then (hits, misses + 1) else (hits + 1, misses)
         end)
       (0, 0) ptrs
   in
@@ -171,6 +176,12 @@ let run env ~block_id ~warp_id ~lanes =
           ptrs := (buffer, offset) :: !ptrs;
           Memory.store env.mem ~buffer_id:buffer ~offset (eval lane value))
         mask;
+      (match env.races with
+      | Some r ->
+        List.iter
+          (fun (buffer, offset) -> Racecheck.record r ~block_id ~buffer ~offset)
+          !ptrs
+      | None -> ());
       let hits, misses = transactions_of (List.rev !ptrs) in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * Types.size_bytes ty);
@@ -183,6 +194,9 @@ let run env ~block_id ~warp_id ~lanes =
       Mask.iter
         (fun lane ->
           let buffer, offset = expect_ptr (eval lane addr) in
+          (match env.races with
+          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+          | None -> ());
           regs.(lane).(dst) <-
             Memory.atomic_add env.mem ~buffer_id:buffer ~offset (eval lane value))
         mask;
@@ -269,7 +283,7 @@ let run env ~block_id ~warp_id ~lanes =
           Trace.record t { Trace.block_id; warp_id; label = top.block; mask }
         | None -> ());
         let b = Func.block fn top.block in
-        let misses = Layout.touch_block env.icache env.layout top.block in
+        let misses = Layout.touch_block icache env.layout top.block in
         if misses > 0 then begin
           let stall = misses * d.Device.fetch_miss_penalty in
           m.Metrics.cycles <- m.Metrics.cycles + stall;
@@ -329,18 +343,19 @@ let run env ~block_id ~warp_id ~lanes =
 (* replicates [run] exactly; only the representation changed.          *)
 (* ------------------------------------------------------------------ *)
 
+(* Like [launch_env]: immutable during the grid walk, shareable across
+   domains; the caches and the noise stream are per-block arguments of
+   [run_decoded]. *)
 type decoded_env = {
   d_device : Device.t;
   prog : Decode.t;
   d_mem : Memory.t;
-  d_icache : Layout.icache;
   d_args : (Value.var * Eval.rvalue) list;
   d_block_dim : int;
   d_grid_dim : int;
-  d_noise : Rng.t option;
   d_max_warp_cycles : int;
-  d_dcache : int Cache.t;  (* L1 over (buffer lsl 32) lor segment *)
   d_tracer : Trace.t option;
+  d_races : Racecheck.t option;
 }
 
 (* Per-launch scratch, reset per warp: unboxed register files (one row
@@ -482,7 +497,8 @@ let icmp_exec op x y =
   | Instr.Uge -> b2i (x lxor min_int >= y lxor min_int)
   | _ -> assert false
 
-let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lanes =
+let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
+    ~block_id ~warp_id ~lanes =
   let d = env.d_device in
   let p = env.prog in
   let ws = d.Device.warp_size in
@@ -494,7 +510,7 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
   Array.fill st.dprev 0 ws (-1);
   let retired = ref 0 in
   let mem_factor =
-    match env.d_noise with
+    match noise with
     | Some rng -> Float.max 0.5 (Rng.gaussian rng ~mean:1.0 ~stddev:0.03)
     | None -> 1.0
   in
@@ -529,7 +545,7 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
       if not !dup then begin
         st.tx_seen.(!nseen) <- key;
         incr nseen;
-        if Cache.touch env.d_dcache key then incr misses else incr hits
+        if Cache.touch dcache key then incr misses else incr hits
       end
     done;
     (!hits, !misses)
@@ -968,6 +984,12 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
         incr l;
         mm := !mm lsr 1
       done;
+      (match env.d_races with
+      | Some r ->
+        for j = 0 to !n - 1 do
+          Racecheck.record r ~block_id ~buffer:st.tx_buf.(j) ~offset:st.tx_off.(j)
+        done
+      | None -> ());
       let hits, misses = classify !n in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
@@ -1005,6 +1027,12 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
         incr l;
         mm := !mm lsr 1
       done;
+      (match env.d_races with
+      | Some r ->
+        for j = 0 to !n - 1 do
+          Racecheck.record r ~block_id ~buffer:st.tx_buf.(j) ~offset:st.tx_off.(j)
+        done
+      | None -> ());
       let hits, misses = classify !n in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
@@ -1043,6 +1071,12 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
         incr l;
         mm := !mm lsr 1
       done;
+      (match env.d_races with
+      | Some r ->
+        for j = 0 to !n - 1 do
+          Racecheck.record r ~block_id ~buffer:st.tx_buf.(j) ~offset:st.tx_off.(j)
+        done
+      | None -> ());
       let hits, misses = classify !n in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
       m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
@@ -1068,6 +1102,9 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
             | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
             | Decode.I_imm x -> x
           in
+          (match env.d_races with
+          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+          | None -> ());
           Array.unsafe_set iregs (base + !l)
             (Memory.atomic_addi env.d_mem ~buffer_id:buffer ~offset v)
         end;
@@ -1094,6 +1131,9 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
             | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
             | Decode.F_imm x -> x
           in
+          (match env.d_races with
+          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+          | None -> ());
           Array.unsafe_set fregs (base + !l)
             (Memory.atomic_addf env.d_mem ~buffer_id:buffer ~offset v)
         end;
@@ -1327,7 +1367,7 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~block_id ~warp_id ~lan
         | None -> ());
         let fmisses = ref 0 in
         for line = b.Decode.line_first to b.Decode.line_last do
-          if Cache.touch env.d_icache line then incr fmisses
+          if Cache.touch icache line then incr fmisses
         done;
         if !fmisses > 0 then begin
           let stall = !fmisses * d.Device.fetch_miss_penalty in

@@ -19,21 +19,36 @@ type launch_env = {
   fn : Func.t;
   mem : Memory.t;
   layout : Layout.t;
-  icache : Layout.icache;
   ipdom : Value.label -> Value.label option;  (** immediate post-dominators *)
   args : (Value.var * Eval.rvalue) list;      (** parameter bindings *)
   block_dim : int;
   grid_dim : int;
-  noise : Rng.t option;  (** memory-latency jitter for run-to-run variance *)
   max_warp_cycles : int;  (** runaway-loop guard *)
-  dcache : (int * int) Cache.t;  (** L1 data cache over (buffer, segment) *)
   tracer : Trace.t option;       (** optional execution trace *)
+  races : Racecheck.t option;    (** inter-block write-overlap audit *)
 }
+(** Launch-wide state only: everything here is immutable during the grid
+    walk (or, for [mem], written at block-disjoint cells), so one env is
+    shared read-only by all domains simulating blocks of a launch. The
+    mutable per-block state — data cache, icache residency, noise
+    stream — is passed to {!run} per block, matching the per-SM L1 of
+    real devices. *)
 
 val run :
-  launch_env -> block_id:int -> warp_id:int -> lanes:int -> Metrics.t
+  launch_env ->
+  dcache:(int * int) Cache.t ->
+  icache:Layout.icache ->
+  noise:Rng.t option ->
+  block_id:int ->
+  warp_id:int ->
+  lanes:int ->
+  Metrics.t
 (** Execute one warp ([lanes] ≤ warp size active threads, lane 0 is
-    thread [warp_id * warp_size] of the block). Returns its metrics.
+    thread [warp_id * warp_size] of the block). [dcache] is the block's
+    L1 model over (buffer, segment) keys, [icache] its instruction-cache
+    residency, [noise] its private jitter stream (one gaussian draw per
+    warp, in warp order) — all owned by the block so warp metrics are a
+    function of (launch, block) alone. Returns the warp's metrics.
     @raise Failure on interpreter errors (out-of-bounds access, type
     confusion) or when [max_warp_cycles] is exceeded. *)
 
@@ -48,29 +63,34 @@ type decoded_env = {
   d_device : Device.t;
   prog : Decode.t;
   d_mem : Memory.t;
-  d_icache : Layout.icache;
   d_args : (Value.var * Eval.rvalue) list;
   d_block_dim : int;
   d_grid_dim : int;
-  d_noise : Rng.t option;
   d_max_warp_cycles : int;
-  d_dcache : int Cache.t;  (** L1 over [(buffer lsl 32) lor segment] *)
   d_tracer : Trace.t option;
+  d_races : Racecheck.t option;
 }
+(** Shareable across domains like {!launch_env}; per-block caches and
+    noise are arguments of {!run_decoded}. *)
 
 type decoded_state
-(** Per-launch scratch (register files, reconvergence stack, coalescing
-    staging), reset at the start of each warp — allocate once per launch
-    with {!decoded_state} and reuse across the grid. *)
+(** Per-worker scratch (register files, reconvergence stack, coalescing
+    staging), reset at the start of each warp — allocate once per
+    domain simulating blocks of the launch and reuse across its whole
+    block range. *)
 
 val decoded_state : decoded_env -> decoded_state
 
 val run_decoded :
   decoded_env ->
   decoded_state ->
+  dcache:int Cache.t ->
+  icache:Layout.icache ->
+  noise:Rng.t option ->
   block_id:int ->
   warp_id:int ->
   lanes:int ->
   Metrics.t
 (** Decoded counterpart of {!run}: identical metrics, memory effects,
-    and failures for any program both engines can execute. *)
+    and failures for any program both engines can execute. [dcache] is
+    the block's L1 over [(buffer lsl 32) lor segment] keys. *)

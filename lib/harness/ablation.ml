@@ -64,7 +64,7 @@ let compile_variant (app : Uu_benchmarks.App.t) transform () =
     m.Func.funcs;
   Runner.make_compiled ~app ~config:Pipelines.Baseline ~stats:[ (dup_stat, !dup) ] m
 
-let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) ?jobs ?cache () =
+let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) ?jobs ?sim_jobs ?cache () =
   let apps =
     List.filter_map (fun name -> Uu_benchmarks.Registry.find name) apps
   in
@@ -79,7 +79,7 @@ let run ?(apps = [ "bezier-surface"; "rainflow"; "XSBench" ]) ?jobs ?cache () =
              variants)
       apps
   in
-  let results = Jobs.run_all ?jobs ?cache (List.concat per_app) in
+  let results = Jobs.run_all ?jobs ?sim_jobs ?cache (List.concat per_app) in
   let rec rows apps results =
     match (apps, results) with
     | [], [] -> []

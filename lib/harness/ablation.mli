@@ -19,7 +19,12 @@ type row = {
 }
 
 val run :
-  ?apps:string list -> ?jobs:int -> ?cache:Result_cache.t -> unit -> row list
+  ?apps:string list ->
+  ?jobs:int ->
+  ?sim_jobs:int ->
+  ?cache:Result_cache.t ->
+  unit ->
+  row list
 (** Default apps: bezier-surface, rainflow, XSBench. Variants execute as
     [Jobs.Custom] work on the domain pool ([jobs] domains) and are cached
     under their stable variant names like any other job; the

@@ -43,16 +43,22 @@ let label j =
   in
   match j.target with None -> base | Some t -> base ^ "@" ^ target_string (Some t)
 
-let spec_v ~version j =
-  Printf.sprintf "v%s;app=%s;config=%s;target=%s;protocol=%s;work=%s" version
-    j.app.Uu_benchmarks.App.name
+(* Two versions enter the spec: the pipeline version (what the compiler
+   does to the kernels) and the simulator-semantics version (what the
+   metrics of a given optimized kernel are). Keying only the former
+   served stale metrics across simulator changes like the per-block L1
+   switch — the cached bytes were valid for a machine that no longer
+   exists. *)
+let spec_v ?(sim_version = Uu_gpusim.Kernel.semantics_version) ~version j =
+  Printf.sprintf "v%s;sim=%s;app=%s;config=%s;target=%s;protocol=%s;work=%s"
+    version sim_version j.app.Uu_benchmarks.App.name
     (Pipelines.config_to_string j.config)
     (target_string j.target) (protocol_string j.protocol) (work_string j.work)
 
 let spec j = spec_v ~version:Pipelines.version j
 
-let key ?(version = Pipelines.version) j =
-  Digest.to_hex (Digest.string (spec_v ~version j))
+let key ?(version = Pipelines.version) ?sim_version j =
+  Digest.to_hex (Digest.string (spec_v ?sim_version ~version j))
 
 let noise_seed ~key i =
   (* Fold the first 8 digest bytes of "key#run<i>" into an int64: a pure
@@ -80,7 +86,7 @@ type result = {
   from_cache : bool;
 }
 
-let execute_once ?timeout ?engine j jkey =
+let execute_once ?timeout ?engine ?sim_jobs j jkey =
   let compiled =
     match j.work with
     | Pipeline -> Runner.compile ?target:j.target ?timeout j.app j.config
@@ -88,10 +94,11 @@ let execute_once ?timeout ?engine j jkey =
   in
   let measurements =
     match j.protocol with
-    | Once -> [ Runner.simulate ?engine compiled ]
+    | Once -> [ Runner.simulate ?engine ?sim_jobs compiled ]
     | Noisy { runs } ->
       List.init runs (fun i ->
-          Runner.simulate ?engine ~noise_seed:(noise_seed ~key:jkey i) compiled)
+          Runner.simulate ?engine ?sim_jobs ~noise_seed:(noise_seed ~key:jkey i)
+            compiled)
   in
   List.iter
     (fun (m : Runner.measurement) ->
@@ -103,9 +110,9 @@ let execute_once ?timeout ?engine j jkey =
     measurements;
   measurements
 
-let execute ?timeout ?engine ~retries j jkey =
+let execute ?timeout ?engine ?sim_jobs ~retries j jkey =
   let rec go attempt =
-    match execute_once ?timeout ?engine j jkey with
+    match execute_once ?timeout ?engine ?sim_jobs j jkey with
     | measurements -> Ok measurements
     | exception e ->
       if attempt <= retries then go (attempt + 1)
@@ -120,7 +127,7 @@ let execute ?timeout ?engine ~retries j jkey =
   in
   go 1
 
-let run_all ?jobs ?cache ?timeout ?engine ?(retries = 1) job_list =
+let run_all ?jobs ?sim_jobs ?cache ?timeout ?engine ?(retries = 1) job_list =
   let arr = Array.of_list job_list in
   let keys = Array.map (fun j -> key j) arr in
   (* Cache I/O stays on the calling domain: probe everything up front,
@@ -137,9 +144,23 @@ let run_all ?jobs ?cache ?timeout ?engine ?(retries = 1) job_list =
   let todo =
     List.filter (fun i -> cached.(i) = None) (List.init (Array.length arr) Fun.id)
   in
+  let sim_jobs =
+    match sim_jobs with
+    | Some n -> max 1 n
+    | None ->
+      (* Core-budget split: the job pool occupies min(pool, #todo)
+         domains, and each job's intra-launch shard gets an equal share
+         of the rest. A full queue (a cold sweep) runs jobs serially
+         inside (sim_jobs = 1); a single job (an interactive Table I
+         row, a warm rerun with one miss) gets every core. *)
+      let avail = Parallel.available_domains () in
+      let pool = match jobs with Some j -> max 1 j | None -> avail in
+      let workers = max 1 (min pool (List.length todo)) in
+      max 1 (avail / workers)
+  in
   let executed =
     Parallel.map ?jobs
-      (fun i -> (i, execute ?timeout ?engine ~retries arr.(i) keys.(i)))
+      (fun i -> (i, execute ?timeout ?engine ~sim_jobs ~retries arr.(i) keys.(i)))
       todo
   in
   let outcomes = Array.make (Array.length arr) None in

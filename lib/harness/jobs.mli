@@ -67,12 +67,16 @@ val label : job -> string
 
 val spec : job -> string
 (** The canonical content string the cache key is hashed from: pipeline
-    version, app name, config string, target, protocol, and work kind. *)
+    version, simulator-semantics version
+    ([Uu_gpusim.Kernel.semantics_version]), app name, config string,
+    target, protocol, and work kind. *)
 
-val key : ?version:string -> job -> string
+val key : ?version:string -> ?sim_version:string -> job -> string
 (** Stable content-hash key (hex digest of {!spec}). [version] defaults
-    to [Uu_core.Pipelines.version]; it is exposed so tests can assert
-    that bumping it invalidates keys. *)
+    to [Uu_core.Pipelines.version] and [sim_version] to
+    [Uu_gpusim.Kernel.semantics_version]; both are exposed so tests can
+    assert that bumping either invalidates keys — a simulator-semantics
+    change must never serve metrics cached under the old machine. *)
 
 val noise_seed : key:string -> int -> int64
 (** The noise seed of run [i] of the job with the given key — a pure
@@ -96,6 +100,7 @@ type result = {
 
 val run_all :
   ?jobs:int ->
+  ?sim_jobs:int ->
   ?cache:Result_cache.t ->
   ?timeout:float ->
   ?engine:Uu_gpusim.Kernel.engine ->
@@ -103,13 +108,20 @@ val run_all :
   job list ->
   result list
 (** Execute a job list. [jobs] is the domain-pool size (default
-    [Parallel.available_domains ()]); [timeout] is a per-attempt
-    compilation budget in seconds; [engine] selects the simulator
-    execution engine (default [Kernel.Decoded]) — engines are
-    metric-identical, so it does not enter the cache key; [retries]
-    (default 1) is how many times a failed job is re-attempted before a
-    {!failure} is recorded. Cache lookups and stores happen on the
-    calling domain only. Results are in input order. *)
+    [Parallel.available_domains ()]); [sim_jobs] is each job's
+    intra-launch block-shard width. When [sim_jobs] is omitted it is
+    budgeted from the cores the pool leaves over: a full queue runs its
+    jobs with [sim_jobs = 1] (job-level parallelism already saturates
+    the machine), while a queue that fans out fewer uncached jobs than
+    there are cores splits the remainder evenly — the two levels compose
+    instead of oversubscribing. Neither [jobs] nor [sim_jobs] can change
+    any measurement byte. [timeout] is a per-attempt compilation budget
+    in seconds; [engine] selects the simulator execution engine (default
+    [Kernel.Decoded]) — engines are metric-identical, so it does not
+    enter the cache key; [retries] (default 1) is how many times a
+    failed job is re-attempted before a {!failure} is recorded. Cache
+    lookups and stores happen on the calling domain only. Results are in
+    input order. *)
 
 val measurements_exn : result -> Runner.measurement list
 (** The job's measurements. @raise Failure with the failure message when

@@ -166,6 +166,11 @@ let encode ~spec measurements =
     (Json.Obj
        [
          ("version", Json.Str Pipelines.version);
+         (* Informational: the key already hashes both versions via the
+            spec, so entries from older simulator semantics are simply
+            never looked up — this field just makes a cache file
+            self-describing. *)
+         ("sim_version", Json.Str Kernel.semantics_version);
          ("spec", Json.Str spec);
          ("measurements", Json.Arr (List.map measurement_to_json measurements));
        ])

@@ -8,9 +8,12 @@
     results byte for byte without compiling or simulating anything.
 
     Entries never expire: the key already encodes everything a
-    measurement depends on (app, config, target, protocol, and
-    [Uu_core.Pipelines.version]), so a stale entry is simply an entry
-    nobody looks up anymore.
+    measurement depends on (app, config, target, protocol,
+    [Uu_core.Pipelines.version], and the simulator-semantics version
+    [Uu_gpusim.Kernel.semantics_version]), so a stale entry is simply an
+    entry nobody looks up anymore. The two versions cover the two ways a
+    measurement can go stale: the compiler producing different code, and
+    the simulator charging the same code differently.
 
     Lookups and stores are performed by the job scheduler on the
     coordinating domain only, never inside pool workers, so the mutable

@@ -125,7 +125,7 @@ let make_compiled ?target ?(compile_seconds = 0.0) ?(remarks = []) ?(stats = [])
 let compiled_remarks c = c.c_remarks
 let compiled_stats c = c.c_stats
 
-let simulate ?noise_seed ?(engine = Kernel.Decoded) (c : compiled) =
+let simulate ?noise_seed ?(engine = Kernel.Decoded) ?sim_jobs (c : compiled) =
   let app = c.c_app and m = c.modul in
   let instance = app.App.setup (Rng.create workload_seed) in
   let noise = Option.map Rng.create noise_seed in
@@ -149,8 +149,9 @@ let simulate ?noise_seed ?(engine = Kernel.Decoded) (c : compiled) =
         | None -> failwith (Printf.sprintf "%s: unknown kernel %s" app.App.name l.App.kernel)
       in
       let result =
-        Kernel.launch ?noise ~engine ~decode_cache:c.c_decode instance.App.mem f
-          ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args
+        Kernel.launch ?noise ~engine ?sim_jobs ~decode_cache:c.c_decode
+          instance.App.mem f ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim
+          ~args:l.App.args
       in
       Metrics.add total result.Kernel.metrics;
       cycles := !cycles +. result.Kernel.kernel_cycles;
@@ -172,11 +173,33 @@ let simulate ?noise_seed ?(engine = Kernel.Decoded) (c : compiled) =
     stats = c.c_stats;
   }
 
-let run ?noise_seed ?engine ?target (app : App.t) config =
-  simulate ?noise_seed ?engine (compile ?target app config)
+(* Replay the launch schedule with a write-set collector per launch:
+   the empirical check that blocks write disjoint cells, i.e. that the
+   parallel block shard may not change final memory. Runs serially by
+   construction (Kernel forces sim_jobs = 1 when races is set). *)
+let race_audit ?(engine = Kernel.Decoded) (c : compiled) =
+  let app = c.c_app and m = c.modul in
+  let instance = app.App.setup (Rng.create workload_seed) in
+  List.map
+    (fun (l : App.launch) ->
+      let f =
+        match Func.find_func m l.App.kernel with
+        | Some f -> f
+        | None ->
+          failwith (Printf.sprintf "%s: unknown kernel %s" app.App.name l.App.kernel)
+      in
+      let races = Racecheck.create () in
+      ignore
+        (Kernel.launch ~races ~engine ~decode_cache:c.c_decode instance.App.mem f
+           ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args);
+      (l.App.kernel, races))
+    instance.App.launches
 
-let run_exn ?noise_seed ?engine ?target app config =
-  let m = run ?noise_seed ?engine ?target app config in
+let run ?noise_seed ?engine ?sim_jobs ?target (app : App.t) config =
+  simulate ?noise_seed ?engine ?sim_jobs (compile ?target app config)
+
+let run_exn ?noise_seed ?engine ?sim_jobs ?target app config =
+  let m = run ?noise_seed ?engine ?sim_jobs ?target app config in
   (match m.check with
   | Ok () -> ()
   | Error msg ->

@@ -72,16 +72,31 @@ val compiled_stats : compiled -> (string * int) list
 val simulate :
   ?noise_seed:int64 ->
   ?engine:Uu_gpusim.Kernel.engine ->
+  ?sim_jobs:int ->
   compiled ->
   measurement
 (** Simulate a previously compiled application; used by Table I's 20-run
     protocol to avoid recompiling per run. [engine] defaults to
     [Kernel.Decoded]; each {!compiled} carries its own decode cache, so
-    repeated simulations decode every kernel exactly once. *)
+    repeated simulations decode every kernel exactly once. [sim_jobs]
+    (default 1) shards each launch's blocks over that many domains —
+    measurements are byte-identical for any value (see
+    [Kernel.launch]). *)
+
+val race_audit :
+  ?engine:Uu_gpusim.Kernel.engine ->
+  compiled ->
+  (string * Uu_gpusim.Racecheck.t) list
+(** Replay the app's launch schedule with a write-set collector attached
+    to each launch — one [(kernel, collector)] pair per launch, in
+    schedule order. Empty [Racecheck.overlaps] on every collector means
+    block-order independence of final memory holds for this workload
+    (the assumption the parallel shard rests on). Always serial. *)
 
 val run :
   ?noise_seed:int64 ->
   ?engine:Uu_gpusim.Kernel.engine ->
+  ?sim_jobs:int ->
   ?target:loop_ref ->
   Uu_benchmarks.App.t ->
   Pipelines.config ->
@@ -94,6 +109,7 @@ val run :
 val run_exn :
   ?noise_seed:int64 ->
   ?engine:Uu_gpusim.Kernel.engine ->
+  ?sim_jobs:int ->
   ?target:loop_ref ->
   Uu_benchmarks.App.t ->
   Pipelines.config ->

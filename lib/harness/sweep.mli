@@ -32,14 +32,17 @@ val loop_configs : Pipelines.config list
 val run :
   ?apps:Uu_benchmarks.App.t list ->
   ?jobs:int ->
+  ?sim_jobs:int ->
   ?cache:Result_cache.t ->
   ?timeout:float ->
   ?engine:Uu_gpusim.Kernel.engine ->
   unit ->
   t
 (** Runs the full sweep (oracle-checked). [jobs] sizes the domain pool
-    (default: all available cores); [cache] serves previously measured
-    jobs from disk; [timeout] bounds each job's compilation in seconds. *)
+    (default: all available cores); [sim_jobs] shards each launch's
+    blocks (default: budgeted from leftover cores, see [Jobs.run_all]);
+    [cache] serves previously measured jobs from disk; [timeout] bounds
+    each job's compilation in seconds. *)
 
 val points_for :
   t -> ?config:Pipelines.config -> ?app:string -> unit -> point list

@@ -19,13 +19,15 @@ val compute :
   ?runs:int ->
   ?apps:Uu_benchmarks.App.t list ->
   ?jobs:int ->
+  ?sim_jobs:int ->
   ?cache:Result_cache.t ->
   ?engine:Uu_gpusim.Kernel.engine ->
   unit ->
   row list
 (** Default 20 runs per configuration, executed as [Jobs] on the domain
     pool ([jobs] domains, default all cores) with optional result
-    caching. Noise seeds derive from each job's content key, so rows are
+    caching. [sim_jobs] shards each launch's blocks (see
+    [Jobs.run_all]); rows are byte-identical for any value. Noise seeds derive from each job's content key, so rows are
     independent of scheduling.
     @raise Failure if a job fails after its retry (oracle mismatch or a
     pass error). *)

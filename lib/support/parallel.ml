@@ -45,3 +45,56 @@ let map_result ?jobs f items =
 let map ?jobs f items =
   let results = map_result ?jobs f items in
   List.map (function Ok v -> v | Error e -> raise e) results
+
+let map_range ?jobs ?chunk ~n f =
+  if n < 0 then invalid_arg "Parallel.map_range";
+  if n = 0 then []
+  else begin
+    let jobs =
+      let requested = match jobs with Some j -> j | None -> available_domains () in
+      max 1 (min requested n)
+    in
+    let chunk =
+      match chunk with
+      | Some c ->
+        if c <= 0 then invalid_arg "Parallel.map_range: chunk must be positive";
+        c
+      | None ->
+        (* Small enough that an uneven last worker cannot idle the rest
+           of the pool for long, large enough that the atomic claim is
+           amortized over many indices. *)
+        max 1 (n / (jobs * 8))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let bounds i = (i * chunk, min n ((i + 1) * chunk)) in
+    if jobs = 1 then
+      List.init nchunks (fun i ->
+          let lo, hi = bounds i in
+          f ~lo ~hi)
+    else begin
+      (* Same slot-per-claim scheme as [map_result], but the atomic
+         cursor claims whole chunks: a 10k-block grid costs ~tens of
+         claims, not 10k. *)
+      let out = Array.make nchunks None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < nchunks then begin
+            let lo, hi = bounds i in
+            out.(i) <- Some (try Ok (f ~lo ~hi) with e -> Error e);
+            go ()
+          end
+        in
+        go ()
+      in
+      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      Array.to_list out
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+    end
+  end

@@ -28,3 +28,15 @@ val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map} but captures each item's exception instead of re-raising,
     preserving input order — the building block for fault-isolated job
     execution. *)
+
+val map_range :
+  ?jobs:int -> ?chunk:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [map_range ~jobs ~chunk ~n f] partitions the dense range [0, n) into
+    contiguous chunks of [chunk] indices ([f ~lo ~hi] covers
+    [lo, hi)) and runs the chunks on the pool with {e one} atomic claim
+    per chunk — the right shape for sharding a 10k-block grid, where
+    claiming per index would contend on the cursor. Chunk results are
+    returned in ascending range order regardless of which domain ran
+    what. [chunk] defaults to [max 1 (n / (jobs * 8))]; the first
+    exception in range order is re-raised after all chunks finish.
+    @raise Invalid_argument if [n < 0] or [chunk <= 0]. *)

@@ -13,6 +13,12 @@ let next t =
 
 let split t = create (next t)
 
+let stream seed i =
+  (* Offset the seed by [i] golden-ratio steps and run one mix round, so
+     distinct stream indices land on unrelated points of the splitmix
+     sequence instead of overlapping windows of the same one. *)
+  create (next (create (Int64.add seed (Int64.mul golden (Int64.of_int i)))))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int";
   let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in

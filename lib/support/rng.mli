@@ -11,6 +11,13 @@ val create : int64 -> t
 val split : t -> t
 (** A statistically independent generator derived from [t]'s state. *)
 
+val stream : int64 -> int -> t
+(** [stream seed i] is the [i]-th of a family of statistically
+    independent generators derived from [seed] — a pure function of
+    [(seed, i)], unlike {!split}, which advances the parent. Used for
+    per-block noise streams that must not depend on block execution
+    order. *)
+
 val next : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -14,6 +14,7 @@ let () =
       ("differential", Test_differential.suite);
       ("harness", Test_harness.suite);
       ("parallel", Test_parallel.suite);
+      ("parallel-sim", Test_parallel_sim.suite);
       ("properties", Test_properties.suite);
       ("benchmarks", Test_benchmarks.suite);
     ]

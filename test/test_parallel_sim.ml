@@ -1,0 +1,268 @@
+(* Tests for parallel intra-launch simulation: the chunked range mapper,
+   the byte-identical sim_jobs contract (any shard width produces the
+   serial metrics and final memory, both engines, every registry app),
+   the inter-block write-overlap detector behind --check-races, and the
+   simulator-semantics version's role in the result-cache key. *)
+
+open Uu_support
+open Uu_ir
+open Uu_core
+open Uu_benchmarks
+open Uu_gpusim
+open Uu_harness
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* A shard width that actually exercises the parallel path even on a
+   single-core container (available_domains () = 1 there). *)
+let wide = max 3 (Parallel.available_domains ())
+
+(* --- Parallel.map_range ------------------------------------------- *)
+
+let test_map_range () =
+  let serial ~chunk n =
+    let nchunks = (n + chunk - 1) / chunk in
+    List.init nchunks (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+  in
+  let f ~lo ~hi = (lo, hi) in
+  List.iter
+    (fun (jobs, chunk, n) ->
+      check
+        (Alcotest.list (Alcotest.pair int int))
+        (Printf.sprintf "jobs:%d chunk:%d n:%d in range order" jobs chunk n)
+        (serial ~chunk n)
+        (Parallel.map_range ~jobs ~chunk ~n f))
+    [ (1, 4, 10); (4, 4, 10); (4, 1, 7); (3, 5, 5); (4, 3, 0) ];
+  (* Chunks partition the range exactly once. *)
+  let covered = Array.make 100 0 in
+  List.iter
+    (fun ((lo : int), hi) ->
+      for i = lo to hi - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    (Parallel.map_range ~jobs:4 ~n:100 f);
+  check bool "every index covered exactly once" true
+    (Array.for_all (fun c -> c = 1) covered);
+  check bool "negative n rejected" true
+    (try
+       ignore (Parallel.map_range ~n:(-1) f);
+       false
+     with Invalid_argument _ -> true);
+  check bool "non-positive chunk rejected" true
+    (try
+       ignore (Parallel.map_range ~chunk:0 ~n:4 f);
+       false
+     with Invalid_argument _ -> true);
+  (* A worker exception surfaces on the caller, range order first. *)
+  check bool "exception propagates" true
+    (try
+       ignore
+         (Parallel.map_range ~jobs:4 ~chunk:1 ~n:8 (fun ~lo ~hi:_ ->
+              if lo = 5 then failwith "chunk-5" else lo));
+       false
+     with Failure m -> m = "chunk-5")
+
+(* --- the byte-identical sim_jobs contract -------------------------- *)
+
+let configs = [ Pipelines.Baseline; Pipelines.Uu 4; Pipelines.Uu_heuristic ]
+
+(* Compile + simulate one app at one shard width, mirroring the harness
+   protocol (fresh workload from the fixed seed, launches in schedule
+   order, one decode cache per module). *)
+let run_sharded ~sim_jobs engine (app : App.t) config =
+  let m = Uu_frontend.Lower.compile ~name:app.App.name app.App.source in
+  List.iter
+    (fun f -> ignore (Pipelines.optimize ~targets:Pipelines.All_loops config f))
+    m.Func.funcs;
+  let instance = app.App.setup (Rng.create 0x5EEDL) in
+  let total = Metrics.create () in
+  let cache = Decode.create_cache () in
+  List.iter
+    (fun (l : App.launch) ->
+      let f =
+        match Func.find_func m l.App.kernel with
+        | Some f -> f
+        | None -> Alcotest.failf "%s: unknown kernel %s" app.App.name l.App.kernel
+      in
+      let r =
+        Kernel.launch ~engine ~decode_cache:cache ~sim_jobs instance.App.mem f
+          ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args
+      in
+      Metrics.add total r.Kernel.metrics)
+    instance.App.launches;
+  (total, Memory.dump instance.App.mem, instance.App.check ())
+
+let same_memory a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (i, xs) (j, ys) ->
+         i = j
+         && Array.length xs = Array.length ys
+         && Array.for_all2 Eval.equal xs ys)
+       a b
+
+let test_app_deterministic (app : App.t) () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun config ->
+          let name =
+            Printf.sprintf "%s/%s/%s" app.App.name
+              (match engine with
+              | Kernel.Reference -> "reference"
+              | Kernel.Decoded -> "decoded")
+              (Pipelines.config_to_string config)
+          in
+          let ms, mems, checks = run_sharded ~sim_jobs:1 engine app config in
+          let mp, memp, checkp = run_sharded ~sim_jobs:wide engine app config in
+          if ms <> mp then
+            Alcotest.failf "%s: metrics diverge at sim_jobs %d@.serial: %s@.sharded: %s"
+              name wide
+              (Format.asprintf "%a" Metrics.pp ms)
+              (Format.asprintf "%a" Metrics.pp mp);
+          check bool (name ^ " memory identical") true (same_memory mems memp);
+          check bool (name ^ " oracle passes at both widths") true
+            (checks = Ok () && checkp = Ok ()))
+        configs)
+    [ Kernel.Reference; Kernel.Decoded ]
+
+(* The noise model must shard identically too: per-block jitter streams
+   are a pure function of (launch, block), not of which domain runs the
+   block. Timing-dependent fields (compile_seconds) are excluded. *)
+let test_noisy_deterministic () =
+  let app =
+    match Registry.find "XSBench" with Some a -> a | None -> assert false
+  in
+  let serial = Runner.run_exn ~noise_seed:99L ~sim_jobs:1 app Pipelines.Uu_heuristic in
+  let sharded =
+    Runner.run_exn ~noise_seed:99L ~sim_jobs:wide app Pipelines.Uu_heuristic
+  in
+  check bool "noisy metrics identical" true
+    (serial.Runner.metrics = sharded.Runner.metrics);
+  check (Alcotest.float 0.0) "noisy kernel_ms identical" serial.Runner.kernel_ms
+    sharded.Runner.kernel_ms
+
+(* --- the race checker ---------------------------------------------- *)
+
+let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) src =
+  let fn = Ir_helpers.compile_one src in
+  let mem = Memory.create () in
+  let out = Memory.zeros_f64 mem 512 in
+  let races = Racecheck.create () in
+  let r =
+    Kernel.launch ~engine ~races ~sim_jobs:8 mem fn ~grid_dim:grid ~block_dim:32
+      ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]
+  in
+  (r, races)
+
+let racy = "kernel k(float* restrict out, int n) { out[0] = 1.0; }"
+
+let disjoint =
+  {|kernel k(float* restrict out, int n) {
+      int tid = threadIdx.x + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = 1.0; }
+    }|}
+
+let test_racecheck () =
+  List.iter
+    (fun engine ->
+      let _, races = launch_with_races ~engine racy in
+      (match Racecheck.overlaps races with
+      | [ o ] ->
+        check int "overlap on offset 0" 0 o.Racecheck.offset;
+        check int "all four blocks write it" 4 (List.length o.Racecheck.blocks)
+      | os -> Alcotest.failf "expected one overlapping cell, got %d" (List.length os));
+      let _, clean = launch_with_races ~engine disjoint in
+      check bool "disjoint kernel has writes" true (Racecheck.writes clean > 0);
+      check (Alcotest.list bool) "disjoint kernel has no overlaps" []
+        (List.map (fun _ -> true) (Racecheck.overlaps clean)))
+    [ Kernel.Reference; Kernel.Decoded ];
+  (* The report names the overlap; a clean collector says so. *)
+  let _, races = launch_with_races racy in
+  check bool "report mentions the cell" true
+    (Astring.String.is_infix ~affix:"offset 0" (Racecheck.report races))
+
+(* A race-checked launch is forced serial, so attaching the collector
+   never changes the measurement. *)
+let test_racecheck_preserves_metrics () =
+  let fn = Ir_helpers.compile_one disjoint in
+  let run ?races () =
+    let mem = Memory.create () in
+    let out = Memory.zeros_f64 mem 512 in
+    (Kernel.launch ?races ~sim_jobs:8 mem fn ~grid_dim:4 ~block_dim:32
+       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ])
+      .Kernel.metrics
+  in
+  check bool "metrics unchanged under --check-races" true
+    (run () = run ~races:(Racecheck.create ()) ())
+
+(* Every registry app honours CUDA's disjoint-writes contract — the
+   assumption the parallel shard rests on, audited empirically. *)
+let test_registry_race_audit () =
+  List.iter
+    (fun (app : App.t) ->
+      let compiled = Runner.compile app Pipelines.Baseline in
+      List.iter
+        (fun (kernel, races) ->
+          check bool
+            (Printf.sprintf "%s/%s recorded writes" app.App.name kernel)
+            true
+            (Racecheck.writes races > 0);
+          match Racecheck.overlaps races with
+          | [] -> ()
+          | os ->
+            Alcotest.failf "%s/%s: %d cells written by multiple blocks"
+              app.App.name kernel (List.length os))
+        (Runner.race_audit compiled))
+    Registry.all
+
+(* --- cache invalidation on simulator-semantics bumps ---------------- *)
+
+let bezier =
+  match Registry.find "bezier-surface" with Some a -> a | None -> assert false
+
+let test_sim_version_in_key () =
+  let j = Jobs.job bezier Pipelines.Baseline in
+  check bool "spec names the simulator version" true
+    (Astring.String.is_infix
+       ~affix:("sim=" ^ Kernel.semantics_version)
+       (Jobs.spec j));
+  check bool "sim version changes key" true
+    (Jobs.key ~sim_version:"test-bump" j <> Jobs.key j);
+  check bool "sim and pipeline bumps are distinct keys" true
+    (Jobs.key ~sim_version:"test-bump" j <> Jobs.key ~version:"test-bump" j)
+
+let test_sim_version_invalidates_cache () =
+  let dir = Filename.temp_file "uu_simcache" "" in
+  Sys.remove dir;
+  let cache = Result_cache.create ~dir in
+  let j = Jobs.job bezier Pipelines.Baseline in
+  (match Jobs.run_all ~jobs:1 ~cache [ j ] with
+  | [ r ] -> check bool "cold run executed" false r.Jobs.from_cache
+  | _ -> Alcotest.fail "expected one result");
+  check bool "current semantics hits" true
+    (Result_cache.lookup cache ~key:(Jobs.key j) <> None);
+  (* After a semantics bump the harness computes a different key, so the
+     entry stored under the old machine is never served again. *)
+  check bool "bumped semantics misses" true
+    (Result_cache.lookup cache ~key:(Jobs.key ~sim_version:"next" j) = None)
+
+let suite =
+  [
+    Alcotest.test_case "map_range" `Quick test_map_range;
+    Alcotest.test_case "racecheck overlap detection" `Quick test_racecheck;
+    Alcotest.test_case "racecheck preserves metrics" `Quick
+      test_racecheck_preserves_metrics;
+    Alcotest.test_case "noisy shard determinism" `Quick test_noisy_deterministic;
+    Alcotest.test_case "sim version in key" `Quick test_sim_version_in_key;
+    Alcotest.test_case "sim version invalidates cache" `Quick
+      test_sim_version_invalidates_cache;
+    Alcotest.test_case "registry race audit" `Slow test_registry_race_audit;
+  ]
+  @ List.map
+      (fun (app : App.t) ->
+        Alcotest.test_case ("shard determinism: " ^ app.App.name) `Slow
+          (test_app_deterministic app))
+      Registry.all
