@@ -4,7 +4,12 @@ let check f =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
   let dom = Dominance.compute f in
-  let params = Value.Var_set.of_list (Func.param_vars f) in
+  (* Params and shared declarations are both defined "before entry". *)
+  let params =
+    Value.Var_set.of_list
+      (Func.param_vars f
+      @ List.map (fun (s : Func.shared) -> s.Func.s_var) f.Func.shared)
+  in
   (* Where is each register defined: block and position within it.
      Position -1 = phi (defined "at the top"). *)
   let def_site : (Value.var, Value.label * int) Hashtbl.t = Hashtbl.create 64 in

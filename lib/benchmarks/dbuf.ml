@@ -1,0 +1,101 @@
+(* dbuf (shared-memory wave).
+
+   Double-buffered prefetch loop: each block walks [ntiles] input tiles,
+   prefetching tile t+1 into one half of a 64-element shared buffer
+   while consuming tile t from the other half. Within any barrier
+   interval the written half and the read half are disjoint and every
+   cell has one writer, so the access pattern is race-free under the
+   epoch rule even though the same buffer is rewritten every
+   iteration. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel dbuf(float* restrict out, const float* restrict in, int n, int ntiles) {
+  __shared__ float buf[64];
+  int lid = threadIdx.x;
+  int base = blockIdx.x * ntiles * 32;
+  float v0 = 0.0;
+  int g0 = base + lid;
+  if (g0 < n) {
+    v0 = in[g0];
+  }
+  buf[lid] = v0;
+  __syncthreads();
+  float acc = 0.0;
+  int t = 0;
+  while (t < ntiles) {
+    int cur = (t % 2) * 32;
+    int nxt = ((t + 1) % 2) * 32;
+    if (t + 1 < ntiles) {
+      float vn = 0.0;
+      int g = base + ((t + 1) * 32) + lid;
+      if (g < n) {
+        vn = in[g];
+      }
+      buf[nxt + lid] = vn;
+    }
+    float w = 1.0;
+    if (t % 2 == 1) {
+      w = 1.5;
+    }
+    acc = acc + (buf[cur + lid] * w);
+    __syncthreads();
+    t = t + 1;
+  }
+  out[blockIdx.x * 32 + lid] = acc;
+}
+|}
+
+let host n grid ntiles input =
+  Array.init (grid * 32) (fun idx ->
+      let b = idx / 32 and lid = idx mod 32 in
+      let base = b * ntiles * 32 in
+      let acc = ref 0.0 in
+      for t = 0 to ntiles - 1 do
+        let g = base + (t * 32) + lid in
+        let v = if g < n then input.(g) else 0.0 in
+        let w = if t mod 2 = 1 then 1.5 else 1.0 in
+        acc := !acc +. (v *. w)
+      done;
+      !acc)
+
+let setup rng =
+  let grid = 32 and ntiles = 8 in
+  let n = grid * ntiles * 32 in
+  let mem = Memory.create () in
+  let input = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let bin = Memory.alloc_f64 mem input in
+  let bout = Memory.zeros_f64 mem (grid * 32) in
+  let expected = host n grid ntiles input in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "dbuf";
+          grid_dim = grid;
+          block_dim = 32;
+          args =
+            [
+              Kernel.Buf bout; Kernel.Buf bin;
+              Kernel.Int_arg (Int64.of_int n);
+              Kernel.Int_arg (Int64.of_int ntiles);
+            ];
+        };
+      ];
+    transfer_bytes = (n * 8) + (grid * 32 * 8);
+    check = (fun () -> App.check_f64 ~name:"dbuf.out" ~expected bout);
+  }
+
+let app =
+  {
+    App.name = "dbuf";
+    category = "shared-memory wave";
+    cli = "32 8";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -8,6 +8,7 @@ let all =
     Complex_app.app;
     Contract.app;
     Coordinates.app;
+    Dbuf.app;
     Haccmk.app;
     Lavamd.app;
     Libor.app;
@@ -15,6 +16,9 @@ let all =
     Qtclustering.app;
     Quicksort.app;
     Rainflow.app;
+    Stencil1d.app;
+    Stencil2d.app;
+    Treduce.app;
     Xsbench.app;
   ]
 

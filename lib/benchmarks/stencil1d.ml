@@ -1,0 +1,81 @@
+(* stencil1d (shared-memory wave).
+
+   Three-point weighted stencil over a 1D grid, staged through a shared
+   tile with a one-element halo on each side. Every thread loads its
+   center element, the edge lanes fetch the halo, and a barrier
+   separates the fill from the read phase — the canonical block-scoped
+   shared-memory idiom the memory model documents. All tile writes go to
+   distinct cells, so the intra-block race audit is clean. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel stencil1d(float* restrict out, const float* restrict in, int n) {
+  __shared__ float tile[34];
+  int lid = threadIdx.x;
+  int gid = blockIdx.x * blockDim.x + lid;
+  float center = 0.0;
+  if (gid < n) {
+    center = in[gid];
+  }
+  tile[lid + 1] = center;
+  if (lid == 0) {
+    float left = 0.0;
+    if (gid > 0) {
+      left = in[gid - 1];
+    }
+    tile[0] = left;
+  }
+  if (lid == blockDim.x - 1) {
+    float right = 0.0;
+    if (gid + 1 < n) {
+      right = in[gid + 1];
+    }
+    tile[blockDim.x + 1] = right;
+  }
+  __syncthreads();
+  if (gid < n) {
+    out[gid] = 0.25 * tile[lid] + 0.5 * tile[lid + 1] + 0.25 * tile[lid + 2];
+  }
+}
+|}
+
+let host n input =
+  Array.init n (fun i ->
+      let at j = if j < 0 || j >= n then 0.0 else input.(j) in
+      (0.25 *. at (i - 1)) +. (0.5 *. at i) +. (0.25 *. at (i + 1)))
+
+let setup rng =
+  let n = 4096 in
+  let mem = Memory.create () in
+  let input = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let bin = Memory.alloc_f64 mem input in
+  let bout = Memory.zeros_f64 mem n in
+  let expected = host n input in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "stencil1d";
+          grid_dim = n / 32;
+          block_dim = 32;
+          args =
+            [ Kernel.Buf bout; Kernel.Buf bin; Kernel.Int_arg (Int64.of_int n) ];
+        };
+      ];
+    transfer_bytes = 2 * n * 8;
+    check = (fun () -> App.check_f64 ~name:"stencil1d.out" ~expected bout);
+  }
+
+let app =
+  {
+    App.name = "stencil1d";
+    category = "shared-memory wave";
+    cli = "4096";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

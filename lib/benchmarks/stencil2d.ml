@@ -1,0 +1,102 @@
+(* stencil2d (shared-memory wave).
+
+   Five-point Jacobi-style stencil on a 2D grid, tiled into 8x4 blocks
+   staged through a shared (8+2)x(4+2) tile with halo. The tile is
+   filled cooperatively with a grid-stride loop over its 60 cells, so
+   every cell has exactly one writer and the fill is fully coalesced in
+   tile order; a barrier separates the fill from the stencil reads.
+   Blocks write disjoint 8x4 output regions, keeping the inter-block
+   write audit clean. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel stencil2d(float* restrict out, const float* restrict in,
+                 int width, int height, int tiles_x) {
+  __shared__ float tile[60];
+  int lid = threadIdx.x;
+  int bx = blockIdx.x % tiles_x;
+  int by = blockIdx.x / tiles_x;
+  int x0 = bx * 8;
+  int y0 = by * 4;
+  int i = lid;
+  while (i < 60) {
+    int hx = i % 10;
+    int hy = i / 10;
+    int gx = x0 + hx - 1;
+    int gy = y0 + hy - 1;
+    float v = 0.0;
+    if (gx >= 0 && gx < width && gy >= 0 && gy < height) {
+      v = in[gy * width + gx];
+    }
+    tile[i] = v;
+    i = i + 32;
+  }
+  __syncthreads();
+  int tx = lid % 8;
+  int ty = lid / 8;
+  int gx = x0 + tx;
+  int gy = y0 + ty;
+  if (gx < width && gy < height) {
+    float c = tile[(ty + 1) * 10 + tx + 1];
+    float north = tile[ty * 10 + tx + 1];
+    float south = tile[(ty + 2) * 10 + tx + 1];
+    float west = tile[(ty + 1) * 10 + tx];
+    float east = tile[(ty + 1) * 10 + tx + 2];
+    out[gy * width + gx] = c + 0.2 * (north + south + west + east - 4.0 * c);
+  }
+}
+|}
+
+let host width height input =
+  Array.init (width * height) (fun idx ->
+      let x = idx mod width and y = idx / width in
+      let at gx gy =
+        if gx < 0 || gx >= width || gy < 0 || gy >= height then 0.0
+        else input.((gy * width) + gx)
+      in
+      let c = at x y in
+      let north = at x (y - 1) and south = at x (y + 1) in
+      let west = at (x - 1) y and east = at (x + 1) y in
+      c +. (0.2 *. (north +. south +. west +. east -. (4.0 *. c))))
+
+let setup rng =
+  let width = 64 and height = 48 in
+  let tiles_x = width / 8 and tiles_y = height / 4 in
+  let mem = Memory.create () in
+  let input = Array.init (width * height) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let bin = Memory.alloc_f64 mem input in
+  let bout = Memory.zeros_f64 mem (width * height) in
+  let expected = host width height input in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "stencil2d";
+          grid_dim = tiles_x * tiles_y;
+          block_dim = 32;
+          args =
+            [
+              Kernel.Buf bout; Kernel.Buf bin;
+              Kernel.Int_arg (Int64.of_int width);
+              Kernel.Int_arg (Int64.of_int height);
+              Kernel.Int_arg (Int64.of_int tiles_x);
+            ];
+        };
+      ];
+    transfer_bytes = 2 * width * height * 8;
+    check = (fun () -> App.check_f64 ~name:"stencil2d.out" ~expected bout);
+  }
+
+let app =
+  {
+    App.name = "stencil2d";
+    category = "shared-memory wave";
+    cli = "64 48";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -1,0 +1,90 @@
+(* treduce (shared-memory wave).
+
+   Tiled tree reduction: each block stages 32 inputs in shared memory
+   and halves the stride each round, with a barrier inside the loop so
+   every round's writes are in their own barrier interval — the epoch
+   discipline the intra-block race checker enforces. Lane 0 writes one
+   partial per block. The host oracle replays the exact pairwise tree
+   ((s0+s16), (s1+s17), ...) so the check is bitwise, not tolerance. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel treduce(float* restrict out, const float* restrict in, int n) {
+  __shared__ float s[32];
+  int lid = threadIdx.x;
+  int gid = blockIdx.x * blockDim.x + lid;
+  float v = 0.0;
+  if (gid < n) {
+    v = in[gid];
+  }
+  s[lid] = v;
+  __syncthreads();
+  int stride = 16;
+  while (stride > 0) {
+    if (lid < stride) {
+      s[lid] = s[lid] + s[lid + stride];
+    }
+    __syncthreads();
+    stride = stride / 2;
+  }
+  if (lid == 0) {
+    out[blockIdx.x] = s[0];
+  }
+}
+|}
+
+(* Replays the kernel's reduction tree exactly: fold strides 16..1,
+   pairing s.(lid) with s.(lid + stride), so the float evaluation order
+   matches the device result bit for bit. *)
+let host n grid input =
+  Array.init grid (fun b ->
+      let s =
+        Array.init 32 (fun lid ->
+            let gid = (b * 32) + lid in
+            if gid < n then input.(gid) else 0.0)
+      in
+      let stride = ref 16 in
+      while !stride > 0 do
+        for lid = 0 to !stride - 1 do
+          s.(lid) <- s.(lid) +. s.(lid + !stride)
+        done;
+        stride := !stride / 2
+      done;
+      s.(0))
+
+let setup rng =
+  let n = 4096 in
+  let grid = n / 32 in
+  let mem = Memory.create () in
+  let input = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let bin = Memory.alloc_f64 mem input in
+  let bout = Memory.zeros_f64 mem grid in
+  let expected = host n grid input in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "treduce";
+          grid_dim = grid;
+          block_dim = 32;
+          args =
+            [ Kernel.Buf bout; Kernel.Buf bin; Kernel.Int_arg (Int64.of_int n) ];
+        };
+      ];
+    transfer_bytes = (n * 8) + (grid * 8);
+    check = (fun () -> App.check_f64 ~name:"treduce.out" ~expected bout);
+  }
+
+let app =
+  {
+    App.name = "treduce";
+    category = "shared-memory wave";
+    cli = "4096";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

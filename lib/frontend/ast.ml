@@ -34,6 +34,7 @@ type stmt = { sdesc : stmt_desc; spos : pos }
 
 and stmt_desc =
   | Decl of ty * string * expr
+  | Shared_decl of ty * string * int
   | Assign of string * expr
   | Store_stmt of expr * expr * expr
   | If of expr * stmt list * stmt list

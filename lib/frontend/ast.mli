@@ -41,6 +41,9 @@ type stmt = { sdesc : stmt_desc; spos : pos }
 
 and stmt_desc =
   | Decl of ty * string * expr
+  | Shared_decl of ty * string * int
+      (** [__shared__ float tile[64]] — element type, name, element
+          count; only at a kernel body's top level *)
   | Assign of string * expr
   | Store_stmt of expr * expr * expr  (** [a[i] = e] — array, index, value *)
   | If of expr * stmt list * stmt list

@@ -15,8 +15,8 @@ let keywords =
   [
     "kernel"; "int"; "float"; "bool"; "void"; "if"; "else"; "while"; "for";
     "break"; "continue"; "return"; "true"; "false"; "const"; "restrict";
-    "__restrict__"; "__global__"; "__syncthreads"; "threadIdx"; "blockIdx";
-    "blockDim"; "gridDim";
+    "__restrict__"; "__global__"; "__shared__"; "__syncthreads"; "threadIdx";
+    "blockIdx"; "blockDim"; "gridDim";
   ]
 
 (* Multi-character punctuation, longest first. *)

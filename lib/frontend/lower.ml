@@ -293,6 +293,19 @@ and lower_stmt ctx env (s : Ast.stmt) =
     let slot = new_slot ctx name ty in
     Builder.store ctx.bld ty ~addr:slot ~value:v;
     bind env name (Slot (slot, ty))
+  | Ast.Shared_decl (ast_ty, name, size) ->
+    (* Function-scope storage: the declaration order fixes the shared
+       slot, so nesting it under control flow would only obscure that. *)
+    if List.length env.bindings > 1 then
+      fail pos "__shared__ declarations must be at the kernel's top level";
+    let elt = ir_ty ast_ty in
+    (match elt with
+    | Types.F64 | Types.I64 -> ()
+    | _ ->
+      fail pos "__shared__ arrays must have int or float elements, found %s"
+        (Types.to_string elt));
+    let s = Func.declare_shared ctx.fn ~name ~elt ~size in
+    bind env name (Direct (Value.Var s.Func.s_var, Types.Ptr elt))
   | Ast.Assign (name, e) -> (
     match lookup env name pos with
     | Direct _ -> fail pos "%s is not assignable" name

@@ -294,6 +294,25 @@ let rec parse_stmt st =
     expect_punct st ")";
     expect_punct st ";";
     mk Ast.Sync
+  | Lexer.Tok_kw "__shared__" ->
+    (* __shared__ <ty> <name> [ <int> ] ; — the size must be a literal,
+       as in CUDA's static shared declarations. *)
+    advance st;
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    expect_punct st "[";
+    let size =
+      match (peek st).Lexer.tok with
+      | Lexer.Tok_int n when Int64.compare n 0L > 0 && Int64.compare n 0x10000000L < 0 ->
+        advance st;
+        Int64.to_int n
+      | Lexer.Tok_int n ->
+        fail st (Printf.sprintf "shared array size %Ld out of range" n)
+      | t -> fail st (Printf.sprintf "expected a constant array size, found %s" (describe t))
+    in
+    expect_punct st "]";
+    expect_punct st ";";
+    mk (Ast.Shared_decl (ty, name, size))
   | _ ->
     let s = parse_simple_stmt st in
     expect_punct st ";";

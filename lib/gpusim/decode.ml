@@ -149,6 +149,9 @@ let decode (device : Device.t) (fn : Func.t) : t =
     end
   in
   List.iter (fun (p : Func.param) -> assign p.Func.pvar (cls_of_ty p.Func.pty)) fn.Func.params;
+  (* Shared arrays are bound like pointer params: no defining
+     instruction, so class them explicitly or [popv] rejects them. *)
+  List.iter (fun (s : Func.shared) -> assign s.Func.s_var cls_p) fn.Func.shared;
   Array.iter
     (fun l ->
       let b = Func.block fn l in

@@ -21,6 +21,10 @@ type t = {
   fetch_miss_penalty : int;
   max_resident_warps : int;
   its_latency_hiding : bool;
+  shared_banks : int;
+  shared_bank_bytes : int;
+  smem_cost : int;
+  smem_latency : int;
 }
 
 let v100 =
@@ -47,6 +51,10 @@ let v100 =
     fetch_miss_penalty = 8;
     max_resident_warps = 64;
     its_latency_hiding = true;
+    shared_banks = 32;
+    shared_bank_bytes = 8;
+    smem_cost = 2;
+    smem_latency = 4;
   }
 
 let pre_volta = { v100 with its_latency_hiding = false }

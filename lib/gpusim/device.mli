@@ -44,6 +44,18 @@ type t = {
       (** Volta independent thread scheduling: when set, exposed load
           latency is divided by the number of live divergent groups of the
           warp; when clear (pre-Volta), every group pays full latency *)
+  shared_banks : int;              (** shared-memory banks per SM (32) *)
+  shared_bank_bytes : int;         (** bank word granularity in bytes: two
+                                       addresses conflict iff they map to
+                                       the same bank through different
+                                       words *)
+  smem_cost : int;                 (** bandwidth cost per shared-memory
+                                       replay round (one conflict-free
+                                       sweep over the banks) *)
+  smem_latency : int;              (** exposed latency of a dependent load
+                                       served entirely from shared memory;
+                                       divided by the live group count
+                                       like {!l1_hit_latency} *)
 }
 
 val v100 : t

@@ -5,7 +5,7 @@ open Uu_support
    produces for the same inputs (the per-block L1 switch, a cost-model
    change, ...). The harness folds this into its result-cache keys, so
    stale entries from the previous semantics are never served. *)
-let semantics_version = "2"
+let semantics_version = "3"
 
 type arg =
   | Buf of Memory.buffer
@@ -45,6 +45,17 @@ let bind_args fn args =
           (Printf.sprintf "launch @%s: scalar argument mismatch for %s (%s)"
              fn.Func.name p.pname (Types.to_string ty)))
     params args
+  (* Shared declarations bind like extra pointer params: slot [k] points
+     at shared buffer [-2 - k], constant for the whole launch (the bank
+     itself is per-shard and zero-reset at block entry). *)
+  @ List.mapi
+      (fun k (s : Func.shared) ->
+        (s.Func.s_var, Eval.Ptr { buffer = -2 - k; offset = 0 }))
+      fn.Func.shared
+
+let shared_bank fn =
+  Memory.shared_create
+    (List.map (fun (s : Func.shared) -> (s.Func.s_elt, s.Func.s_size)) fn.Func.shared)
 
 type engine = Reference | Decoded
 
@@ -110,20 +121,22 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
   let launch_seed = Option.map Rng.next noise in
   let run_shard ~lo ~hi =
     let st = Warp.decoded_state env in
+    let smem = shared_bank fn in
     let icache = Layout.icache_create device in
     let dcache = Cache.create ~capacity:device.Device.l1_lines in
     let acc = Metrics.create () in
     for block_id = lo to hi - 1 do
       Cache.reset icache;
       Cache.reset dcache;
+      Memory.shared_reset smem;
       let noise = block_noise launch_seed block_id in
       for warp_id = 0 to wpb - 1 do
         let base = warp_id * device.Device.warp_size in
         let lanes = min device.Device.warp_size (block_dim - base) in
         if lanes > 0 then
           Metrics.add acc
-            (Warp.run_decoded env st ~dcache ~icache ~noise ~block_id ~warp_id
-               ~lanes)
+            (Warp.run_decoded env st ~smem ~dcache ~icache ~noise ~block_id
+               ~warp_id ~lanes)
       done
     done;
     acc
@@ -157,19 +170,21 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
   let wpb = warps_per_block ~device ~block_dim in
   let launch_seed = Option.map Rng.next noise in
   let run_shard ~lo ~hi =
+    let smem = shared_bank fn in
     let icache = Layout.icache_create device in
     let dcache = Cache.create ~capacity:device.Device.l1_lines in
     let acc = Metrics.create () in
     for block_id = lo to hi - 1 do
       Cache.reset icache;
       Cache.reset dcache;
+      Memory.shared_reset smem;
       let noise = block_noise launch_seed block_id in
       for warp_id = 0 to wpb - 1 do
         let base = warp_id * device.Device.warp_size in
         let lanes = min device.Device.warp_size (block_dim - base) in
         if lanes > 0 then
           Metrics.add acc
-            (Warp.run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes)
+            (Warp.run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes)
       done
     done;
     acc

@@ -48,9 +48,10 @@ val launch :
   args:arg list ->
   result
 (** Execute the kernel over [grid_dim] blocks of [block_dim] threads.
-    Every block gets its own cold L1 data cache, icache residency, and
-    noise stream (the per-SM model), so block results are independent of
-    grid execution order.
+    Every block gets its own cold L1 data cache, icache residency,
+    zeroed shared-memory bank (one [Memory.shared_bank] per worker,
+    reset at block entry), and noise stream (the per-SM model), so block
+    results are independent of grid execution order.
 
     [sim_jobs] (default 1) shards blocks of the launch over that many
     OCaml domains in chunked ranges; metrics are reduced in block order
@@ -63,7 +64,10 @@ val launch :
 
     [races] audits the sharding contract itself: it records each block's
     global-memory write set and {!Racecheck.overlaps} then lists any
-    cell written by more than one block.
+    cell written by more than one block. It also records every
+    shared-memory access with its barrier epoch;
+    {!Racecheck.shared_races} lists intra-block conflicts within a
+    barrier interval.
 
     [engine] defaults to [Decoded]; [decode_cache] (used only by the
     decoded engine) memoizes the per-(function, device) decode across

@@ -198,6 +198,127 @@ let atomic_addf t ~buffer_id ~offset x =
     old
   | I _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
 
+(* Block-scoped shared memory.
+
+   Shared arrays live in their own bank, addressed by negative buffer
+   ids: slot [k] of the kernel's shared declarations is buffer
+   [-2 - k] (id -1 stays the null/undef pointer, so [is_shared] is a
+   single compare). The bank is created once per simulation shard and
+   zero-reset at every block entry, which keeps block-order sharding
+   byte-identical for any [sim_jobs]. *)
+
+type shared_bank = buffer array
+
+let is_shared id = id < -1
+
+let shared_create decls =
+  Array.of_list
+    (List.mapi
+       (fun k (elt, size) ->
+         if size <= 0 then
+           invalid_arg
+             (Printf.sprintf "Memory.shared_create: non-positive size %d" size);
+         let payload =
+           match elt with
+           | Types.F64 -> F (Array.make size 0.0)
+           | Types.I64 -> I (Array.make size 0)
+           | other ->
+             invalid_arg
+               (Printf.sprintf
+                  "Memory.shared_create: unbankable element type %s"
+                  (Types.to_string other))
+         in
+         { id = -2 - k; elt; esz = Types.size_bytes elt; payload })
+       decls)
+
+let shared_reset bank =
+  Array.iter
+    (fun b ->
+      match b.payload with
+      | F a -> Array.fill a 0 (Array.length a) 0.0
+      | I a -> Array.fill a 0 (Array.length a) 0
+      | P _ -> assert false)
+    bank
+
+let find_shared bank id =
+  let k = -2 - id in
+  if k >= 0 && k < Array.length bank then bank.(k)
+  else failwith (Printf.sprintf "simulated memory: unknown shared buffer %d" id)
+
+let shared_load bank ~buffer_id ~offset =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | F a -> Eval.Float a.(offset)
+  | I a -> Eval.Int (Int64.of_int a.(offset))
+  | P _ -> assert false
+
+let shared_store bank ~buffer_id ~offset v =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload, v with
+  | F a, Eval.Float x -> a.(offset) <- x
+  | I a, Eval.Int x -> a.(offset) <- fit x
+  | F _, (Eval.Int _ | Eval.Ptr _) -> type_confusion b "a non-float"
+  | I _, (Eval.Float _ | Eval.Ptr _) -> type_confusion b "a non-integer"
+  | P _, _ -> assert false
+
+let shared_atomic_add bank ~buffer_id ~offset v =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload, v with
+  | I a, Eval.Int x ->
+    let old = a.(offset) in
+    a.(offset) <- old + fit x;
+    Eval.Int (Int64.of_int old)
+  | F a, Eval.Float x ->
+    let old = a.(offset) in
+    a.(offset) <- old +. x;
+    Eval.Float old
+  | _, _ -> failwith "simulated memory: atomic_add type mismatch"
+
+let shared_elt_size bank ~buffer_id = (find_shared bank buffer_id).esz
+
+let shared_fdata bank ~buffer_id =
+  let b = find_shared bank buffer_id in
+  match b.payload with
+  | F a -> a
+  | I _ | P _ -> type_confusion b "a float"
+
+let shared_loadi bank ~buffer_id ~offset =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | I a -> a.(offset)
+  | F _ | P _ -> type_confusion b "an integer"
+
+let shared_storei bank ~buffer_id ~offset x =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | I a -> a.(offset) <- x
+  | F _ | P _ -> type_confusion b "an integer"
+
+let shared_atomic_addi bank ~buffer_id ~offset x =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | I a ->
+    let old = a.(offset) in
+    a.(offset) <- old + x;
+    old
+  | F _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
+let shared_atomic_addf bank ~buffer_id ~offset x =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | F a ->
+    let old = a.(offset) in
+    a.(offset) <- old +. x;
+    old
+  | I _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
 let dump t =
   List.init t.next_id (fun id ->
       let b = find t id in

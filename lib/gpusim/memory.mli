@@ -79,3 +79,51 @@ val atomic_addf : t -> buffer_id:int -> offset:int -> float -> float
 val dump : t -> (int * Eval.rvalue array) list
 (** Snapshot of every buffer (id, copied contents) in allocation order —
     used by the engine-equivalence tests to compare whole memory spaces. *)
+
+(** {1 Block-scoped shared memory}
+
+    Shared arrays live in a separate bank addressed by negative buffer
+    ids: shared slot [k] is buffer [-2 - k] (id [-1] remains the
+    null/undef pointer). A bank is created once per simulation shard and
+    zero-reset at every block entry, so results are independent of how
+    blocks are sharded across domains. Shared transfers never count
+    toward {!bytes_moved}. *)
+
+type shared_bank
+
+val is_shared : int -> bool
+(** [is_shared id] is true iff [id] addresses the shared bank
+    (i.e. [id < -1]). *)
+
+val shared_create : (Types.t * int) list -> shared_bank
+(** One array per kernel [shared] declaration, in declaration order:
+    slot [k] gets buffer id [-2 - k].
+    @raise Invalid_argument on a non-positive size or an element type
+    other than f64/i64. *)
+
+val shared_reset : shared_bank -> unit
+(** Zero-fill every array — run at each block entry so blocks observe a
+    freshly initialized bank regardless of execution order. *)
+
+val shared_load : shared_bank -> buffer_id:int -> offset:int -> Eval.rvalue
+(** @raise Failure on out-of-bounds or unknown shared buffer. *)
+
+val shared_store : shared_bank -> buffer_id:int -> offset:int -> Eval.rvalue -> unit
+
+val shared_atomic_add :
+  shared_bank -> buffer_id:int -> offset:int -> Eval.rvalue -> Eval.rvalue
+(** Adds and returns the previous value. *)
+
+val shared_elt_size : shared_bank -> buffer_id:int -> int
+(** Element size in bytes, for bank-conflict accounting. *)
+
+val shared_fdata : shared_bank -> buffer_id:int -> float array
+(** Live float payload of a shared f64 array (no copy); callers
+    bounds-check offsets against its length themselves. *)
+
+val shared_loadi : shared_bank -> buffer_id:int -> offset:int -> int
+val shared_storei : shared_bank -> buffer_id:int -> offset:int -> int -> unit
+
+val shared_atomic_addi : shared_bank -> buffer_id:int -> offset:int -> int -> int
+val shared_atomic_addf : shared_bank -> buffer_id:int -> offset:int -> float -> float
+(** Add and return the previous value. *)

@@ -9,6 +9,10 @@ type t = {
   mutable gld_bytes : int;
   mutable gst_bytes : int;
   mutable mem_transactions : int;
+  mutable sld_bytes : int;
+  mutable sst_bytes : int;
+  mutable shared_transactions : int;
+  mutable shared_bank_conflicts : int;
   mutable fetch_stall_cycles : int;
   mutable divergent_branches : int;
   mutable warps_launched : int;
@@ -26,6 +30,10 @@ let create () =
     gld_bytes = 0;
     gst_bytes = 0;
     mem_transactions = 0;
+    sld_bytes = 0;
+    sst_bytes = 0;
+    shared_transactions = 0;
+    shared_bank_conflicts = 0;
     fetch_stall_cycles = 0;
     divergent_branches = 0;
     warps_launched = 0;
@@ -42,6 +50,10 @@ let add acc m =
   acc.gld_bytes <- acc.gld_bytes + m.gld_bytes;
   acc.gst_bytes <- acc.gst_bytes + m.gst_bytes;
   acc.mem_transactions <- acc.mem_transactions + m.mem_transactions;
+  acc.sld_bytes <- acc.sld_bytes + m.sld_bytes;
+  acc.sst_bytes <- acc.sst_bytes + m.sst_bytes;
+  acc.shared_transactions <- acc.shared_transactions + m.shared_transactions;
+  acc.shared_bank_conflicts <- acc.shared_bank_conflicts + m.shared_bank_conflicts;
   acc.fetch_stall_cycles <- acc.fetch_stall_cycles + m.fetch_stall_cycles;
   acc.divergent_branches <- acc.divergent_branches + m.divergent_branches;
   acc.warps_launched <- acc.warps_launched + m.warps_launched
@@ -71,9 +83,11 @@ let kernel_time t ~device =
 let pp ppf t =
   Format.fprintf ppf
     "cycles=%d warp_instrs=%d thread_instrs=%d eff=%.2f%% ipc=%.2f misc=%d \
-     control=%d mem=%d gld=%dB stall_fetch=%.2f%% div_branches=%d"
+     control=%d mem=%d gld=%dB sld=%dB sst=%dB smem_tx=%d bank_conf=%d \
+     stall_fetch=%.2f%% div_branches=%d"
     t.cycles t.warp_instrs t.thread_instrs
     (100.0 *. warp_execution_efficiency t ~warp_size:32)
-    (ipc t) t.inst_misc t.inst_control t.inst_memory t.gld_bytes
+    (ipc t) t.inst_misc t.inst_control t.inst_memory t.gld_bytes t.sld_bytes
+    t.sst_bytes t.shared_transactions t.shared_bank_conflicts
     (100.0 *. stall_inst_fetch t)
     t.divergent_branches

@@ -13,6 +13,14 @@ type t = {
   mutable gld_bytes : int;            (** bytes read from global memory *)
   mutable gst_bytes : int;
   mutable mem_transactions : int;
+  mutable sld_bytes : int;            (** bytes read from shared memory *)
+  mutable sst_bytes : int;            (** bytes written to shared memory *)
+  mutable shared_transactions : int;  (** bank-sweep rounds issued for
+                                          shared accesses (≥1 per warp
+                                          shared load/store) *)
+  mutable shared_bank_conflicts : int;
+      (** replay rounds beyond the first — 0 when every shared access in
+          the warp is conflict-free or a broadcast *)
   mutable fetch_stall_cycles : int;
   mutable divergent_branches : int;
   mutable warps_launched : int;

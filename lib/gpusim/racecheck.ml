@@ -4,17 +4,45 @@
    launch's inter-block write overlaps. The collector is shared mutable
    state, so race-checked launches run serially (Kernel forces
    sim_jobs = 1), which is fine: the point is to audit the workload, not
-   to be fast. *)
+   to be fast.
+
+   Shared arrays get their own intra-block check. They are private to a
+   block, so the inter-block recorder must never see them (their ids
+   repeat across blocks and would alias). Instead, every shared access
+   is logged against the barrier interval ("epoch") it happened in: the
+   engines bump a per-warp epoch counter at each __syncthreads, and two
+   threads of the same block conflict iff they touch the same shared
+   cell in the same epoch with at least one write from a thread the
+   other is not. *)
+
+type shared_cell = { mutable s_writers : int list; mutable s_readers : int list }
 
 type t = {
   (* cell -> distinct blocks that wrote it, most recent first *)
   writers : (int * int, int list ref) Hashtbl.t;
   mutable writes : int;
+  (* (block, shared slot, offset, epoch) -> distinct accessing threads *)
+  shared : (int * int * int * int, shared_cell) Hashtbl.t;
+  mutable shared_accesses : int;
 }
 
 type overlap = { buffer : int; offset : int; blocks : int list }
 
-let create () = { writers = Hashtbl.create 1024; writes = 0 }
+type shared_race = {
+  s_block : int;
+  s_slot : int;
+  s_offset : int;
+  s_epoch : int;
+  s_threads : int list;
+}
+
+let create () =
+  {
+    writers = Hashtbl.create 1024;
+    writes = 0;
+    shared = Hashtbl.create 1024;
+    shared_accesses = 0;
+  }
 
 let record t ~block_id ~buffer ~offset =
   t.writes <- t.writes + 1;
@@ -22,8 +50,27 @@ let record t ~block_id ~buffer ~offset =
   | Some l -> if not (List.mem block_id !l) then l := block_id :: !l
   | None -> Hashtbl.add t.writers (buffer, offset) (ref [ block_id ])
 
+let record_shared t ~block_id ~thread_id ~slot ~offset ~epoch ~write =
+  t.shared_accesses <- t.shared_accesses + 1;
+  let key = (block_id, slot, offset, epoch) in
+  let cell =
+    match Hashtbl.find_opt t.shared key with
+    | Some c -> c
+    | None ->
+      let c = { s_writers = []; s_readers = [] } in
+      Hashtbl.add t.shared key c;
+      c
+  in
+  if write then begin
+    if not (List.mem thread_id cell.s_writers) then
+      cell.s_writers <- thread_id :: cell.s_writers
+  end
+  else if not (List.mem thread_id cell.s_readers) then
+    cell.s_readers <- thread_id :: cell.s_readers
+
 let writes t = t.writes
 let cells t = Hashtbl.length t.writers
+let shared_accesses t = t.shared_accesses
 
 let overlaps t =
   Hashtbl.fold
@@ -34,24 +81,81 @@ let overlaps t =
     t.writers []
   |> List.sort (fun a b -> compare (a.buffer, a.offset) (b.buffer, b.offset))
 
+let shared_races t =
+  Hashtbl.fold
+    (fun (block, slot, offset, epoch) c acc ->
+      let racy_readers =
+        List.filter (fun r -> not (List.mem r c.s_writers)) c.s_readers
+      in
+      let conflict =
+        match c.s_writers with
+        | [] -> false
+        | [ _ ] -> racy_readers <> []
+        | _ :: _ :: _ -> true
+      in
+      if conflict then
+        {
+          s_block = block;
+          s_slot = slot;
+          s_offset = offset;
+          s_epoch = epoch;
+          s_threads = List.sort_uniq compare (c.s_writers @ racy_readers);
+        }
+        :: acc
+      else acc)
+    t.shared []
+  |> List.sort (fun a b ->
+         compare
+           (a.s_block, a.s_slot, a.s_offset, a.s_epoch)
+           (b.s_block, b.s_slot, b.s_offset, b.s_epoch))
+
 let report t =
-  match overlaps t with
-  | [] ->
-    Printf.sprintf
-      "race check: no inter-block write overlaps (%d writes to %d cells)"
-      (writes t) (cells t)
-  | os ->
-    let head =
+  let global =
+    match overlaps t with
+    | [] ->
       Printf.sprintf
-        "race check: %d cell(s) written by more than one block (%d writes to %d \
-         cells)"
-        (List.length os) (writes t) (cells t)
+        "race check: no inter-block write overlaps (%d writes to %d cells)"
+        (writes t) (cells t)
+    | os ->
+      let head =
+        Printf.sprintf
+          "race check: %d cell(s) written by more than one block (%d writes to \
+           %d cells)"
+          (List.length os) (writes t) (cells t)
+      in
+      let lines =
+        List.map
+          (fun o ->
+            Printf.sprintf "  buffer %d offset %d <- blocks %s" o.buffer o.offset
+              (String.concat ", " (List.map string_of_int o.blocks)))
+          os
+      in
+      String.concat "\n" (head :: lines)
+  in
+  if t.shared_accesses = 0 then global
+  else
+    let shared =
+      match shared_races t with
+      | [] ->
+        Printf.sprintf
+          "  shared race check: no intra-block conflicts (%d accesses)"
+          t.shared_accesses
+      | rs ->
+        let head =
+          Printf.sprintf
+            "  shared race check: %d racy cell(s) within a barrier interval (%d \
+             accesses)"
+            (List.length rs) t.shared_accesses
+        in
+        let lines =
+          List.map
+            (fun r ->
+              Printf.sprintf
+                "    block %d shared slot %d offset %d epoch %d <- threads %s"
+                r.s_block r.s_slot r.s_offset r.s_epoch
+                (String.concat ", " (List.map string_of_int r.s_threads)))
+            rs
+        in
+        String.concat "\n" (head :: lines)
     in
-    let lines =
-      List.map
-        (fun o ->
-          Printf.sprintf "  buffer %d offset %d <- blocks %s" o.buffer o.offset
-            (String.concat ", " (List.map string_of_int o.blocks)))
-        os
-    in
-    String.concat "\n" (head :: lines)
+    global ^ "\n" ^ shared

@@ -8,6 +8,12 @@
     update records its cell against the writing block; {!overlaps} lists
     the cells written by more than one block.
 
+    Shared arrays are block-private, so they get a separate intra-block
+    check instead: every shared access is logged against the barrier
+    interval ("epoch") it happened in, and {!shared_races} lists the
+    cells where two threads of one block conflicted between barriers
+    (two distinct writers, or a writer plus an independent reader).
+
     A race-checked launch always runs serially (the collector is shared
     mutable state); use it to audit workloads, not to measure them. *)
 
@@ -19,22 +25,58 @@ type overlap = {
   blocks : int list;  (** sorted, distinct; always at least two *)
 }
 
+type shared_race = {
+  s_block : int;
+  s_slot : int;    (** shared declaration index, 0-based *)
+  s_offset : int;
+  s_epoch : int;   (** barrier interval: number of __syncthreads before
+                       the access *)
+  s_threads : int list;  (** sorted, distinct conflicting thread ids *)
+}
+
 val create : unit -> t
 
 val record : t -> block_id:int -> buffer:int -> offset:int -> unit
 (** Called by the warp engines on every global store and atomic update,
-    once per active lane. *)
+    once per active lane. Shared stores must NOT be recorded here —
+    their ids repeat across blocks and would report false overlaps. *)
+
+val record_shared :
+  t ->
+  block_id:int ->
+  thread_id:int ->
+  slot:int ->
+  offset:int ->
+  epoch:int ->
+  write:bool ->
+  unit
+(** Called by the warp engines on every shared load, store, and atomic
+    update, once per active lane. [thread_id] is the flat thread index
+    within the block ([warp_id * warp_size + lane]); [epoch] counts the
+    [__syncthreads] executed by that warp so far in the block. *)
 
 val writes : t -> int
-(** Total writes recorded (lane grain). *)
+(** Total global writes recorded (lane grain). *)
 
 val cells : t -> int
-(** Distinct (buffer, offset) cells written. *)
+(** Distinct global (buffer, offset) cells written. *)
+
+val shared_accesses : t -> int
+(** Total shared accesses recorded (lane grain, reads and writes). *)
 
 val overlaps : t -> overlap list
 (** Cells written by ≥ 2 distinct blocks, sorted by (buffer, offset).
     Empty means block-order independence of final memory holds for this
     input. *)
 
+val shared_races : t -> shared_race list
+(** Shared cells touched by conflicting threads of one block within a
+    single barrier interval: at least two distinct writers, or one
+    writer plus a reader that is not the writer. Sorted by
+    (block, slot, offset, epoch). Empty means the kernel's shared
+    accesses are properly synchronized for this input. *)
+
 val report : t -> string
-(** Human-readable summary, one line per overlapping cell. *)
+(** Human-readable summary covering both checks, one line per
+    overlapping or racy cell. The shared section is printed only when
+    shared accesses were recorded. *)

@@ -32,7 +32,7 @@ let default_of_ty = function
   | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
   | Types.Void -> Eval.Int 0L
 
-let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
+let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
   let d = env.device in
   let fn = env.fn in
   let m = Metrics.create () in
@@ -92,11 +92,39 @@ let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
         end)
       (0, 0) ptrs
   in
+  (* Replay rounds for the shared pointers of one warp access: distinct
+     (buffer, word) pairs count once (same-word lanes are a broadcast),
+     and the access replays once per entry of the deepest bank queue.
+     0 when the access touches no shared memory; order-independent. *)
+  let shared_replays ptrs =
+    match ptrs with
+    | [] -> 0
+    | _ ->
+      let seen = Hashtbl.create 8 in
+      let banks = Array.make d.Device.shared_banks 0 in
+      let r = ref 0 in
+      List.iter
+        (fun (buffer, offset) ->
+          let esz = Memory.shared_elt_size smem ~buffer_id:buffer in
+          let word = offset * esz / d.Device.shared_bank_bytes in
+          let key = (buffer, word) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            let bank = word mod d.Device.shared_banks in
+            banks.(bank) <- banks.(bank) + 1;
+            if banks.(bank) > !r then r := banks.(bank)
+          end)
+        ptrs;
+      !r
+  in
   let expect_ptr = function
     | Eval.Ptr { buffer; offset } -> (buffer, offset)
     | Eval.Int _ | Eval.Float _ -> failwith "simulator: address is not a pointer"
   in
   let live_streams = ref 1 in
+  (* Barrier interval for the shared-race audit: bumped at each
+     __syncthreads this warp executes. *)
+  let epoch = ref 0 in
   let exec_instr mask instr =
     let active = Mask.popcount mask in
     match instr with
@@ -142,22 +170,44 @@ let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
         mask;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Instr.Load { dst; ty; addr } ->
-      let ptrs = ref [] in
+      let gptrs = ref [] and sptrs = ref [] and n_shared = ref 0 in
       Mask.iter
         (fun lane ->
           let buffer, offset = expect_ptr (eval lane addr) in
-          ptrs := (buffer, offset) :: !ptrs;
-          regs.(lane).(dst) <- Memory.load env.mem ~buffer_id:buffer ~offset)
+          if Memory.is_shared buffer then begin
+            sptrs := (buffer, offset) :: !sptrs;
+            incr n_shared;
+            (match env.races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id
+                ~thread_id:((warp_id * d.Device.warp_size) + lane)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:false
+            | None -> ());
+            regs.(lane).(dst) <- Memory.shared_load smem ~buffer_id:buffer ~offset
+          end
+          else begin
+            gptrs := (buffer, offset) :: !gptrs;
+            regs.(lane).(dst) <- Memory.load env.mem ~buffer_id:buffer ~offset
+          end)
         mask;
-      let hits, misses = transactions_of (List.rev !ptrs) in
+      let hits, misses = transactions_of (List.rev !gptrs) in
+      let replays = shared_replays (List.rev !sptrs) in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
       m.Metrics.gld_bytes <-
-        m.Metrics.gld_bytes + (active * Types.size_bytes ty);
-      (* Dependent-load latency: DRAM on any miss, L1 otherwise; hidden
-         across the live divergent groups of this warp (Volta independent
-         thread scheduling). *)
+        m.Metrics.gld_bytes + ((active - !n_shared) * Types.size_bytes ty);
+      m.Metrics.sld_bytes <-
+        m.Metrics.sld_bytes + (!n_shared * Types.size_bytes ty);
+      (* Dependent-load latency: DRAM on any miss, L1 on any hit, shared
+         pipe otherwise; hidden across the live divergent groups of this
+         warp (Volta independent thread scheduling). *)
       let latency =
-        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+        if misses > 0 then d.Device.mem_dep_latency
+        else if hits > 0 then d.Device.l1_hit_latency
+        else d.Device.smem_latency
       in
       let exposed =
         if d.Device.its_latency_hiding then latency / max 1 !live_streams
@@ -166,39 +216,78 @@ let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
       charge ~memory:active
         ~cycles:
           (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
-          + mem_cost misses + exposed)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost)
+          + exposed)
         ~active ()
     | Instr.Store { ty; addr; value } ->
-      let ptrs = ref [] in
+      let gptrs = ref [] and sptrs = ref [] and n_shared = ref 0 in
       Mask.iter
         (fun lane ->
           let buffer, offset = expect_ptr (eval lane addr) in
-          ptrs := (buffer, offset) :: !ptrs;
-          Memory.store env.mem ~buffer_id:buffer ~offset (eval lane value))
+          if Memory.is_shared buffer then begin
+            sptrs := (buffer, offset) :: !sptrs;
+            incr n_shared;
+            (match env.races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id
+                ~thread_id:((warp_id * d.Device.warp_size) + lane)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            Memory.shared_store smem ~buffer_id:buffer ~offset (eval lane value)
+          end
+          else begin
+            gptrs := (buffer, offset) :: !gptrs;
+            Memory.store env.mem ~buffer_id:buffer ~offset (eval lane value)
+          end)
         mask;
       (match env.races with
       | Some r ->
         List.iter
           (fun (buffer, offset) -> Racecheck.record r ~block_id ~buffer ~offset)
-          !ptrs
+          !gptrs
       | None -> ());
-      let hits, misses = transactions_of (List.rev !ptrs) in
+      let hits, misses = transactions_of (List.rev !gptrs) in
+      let replays = shared_replays (List.rev !sptrs) in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * Types.size_bytes ty);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gst_bytes <-
+        m.Metrics.gst_bytes + ((active - !n_shared) * Types.size_bytes ty);
+      m.Metrics.sst_bytes <-
+        m.Metrics.sst_bytes + (!n_shared * Types.size_bytes ty);
       charge ~memory:active
         ~cycles:
-          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost))
         ~active ()
     | Instr.Atomic_add { dst; addr; value; _ } ->
-      (* Atomics serialize per lane. *)
+      (* Atomics serialize per lane. Shared-space atomics never touch the
+         inter-block recorder: shared ids repeat across blocks. *)
       Mask.iter
         (fun lane ->
           let buffer, offset = expect_ptr (eval lane addr) in
-          (match env.races with
-          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
-          | None -> ());
-          regs.(lane).(dst) <-
-            Memory.atomic_add env.mem ~buffer_id:buffer ~offset (eval lane value))
+          if Memory.is_shared buffer then begin
+            (match env.races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id
+                ~thread_id:((warp_id * d.Device.warp_size) + lane)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            regs.(lane).(dst) <-
+              Memory.shared_atomic_add smem ~buffer_id:buffer ~offset
+                (eval lane value)
+          end
+          else begin
+            (match env.races with
+            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | None -> ());
+            regs.(lane).(dst) <-
+              Memory.atomic_add env.mem ~buffer_id:buffer ~offset (eval lane value)
+          end)
         mask;
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + active;
       charge ~memory:active ~cycles:(d.Device.atomic_cost * max 1 active) ~active ()
@@ -231,7 +320,9 @@ let run env ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
           regs.(lane).(dst) <- Eval.Ptr { buffer = Memory.buffer_id buf; offset = lane })
         mask;
       charge ~cycles:d.Device.alu_cost ~active ()
-    | Instr.Syncthreads -> charge ~cycles:d.Device.sync_cost ~active ()
+    | Instr.Syncthreads ->
+      incr epoch;
+      charge ~cycles:d.Device.sync_cost ~active ()
   in
   let exec_phis mask b =
     match b.Block.phis with
@@ -377,6 +468,10 @@ type decoded_state = {
   tx_buf : int array;
   tx_off : int array;
   tx_seen : int array;
+  sx_buf : int array;
+  sx_off : int array;
+  sx_seen : int array;
+  sx_cnt : int array;
 }
 
 let decoded_state (env : decoded_env) =
@@ -399,6 +494,10 @@ let decoded_state (env : decoded_env) =
       tx_buf = Array.make ws 0;
       tx_off = Array.make ws 0;
       tx_seen = Array.make ws 0;
+      sx_buf = Array.make ws 0;
+      sx_off = Array.make ws 0;
+      sx_seen = Array.make ws 0;
+      sx_cnt = Array.make (max 1 env.d_device.Device.shared_banks) 0;
     }
   in
   (* Parameters are warp-invariant, so their register rows are written
@@ -497,8 +596,8 @@ let icmp_exec op x y =
   | Instr.Uge -> b2i (x lxor min_int >= y lxor min_int)
   | _ -> assert false
 
-let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
-    ~block_id ~warp_id ~lanes =
+let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
+    ~noise ~block_id ~warp_id ~lanes =
   let d = env.d_device in
   let p = env.prog in
   let ws = d.Device.warp_size in
@@ -550,7 +649,39 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
     done;
     (!hits, !misses)
   in
+  (* Replay rounds for the [ns] shared pointers staged in
+     [sx_buf]/[sx_off] — the same model as the reference engine's
+     [shared_replays]: distinct (buffer, word) pairs count once and the
+     result is the deepest bank queue. *)
+  let shared_replays ns =
+    if ns = 0 then 0
+    else begin
+      let banks = st.sx_cnt in
+      Array.fill banks 0 (Array.length banks) 0;
+      let nseen = ref 0 and r = ref 0 in
+      for j = 0 to ns - 1 do
+        let buffer = st.sx_buf.(j) in
+        let esz = Memory.shared_elt_size smem ~buffer_id:buffer in
+        let word = st.sx_off.(j) * esz / d.Device.shared_bank_bytes in
+        let key = (buffer lsl 32) lor word in
+        let dup = ref false in
+        for k = 0 to !nseen - 1 do
+          if st.sx_seen.(k) = key then dup := true
+        done;
+        if not !dup then begin
+          st.sx_seen.(!nseen) <- key;
+          incr nseen;
+          let bank = word mod d.Device.shared_banks in
+          banks.(bank) <- banks.(bank) + 1;
+          if banks.(bank) > !r then r := banks.(bank)
+        end
+      done;
+      !r
+    end
+  in
   let live_streams = ref 1 in
+  (* Barrier interval for the shared-race audit, as in [run]. *)
+  let epoch = ref 0 in
   (* Lane loops walk the mask by shifting it right one lane per
      iteration — ascending lane order, two ALU ops per lane, and operand
      reads are inlined matches so no float ever crosses a call boundary
@@ -842,7 +973,7 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
       charge ~cycles:d.Device.alu_cost ~active ()
     | Decode.D_iload { dst; addr; bytes } ->
       let base = dst * ws in
-      let n = ref 0 in
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -855,20 +986,42 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
-          Array.unsafe_set iregs (base + !l)
-            (Memory.loadi env.d_mem ~buffer_id:buffer ~offset)
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:false
+            | None -> ());
+            Array.unsafe_set iregs (base + !l)
+              (Memory.shared_loadi smem ~buffer_id:buffer ~offset)
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            Array.unsafe_set iregs (base + !l)
+              (Memory.loadi env.d_mem ~buffer_id:buffer ~offset)
+          end
         end;
         incr l;
         mm := !mm lsr 1
       done;
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + ((active - !ns) * bytes);
+      m.Metrics.sld_bytes <- m.Metrics.sld_bytes + (!ns * bytes);
       let latency =
-        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+        if misses > 0 then d.Device.mem_dep_latency
+        else if hits > 0 then d.Device.l1_hit_latency
+        else d.Device.smem_latency
       in
       let exposed =
         if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
@@ -876,11 +1029,13 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
       charge ~memory:active
         ~cycles:
           (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
-          + mem_cost misses + exposed)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost)
+          + exposed)
         ~active ()
     | Decode.D_fload { dst; addr; bytes } ->
       let base = dst * ws in
-      let n = ref 0 in
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -893,22 +1048,46 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
-          let a = Memory.fdata env.d_mem ~buffer_id:buffer in
-          if offset < 0 || offset >= Array.length a then
-            oob buffer offset (Array.length a);
-          Array.unsafe_set fregs (base + !l) (Array.unsafe_get a offset)
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:false
+            | None -> ());
+            let a = Memory.shared_fdata smem ~buffer_id:buffer in
+            if offset < 0 || offset >= Array.length a then
+              oob buffer offset (Array.length a);
+            Array.unsafe_set fregs (base + !l) (Array.unsafe_get a offset)
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            let a = Memory.fdata env.d_mem ~buffer_id:buffer in
+            if offset < 0 || offset >= Array.length a then
+              oob buffer offset (Array.length a);
+            Array.unsafe_set fregs (base + !l) (Array.unsafe_get a offset)
+          end
         end;
         incr l;
         mm := !mm lsr 1
       done;
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + ((active - !ns) * bytes);
+      m.Metrics.sld_bytes <- m.Metrics.sld_bytes + (!ns * bytes);
       let latency =
-        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+        if misses > 0 then d.Device.mem_dep_latency
+        else if hits > 0 then d.Device.l1_hit_latency
+        else d.Device.smem_latency
       in
       let exposed =
         if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
@@ -916,7 +1095,9 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
       charge ~memory:active
         ~cycles:
           (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
-          + mem_cost misses + exposed)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost)
+          + exposed)
         ~active ()
     | Decode.D_pload { dst; addr; bytes } ->
       let base = dst * ws in
@@ -933,6 +1114,14 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
+          (* Shared arrays hold only f64/i64 elements (see the verifier),
+             so a pointer-typed load from the shared space is always a
+             type confusion. *)
+          if buffer < -1 then
+            failwith
+              (Printf.sprintf
+                 "simulated memory: shared buffer %d accessed as a pointer"
+                 buffer);
           st.tx_buf.(!n) <- buffer;
           st.tx_off.(!n) <- offset;
           incr n;
@@ -958,7 +1147,7 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
           + mem_cost misses + exposed)
         ~active ()
     | Decode.D_istore { addr; value; bytes } ->
-      let n = ref 0 in
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -971,15 +1160,28 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
           let v =
             match value with
             | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
             | Decode.I_imm x -> x
           in
-          Memory.storei env.d_mem ~buffer_id:buffer ~offset v
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            Memory.shared_storei smem ~buffer_id:buffer ~offset v
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            Memory.storei env.d_mem ~buffer_id:buffer ~offset v
+          end
         end;
         incr l;
         mm := !mm lsr 1
@@ -991,14 +1193,22 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
         done
       | None -> ());
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + ((active - !ns) * bytes);
+      m.Metrics.sst_bytes <- m.Metrics.sst_bytes + (!ns * bytes);
       charge ~memory:active
         ~cycles:
-          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost))
         ~active ()
     | Decode.D_fstore { addr; value; bytes } ->
-      let n = ref 0 in
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -1011,18 +1221,34 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
           let v =
             match value with
             | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
             | Decode.F_imm x -> x
           in
-          let a = Memory.fdata env.d_mem ~buffer_id:buffer in
-          if offset < 0 || offset >= Array.length a then
-            oob buffer offset (Array.length a);
-          Array.unsafe_set a offset v
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            let a = Memory.shared_fdata smem ~buffer_id:buffer in
+            if offset < 0 || offset >= Array.length a then
+              oob buffer offset (Array.length a);
+            Array.unsafe_set a offset v
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            let a = Memory.fdata env.d_mem ~buffer_id:buffer in
+            if offset < 0 || offset >= Array.length a then
+              oob buffer offset (Array.length a);
+            Array.unsafe_set a offset v
+          end
         end;
         incr l;
         mm := !mm lsr 1
@@ -1034,11 +1260,19 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
         done
       | None -> ());
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + ((active - !ns) * bytes);
+      m.Metrics.sst_bytes <- m.Metrics.sst_bytes + (!ns * bytes);
       charge ~memory:active
         ~cycles:
-          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost))
         ~active ()
     | Decode.D_pstore { addr; value; bytes } ->
       let n = ref 0 in
@@ -1054,6 +1288,22 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
+          (* Shared arrays hold only f64/i64 elements, so a pointer store
+             into the shared space is a type confusion ([shared_store]
+             raises the message the reference engine produces). *)
+          if buffer < -1 then begin
+            let vb =
+              match value with
+              | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
+              | Decode.P_imm (b', _) -> b'
+            and vo =
+              match value with
+              | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
+              | Decode.P_imm (_, o) -> o
+            in
+            Memory.shared_store smem ~buffer_id:buffer ~offset
+              (Eval.Ptr { buffer = vb; offset = vo })
+          end;
           st.tx_buf.(!n) <- buffer;
           st.tx_off.(!n) <- offset;
           incr n;
@@ -1102,11 +1352,22 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
             | Decode.I_imm x -> x
           in
-          (match env.d_races with
-          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
-          | None -> ());
-          Array.unsafe_set iregs (base + !l)
-            (Memory.atomic_addi env.d_mem ~buffer_id:buffer ~offset v)
+          if buffer < -1 then begin
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            Array.unsafe_set iregs (base + !l)
+              (Memory.shared_atomic_addi smem ~buffer_id:buffer ~offset v)
+          end
+          else begin
+            (match env.d_races with
+            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | None -> ());
+            Array.unsafe_set iregs (base + !l)
+              (Memory.atomic_addi env.d_mem ~buffer_id:buffer ~offset v)
+          end
         end;
         incr l;
         mm := !mm lsr 1
@@ -1131,11 +1392,22 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
             | Decode.F_reg s -> Array.unsafe_get fregs ((s * ws) + !l)
             | Decode.F_imm x -> x
           in
-          (match env.d_races with
-          | Some r -> Racecheck.record r ~block_id ~buffer ~offset
-          | None -> ());
-          Array.unsafe_set fregs (base + !l)
-            (Memory.atomic_addf env.d_mem ~buffer_id:buffer ~offset v)
+          if buffer < -1 then begin
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            Array.unsafe_set fregs (base + !l)
+              (Memory.shared_atomic_addf smem ~buffer_id:buffer ~offset v)
+          end
+          else begin
+            (match env.d_races with
+            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | None -> ());
+            Array.unsafe_set fregs (base + !l)
+              (Memory.atomic_addf env.d_mem ~buffer_id:buffer ~offset v)
+          end
         end;
         incr l;
         mm := !mm lsr 1
@@ -1220,7 +1492,9 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~dcache ~icache ~noise
         mm := !mm lsr 1
       done;
       charge ~cycles:d.Device.alu_cost ~active ()
-    | Decode.D_sync -> charge ~cycles:d.Device.sync_cost ~active ()
+    | Decode.D_sync ->
+      incr epoch;
+      charge ~cycles:d.Device.sync_cost ~active ()
   in
   let phi_fail orig pr =
     failwith

@@ -36,6 +36,7 @@ type launch_env = {
 
 val run :
   launch_env ->
+  smem:Memory.shared_bank ->
   dcache:(int * int) Cache.t ->
   icache:Layout.icache ->
   noise:Rng.t option ->
@@ -44,11 +45,13 @@ val run :
   lanes:int ->
   Metrics.t
 (** Execute one warp ([lanes] ≤ warp size active threads, lane 0 is
-    thread [warp_id * warp_size] of the block). [dcache] is the block's
-    L1 model over (buffer, segment) keys, [icache] its instruction-cache
-    residency, [noise] its private jitter stream (one gaussian draw per
-    warp, in warp order) — all owned by the block so warp metrics are a
-    function of (launch, block) alone. Returns the warp's metrics.
+    thread [warp_id * warp_size] of the block). [smem] is the block's
+    shared-memory bank (zero-reset by the launcher at block entry),
+    [dcache] the block's L1 model over (buffer, segment) keys, [icache]
+    its instruction-cache residency, [noise] its private jitter stream
+    (one gaussian draw per warp, in warp order) — all owned by the block
+    so warp metrics are a function of (launch, block) alone. Returns the
+    warp's metrics.
     @raise Failure on interpreter errors (out-of-bounds access, type
     confusion) or when [max_warp_cycles] is exceeded. *)
 
@@ -84,6 +87,7 @@ val decoded_state : decoded_env -> decoded_state
 val run_decoded :
   decoded_env ->
   decoded_state ->
+  smem:Memory.shared_bank ->
   dcache:int Cache.t ->
   icache:Layout.icache ->
   noise:Rng.t option ->

@@ -24,6 +24,10 @@ let metrics_to_json (m : Metrics.t) =
       ("gld_bytes", Json.Int m.Metrics.gld_bytes);
       ("gst_bytes", Json.Int m.Metrics.gst_bytes);
       ("mem_transactions", Json.Int m.Metrics.mem_transactions);
+      ("sld_bytes", Json.Int m.Metrics.sld_bytes);
+      ("sst_bytes", Json.Int m.Metrics.sst_bytes);
+      ("shared_transactions", Json.Int m.Metrics.shared_transactions);
+      ("shared_bank_conflicts", Json.Int m.Metrics.shared_bank_conflicts);
       ("fetch_stall_cycles", Json.Int m.Metrics.fetch_stall_cycles);
       ("divergent_branches", Json.Int m.Metrics.divergent_branches);
       ("warps_launched", Json.Int m.Metrics.warps_launched);
@@ -47,6 +51,10 @@ let metrics_of_json v =
   let* gld_bytes = field "gld_bytes" Json.to_int v in
   let* gst_bytes = field "gst_bytes" Json.to_int v in
   let* mem_transactions = field "mem_transactions" Json.to_int v in
+  let* sld_bytes = field "sld_bytes" Json.to_int v in
+  let* sst_bytes = field "sst_bytes" Json.to_int v in
+  let* shared_transactions = field "shared_transactions" Json.to_int v in
+  let* shared_bank_conflicts = field "shared_bank_conflicts" Json.to_int v in
   let* fetch_stall_cycles = field "fetch_stall_cycles" Json.to_int v in
   let* divergent_branches = field "divergent_branches" Json.to_int v in
   let* warps_launched = field "warps_launched" Json.to_int v in
@@ -62,6 +70,10 @@ let metrics_of_json v =
       gld_bytes;
       gst_bytes;
       mem_transactions;
+      sld_bytes;
+      sst_bytes;
+      shared_transactions;
+      shared_bank_conflicts;
       fetch_stall_cycles;
       divergent_branches;
       warps_launched;

@@ -7,10 +7,23 @@ type param = {
 
 type pragma = Pragma_unroll of int | Pragma_nounroll
 
+(* A block-scoped shared array (`__shared__ float tile[64]`): one SSA
+   pointer register per declaration, visible everywhere in the function,
+   backed by a per-block scratchpad bank in the simulator. Declaration
+   order is semantic — it assigns the shared slot the engines bind the
+   register to. *)
+type shared = {
+  s_var : Value.var;
+  s_elt : Types.t;
+  s_size : int;  (** element count *)
+  s_name : string;
+}
+
 type t = {
   name : string;
   params : param list;
   ret_ty : Types.t;
+  mutable shared : shared list;
   mutable entry : Value.label;
   blocks : (Value.label, Block.t) Hashtbl.t;
   mutable next_var : int;
@@ -33,6 +46,7 @@ let create ~name ~params ~ret_ty =
       name;
       params;
       ret_ty;
+      shared = [];
       entry = 0;
       blocks = Hashtbl.create 17;
       next_var = List.length params;
@@ -67,6 +81,7 @@ let copy f =
   }
 
 let restore f ~from_ =
+  f.shared <- from_.shared;
   f.entry <- from_.entry;
   f.next_var <- from_.next_var;
   f.next_label <- from_.next_label;
@@ -124,6 +139,25 @@ let var_hint f v = Hashtbl.find_opt f.var_hints v
 let set_var_hint f v h = Hashtbl.replace f.var_hints v h
 let param_vars f = List.map (fun p -> p.pvar) f.params
 let param_of_var f v = List.find_opt (fun p -> p.pvar = v) f.params
+
+(* Append a shared declaration; the register is ready to use as a
+   [Ptr s_elt]. When [var] is given (the IR parser round-tripping a
+   printed function) it is registered instead of a fresh one. *)
+let declare_shared ?var f ~name ~elt ~size =
+  if size <= 0 then
+    invalid_arg (Printf.sprintf "Func.declare_shared: %s has size %d" name size);
+  let v =
+    match var with
+    | Some v ->
+      note_var ~hint:name f v;
+      v
+    | None -> fresh_var ~hint:name f
+  in
+  let s = { s_var = v; s_elt = elt; s_size = size; s_name = name } in
+  f.shared <- f.shared @ [ s ];
+  s
+
+let shared_of_var f v = List.find_opt (fun s -> s.s_var = v) f.shared
 
 let instr_count f =
   fold_blocks

@@ -14,10 +14,22 @@ type param = {
 
 type pragma = Pragma_unroll of int | Pragma_nounroll
 
+type shared = {
+  s_var : Value.var;  (** the [Ptr s_elt] register the array is bound to *)
+  s_elt : Types.t;
+  s_size : int;  (** element count; always positive *)
+  s_name : string;
+}
+(** A block-scoped shared array ([__shared__ float tile[64]]): declared
+    at function scope, backed by a per-block scratchpad bank in the
+    simulator. Declaration order assigns the shared slot the engines bind
+    [s_var] to, so it is semantic. *)
+
 type t = {
   name : string;
   params : param list;
   ret_ty : Types.t;
+  mutable shared : shared list;  (** shared declarations, in slot order *)
   mutable entry : Value.label;
   blocks : (Value.label, Block.t) Hashtbl.t;
   mutable next_var : int;
@@ -68,6 +80,14 @@ val set_var_hint : t -> Value.var -> string -> unit
 val param_vars : t -> Value.var list
 
 val param_of_var : t -> Value.var -> param option
+
+val declare_shared :
+  ?var:Value.var -> t -> name:string -> elt:Types.t -> size:int -> shared
+(** Append a shared-array declaration, allocating a fresh pointer
+    register for it (or registering [var] when the IR parser supplies
+    one). @raise Invalid_argument on a non-positive size. *)
+
+val shared_of_var : t -> Value.var -> shared option
 
 val instr_count : t -> int
 (** Total instruction count (phis and terminators included), the basis of

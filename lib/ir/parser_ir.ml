@@ -363,6 +363,31 @@ let parse_func_lines lines start =
       | None -> fail lineno "statement outside a function"
       | Some f ->
         if raw = "}" then finished := true
+        else if String.length raw >= 7 && String.sub raw 0 7 = "shared " then begin
+          (* "shared %tile.5: f64[64]" — before any block, slot order is
+             declaration order. *)
+          if !current <> None then fail lineno "shared declaration after a block label";
+          let rest = String.sub raw 7 (String.length raw - 7) in
+          match String.index_opt rest ':' with
+          | None -> fail lineno "malformed shared declaration: %s" raw
+          | Some i -> (
+            let var, hint = parse_reg lineno (String.sub rest 0 i) in
+            let tail = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
+            match String.index_opt tail '[' with
+            | Some j when tail.[String.length tail - 1] = ']' -> (
+              let elt = parse_ty lineno (String.sub tail 0 j) in
+              let size_s = String.sub tail (j + 1) (String.length tail - j - 2) in
+              match int_of_string_opt (String.trim size_s) with
+              | Some size when size <= 0 ->
+                fail lineno "shared array size must be positive, got %d" size
+              | Some size ->
+                ignore
+                  (Func.declare_shared ~var f
+                     ~name:(match hint with Some h -> h | None -> Printf.sprintf "shared%d" var)
+                     ~elt ~size)
+              | None -> fail lineno "bad shared array size %s" size_s)
+            | Some _ | None -> fail lineno "malformed shared declaration: %s" raw)
+        end
         else if raw.[String.length raw - 1] = ':' then begin
           let lbl, hint = parse_label lineno (String.sub raw 0 (String.length raw - 1)) in
           let b =

@@ -83,6 +83,11 @@ let pp_func ppf (f : Func.t) =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        pp_param)
     f.Func.params Types.pp f.Func.ret_ty;
+  List.iter
+    (fun (s : Func.shared) ->
+      Format.fprintf ppf "  shared %a: %a[%d]@." (pp_var f) s.Func.s_var Types.pp
+        s.Func.s_elt s.Func.s_size)
+    f.Func.shared;
   let order = Cfg.reverse_postorder f in
   let live = Value.Label_set.of_list order in
   List.iter (fun lbl -> pp_block f ppf (Func.block f lbl)) order;

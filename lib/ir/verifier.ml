@@ -16,6 +16,17 @@ let check f =
     else Hashtbl.replace tys v ty
   in
   List.iter (fun (p : Func.param) -> define "param" p.pvar p.pty) f.Func.params;
+  List.iter
+    (fun (s : Func.shared) ->
+      if s.s_size <= 0 then
+        err "shared: array %s has non-positive size %d" s.s_name s.s_size;
+      (match s.s_elt with
+      | Types.F64 | Types.I64 -> ()
+      | other ->
+        err "shared: array %s has element type %s (only f64/i64 are bankable)"
+          s.s_name (Types.to_string other));
+      define "shared" s.s_var (Types.Ptr s.s_elt))
+    f.Func.shared;
   Func.iter_blocks
     (fun b ->
       let where = Format.asprintf "%a" pp_l b.Block.label in

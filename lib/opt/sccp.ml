@@ -33,6 +33,10 @@ let def_types f =
 let run f =
   let values : (Value.var, lattice) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace values p Bottom) (Func.param_vars f);
+  (* Shared declarations are runtime pointers, like params. *)
+  List.iter
+    (fun (s : Func.shared) -> Hashtbl.replace values s.Func.s_var Bottom)
+    f.Func.shared;
   let get_var v = match Hashtbl.find_opt values v with Some l -> l | None -> Top in
   let get_value = function
     | Value.Var v -> get_var v

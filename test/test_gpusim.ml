@@ -344,6 +344,109 @@ let test_kernel_time_concurrency () =
   check (Alcotest.float 1e-9) "capped at max resident" (1000.0 /. 64.0)
     (Metrics.kernel_time m ~device:Device.v100)
 
+(* --- block-scoped shared memory ------------------------------------ *)
+
+let run_shared ?(engine = Kernel.Decoded) ?(grid = 2) src =
+  let fn = Ir_helpers.compile_one src in
+  let mem = Memory.create () in
+  let out = Memory.zeros_f64 mem (grid * 32) in
+  let r =
+    Kernel.launch ~engine mem fn ~grid_dim:grid ~block_dim:32
+      ~args:[ Kernel.Buf out; Kernel.Int_arg (Int64.of_int (grid * 32)) ]
+  in
+  (r.Kernel.metrics, Memory.read_f64 out)
+
+(* Shared banks are zero-reset at block entry: a kernel that increments
+   the reset value sees 1.0 in EVERY block, not an accumulation across
+   the (sequentially simulated) grid. *)
+let test_shared_reset_per_block () =
+  let src =
+    {|kernel k(float* restrict out, int n) {
+        __shared__ float s[32];
+        int lid = threadIdx.x;
+        s[lid] = s[lid] + 1.0;
+        __syncthreads();
+        int gid = lid + blockIdx.x * blockDim.x;
+        if (gid < n) { out[gid] = s[lid]; }
+      }|}
+  in
+  List.iter
+    (fun engine ->
+      let m, out = run_shared ~engine ~grid:4 src in
+      check bool "every block read the reset bank" true
+        (Array.for_all (fun v -> v = 1.0) out);
+      (* Two shared reads per lane (the increment and the copy-out), one
+         shared write. *)
+      check int "shared loads counted" (2 * 4 * 32 * 8) m.Metrics.sld_bytes;
+      check int "shared stores counted" (4 * 32 * 8) m.Metrics.sst_bytes)
+    [ Kernel.Reference; Kernel.Decoded ]
+
+(* The bank model: 32 banks of 8 bytes. Unit-stride f64 access touches
+   every bank once (1 replay, no conflict); stride-2 folds lanes l and
+   l+16 onto the same bank with distinct words (2 replays, 1 conflict
+   per access); a same-word broadcast is deduplicated before banking and
+   never conflicts. *)
+let stride2 =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[64];
+      int lid = threadIdx.x;
+      s[lid * 2] = 1.0;
+      __syncthreads();
+      out[lid + blockIdx.x * blockDim.x] = s[lid * 2];
+    }|}
+
+let broadcast =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[4];
+      if (threadIdx.x == 0) { s[0] = 3.0; }
+      __syncthreads();
+      out[threadIdx.x + blockIdx.x * blockDim.x] = s[0];
+    }|}
+
+let test_shared_bank_conflicts () =
+  List.iter
+    (fun engine ->
+      let m, _ = run_shared ~engine ~grid:1 stride2 in
+      (* One store + one load, each 2-way conflicted. *)
+      check int "stride-2 replays" 4 m.Metrics.shared_transactions;
+      check int "stride-2 conflicts" 2 m.Metrics.shared_bank_conflicts;
+      let m, out = run_shared ~engine ~grid:1 broadcast in
+      check int "broadcast is one transaction each way" 2
+        m.Metrics.shared_transactions;
+      check int "broadcast never conflicts" 0 m.Metrics.shared_bank_conflicts;
+      check bool "broadcast value delivered" true
+        (Array.for_all (fun v -> v = 3.0) out))
+    [ Kernel.Reference; Kernel.Decoded ]
+
+(* Both engines must agree on the shared-memory counters exactly, like
+   every other metric. *)
+let test_shared_engines_agree () =
+  List.iter
+    (fun src ->
+      let mr, outr = run_shared ~engine:Kernel.Reference src in
+      let md, outd = run_shared ~engine:Kernel.Decoded src in
+      check bool "metrics byte-identical" true (mr = md);
+      check bool "memory byte-identical" true (outr = outd))
+    [ stride2; broadcast ]
+
+let test_shared_out_of_bounds () =
+  let src =
+    {|kernel k(float* restrict out, int n) {
+        __shared__ float s[8];
+        s[threadIdx.x] = 1.0;
+        out[threadIdx.x + blockIdx.x * blockDim.x] = 0.0;
+      }|}
+  in
+  List.iter
+    (fun engine ->
+      check bool "shared overrun fails" true
+        (try
+           ignore (run_shared ~engine src);
+           false
+         with Failure msg ->
+           Astring.String.is_infix ~affix:"out of bounds" msg))
+    [ Kernel.Reference; Kernel.Decoded ]
+
 let suite =
   [
     ("memory round trip", `Quick, test_memory_round_trip);
@@ -364,4 +467,8 @@ let suite =
     ("execution trace", `Quick, test_trace_records_schedule);
     ("pre-Volta ITS ablation", `Quick, test_pre_volta_ablation);
     ("kernel time concurrency model", `Quick, test_kernel_time_concurrency);
+    ("shared memory reset per block", `Quick, test_shared_reset_per_block);
+    ("shared bank conflicts", `Quick, test_shared_bank_conflicts);
+    ("shared metrics engine agreement", `Quick, test_shared_engines_agree);
+    ("shared out of bounds", `Quick, test_shared_out_of_bounds);
   ]

@@ -20,15 +20,17 @@ let complex =
   | None -> assert false
 
 let test_registry () =
-  check int "16 applications" 16 (List.length Uu_benchmarks.Registry.all);
+  (* The paper's 16 Table I applications plus the 4-app shared-memory
+     wave (dbuf, stencil1d, stencil2d, treduce). *)
+  check int "20 applications" 20 (List.length Uu_benchmarks.Registry.all);
   check bool "find works" true (Uu_benchmarks.Registry.find "XSBench" <> None);
   check bool "unknown app" true (Uu_benchmarks.Registry.find "nope" = None);
-  (* Names match the paper's Table I order. *)
   check (Alcotest.list Alcotest.string) "names"
     [
       "bezier-surface"; "bn"; "bspline-vgh"; "ccs"; "clink"; "complex"; "contract";
-      "coordinates"; "haccmk"; "lavaMD"; "libor"; "mandelbrot"; "qtclustering";
-      "quicksort"; "rainflow"; "XSBench";
+      "coordinates"; "dbuf"; "haccmk"; "lavaMD"; "libor"; "mandelbrot";
+      "qtclustering"; "quicksort"; "rainflow"; "stencil1d"; "stencil2d";
+      "treduce"; "XSBench";
     ]
     Uu_benchmarks.Registry.names
 

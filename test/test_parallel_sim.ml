@@ -198,6 +198,88 @@ let test_racecheck_preserves_metrics () =
   check bool "metrics unchanged under --check-races" true
     (run () = run ~races:(Racecheck.create ()) ())
 
+(* --- the intra-block shared-memory race checker --------------------- *)
+
+(* Every thread of a block stores to s[0] in the same barrier interval:
+   one racy cell per block, 32 writers. *)
+let shared_racy_writes =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[4];
+      s[0] = 1.0;
+      __syncthreads();
+      int tid = threadIdx.x + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = s[0]; }
+    }|}
+
+(* One writer, 31 readers of the same cell with no barrier between:
+   a write/read race even though there is only one writer. *)
+let shared_racy_read =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[32];
+      int lid = threadIdx.x;
+      if (lid == 0) { s[5] = 2.0; }
+      float v = s[5];
+      int tid = lid + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = v; }
+    }|}
+
+(* The canonical fill/barrier/read idiom: per-lane cells, one barrier.
+   Must be clean. *)
+let shared_clean =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[32];
+      int lid = threadIdx.x;
+      s[lid] = 1.0;
+      __syncthreads();
+      int tid = lid + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = s[lid]; }
+    }|}
+
+let test_shared_racecheck () =
+  List.iter
+    (fun engine ->
+      let _, races = launch_with_races ~engine shared_racy_writes in
+      (match Racecheck.shared_races races with
+      | [] -> Alcotest.fail "32 same-epoch writers reported as race-free"
+      | rs ->
+        check int "one racy cell per block" 4 (List.length rs);
+        let r = List.hd rs in
+        check int "cell is offset 0" 0 r.Racecheck.s_offset;
+        check int "epoch 0 (before the barrier)" 0 r.Racecheck.s_epoch;
+        check int "all 32 writers named" 32 (List.length r.Racecheck.s_threads));
+      let _, races = launch_with_races ~engine shared_racy_read in
+      (match Racecheck.shared_races races with
+      | [] -> Alcotest.fail "unsynchronised write/read reported as race-free"
+      | r :: _ ->
+        check int "racy cell is offset 5" 5 r.Racecheck.s_offset;
+        check bool "writer and readers named" true
+          (List.length r.Racecheck.s_threads = 32));
+      let _, clean = launch_with_races ~engine shared_clean in
+      check bool "clean kernel recorded accesses" true
+        (Racecheck.shared_accesses clean > 0);
+      check int "fill/barrier/read is race-free" 0
+        (List.length (Racecheck.shared_races clean)))
+    [ Kernel.Reference; Kernel.Decoded ];
+  (* The report surfaces the shared section beside the global one. *)
+  let _, races = launch_with_races shared_racy_writes in
+  let report = Racecheck.report races in
+  check bool "report names the racy interval" true
+    (Astring.String.is_infix ~affix:"shared race check: 4 racy cell(s)" report);
+  let _, clean = launch_with_races shared_clean in
+  check bool "clean report says so" true
+    (Astring.String.is_infix ~affix:"no intra-block conflicts"
+       (Racecheck.report clean))
+
+(* Kernels with no shared memory must not grow a shared section: the
+   global-only report is unchanged from the pre-shared simulator. *)
+let test_shared_report_absent () =
+  let _, races = launch_with_races disjoint in
+  check int "no shared accesses recorded" 0 (Racecheck.shared_accesses races);
+  check bool "no shared section in the report" true
+    (not
+       (Astring.String.is_infix ~affix:"shared race check"
+          (Racecheck.report races)))
+
 (* Every registry app honours CUDA's disjoint-writes contract — the
    assumption the parallel shard rests on, audited empirically. *)
 let test_registry_race_audit () =
@@ -224,6 +306,11 @@ let bezier =
   match Registry.find "bezier-surface" with Some a -> a | None -> assert false
 
 let test_sim_version_in_key () =
+  (* Shared memory changed what a launch measures (smem charges, new
+     metric fields), so the semantics version must have been bumped past
+     the pre-shared "2" — otherwise stale cache entries would be served. *)
+  check bool "semantics version bumped for shared memory" true
+    (Kernel.semantics_version > "2");
   let j = Jobs.job bezier Pipelines.Baseline in
   check bool "spec names the simulator version" true
     (Astring.String.is_infix
@@ -253,6 +340,9 @@ let suite =
   [
     Alcotest.test_case "map_range" `Quick test_map_range;
     Alcotest.test_case "racecheck overlap detection" `Quick test_racecheck;
+    Alcotest.test_case "shared racecheck" `Quick test_shared_racecheck;
+    Alcotest.test_case "shared report absent without shared memory" `Quick
+      test_shared_report_absent;
     Alcotest.test_case "racecheck preserves metrics" `Quick
       test_racecheck_preserves_metrics;
     Alcotest.test_case "noisy shard determinism" `Quick test_noisy_deterministic;
