@@ -115,7 +115,14 @@ let simulate_module ~engine ?decode_cache ?sim_jobs ((a : Uu_benchmarks.App.t), 
         | None -> failwith ("unknown kernel " ^ l.Uu_benchmarks.App.kernel)
       in
       let r =
-        Uu_gpusim.Kernel.launch ~engine ?decode_cache ?sim_jobs
+        Uu_gpusim.Kernel.exec
+          ~config:
+            {
+              Uu_gpusim.Kernel.default_config with
+              engine;
+              decode_cache;
+              sim_jobs = Option.value sim_jobs ~default:1;
+            }
           instance.Uu_benchmarks.App.mem f
           ~grid_dim:l.Uu_benchmarks.App.grid_dim
           ~block_dim:l.Uu_benchmarks.App.block_dim ~args:l.Uu_benchmarks.App.args
@@ -207,8 +214,9 @@ let sim_parallel_report path =
           | None -> failwith ("unknown kernel " ^ l.Uu_benchmarks.App.kernel)
         in
         let r =
-          Uu_gpusim.Kernel.launch ~engine:Uu_gpusim.Kernel.Decoded ~decode_cache:cache
-            ~sim_jobs instance.Uu_benchmarks.App.mem f
+          Uu_gpusim.Kernel.exec
+            ~config:(Uu_gpusim.Kernel.config ~decode_cache:cache ~sim_jobs ())
+            instance.Uu_benchmarks.App.mem f
             ~grid_dim:l.Uu_benchmarks.App.grid_dim
             ~block_dim:l.Uu_benchmarks.App.block_dim ~args:l.Uu_benchmarks.App.args
         in
@@ -384,10 +392,170 @@ let main () =
   print_endline "== Ablations: transform design decisions ==";
   print_string (Uu_harness.Ablation.render (Uu_harness.Ablation.run ()))
 
+
+(* --- serve daemon load generator ------------------------------------ *)
+
+(* Sustained load against an in-process serve daemon: [clients] client
+   threads each issue the whole request mix, rotated per client so
+   identical requests overlap in flight (exercising the in-flight
+   dedupe), first against an empty response cache (cold) and then again
+   (warm, which must be served entirely from the cache). Asserts the
+   core serve contract — byte-identical response documents for
+   identical requests, whichever of the three paths served them — and
+   records throughput and latency percentiles in BENCH_serve.json. *)
+let serve_report path =
+  let tmp = Filename.get_temp_dir_name () in
+  let pid = Unix.getpid () in
+  let socket = Filename.concat tmp (Printf.sprintf "uu-serve-bench-%d.sock" pid) in
+  let cache_dir = Filename.concat tmp (Printf.sprintf "uu-serve-bench-%d.cache" pid) in
+  let server = Uu_harness.Server.create ~socket ~cache_dir () in
+  let server_thread = Thread.create Uu_harness.Server.serve_forever server in
+  let mix =
+    Array.of_list
+      (List.concat_map
+         (fun app ->
+           List.concat_map
+             (fun config ->
+               List.map
+                 (fun (grid, block, elems) ->
+                   Uu_serve.Request.make ~grid_dim:grid ~block_dim:block ~elems
+                     (Uu_serve.Request.App app) config)
+                 [ (64, 32, 2048); (128, 32, 4096) ])
+             [ Uu_core.Pipelines.Baseline; Uu_core.Pipelines.Uu 4 ])
+         [ "stencil1d"; "treduce"; "complex"; "bezier-surface" ])
+  in
+  let n_mix = Array.length mix in
+  let clients = 8 in
+  print_endline "== serve: daemon load generator ==";
+  Printf.printf "  %d clients x %d distinct requests per wave, socket %s\n%!" clients
+    n_mix socket;
+  let wave () =
+    let latencies = Array.make (clients * n_mix) 0.0 in
+    let served = Array.make (clients * n_mix) Uu_serve.Protocol.Executed in
+    let texts = Array.make (clients * n_mix) "" in
+    let t0 = Unix.gettimeofday () in
+    let worker c =
+      let client = Uu_serve.Client.connect ~socket () in
+      Fun.protect
+        ~finally:(fun () -> Uu_serve.Client.close client)
+        (fun () ->
+          for k = 0 to n_mix - 1 do
+            let i = (k + c) mod n_mix in
+            let slot = (c * n_mix) + i in
+            let t = Unix.gettimeofday () in
+            let s, response = Uu_serve.Client.request client mix.(i) in
+            latencies.(slot) <- (Unix.gettimeofday () -. t) *. 1000.0;
+            served.(slot) <- s;
+            texts.(slot) <- Uu_serve.Response.to_string response
+          done)
+    in
+    let threads = List.init clients (fun c -> Thread.create worker c) in
+    List.iter Thread.join threads;
+    (Unix.gettimeofday () -. t0, latencies, served, texts)
+  in
+  let percentile latencies p =
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let count s served =
+    Array.fold_left (fun acc x -> if x = s then acc + 1 else acc) 0 served
+  in
+  let describe label (seconds, latencies, served, _) =
+    let total = clients * n_mix in
+    let rps = float_of_int total /. seconds in
+    Printf.printf
+      "  %-4s %3d requests in %6.2f s: %7.1f req/s, p50 %.2f ms, p99 %.2f ms \
+       (executed %d, joined %d, cache %d)\n%!"
+      label total seconds rps
+      (percentile latencies 0.50)
+      (percentile latencies 0.99)
+      (count Uu_serve.Protocol.Executed served)
+      (count Uu_serve.Protocol.Joined served)
+      (count Uu_serve.Protocol.Cache served);
+    rps
+  in
+  let cold = wave () in
+  let warm = wave () in
+  let cold_rps = describe "cold" cold in
+  let warm_rps = describe "warm" warm in
+  (* Every identical request must have produced identical response
+     bytes — across clients, waves, and served paths. *)
+  let _, _, _, cold_texts = cold in
+  let _, _, _, warm_texts = warm in
+  let byte_identical = ref true in
+  for i = 0 to n_mix - 1 do
+    let expect = cold_texts.(i) in
+    for c = 0 to clients - 1 do
+      let slot = (c * n_mix) + i in
+      if cold_texts.(slot) <> expect || warm_texts.(slot) <> expect then begin
+        byte_identical := false;
+        Printf.eprintf "serve: response bytes diverge for request %d (client %d)\n" i c
+      end
+    done
+  done;
+  let _, _, warm_served, _ = warm in
+  let warm_all_cached = count Uu_serve.Protocol.Cache warm_served = clients * n_mix in
+  if not warm_all_cached then
+    Printf.eprintf "serve: warm wave was not served entirely from the cache\n";
+  let stats =
+    let client = Uu_serve.Client.connect ~socket () in
+    Fun.protect
+      ~finally:(fun () -> Uu_serve.Client.close client)
+      (fun () ->
+        let stats = Uu_serve.Client.stats client in
+        Uu_serve.Client.shutdown client;
+        stats)
+  in
+  Thread.join server_thread;
+  let ratio = warm_rps /. cold_rps in
+  Printf.printf "  warm/cold throughput: %.1fx\n%!" ratio;
+  let wave_json (seconds, latencies, served, _) rps =
+    Printf.sprintf
+      {|{ "seconds": %.3f, "req_per_s": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "executed": %d, "joined": %d, "cache": %d }|}
+      seconds rps
+      (percentile latencies 0.50)
+      (percentile latencies 0.99)
+      (count Uu_serve.Protocol.Executed served)
+      (count Uu_serve.Protocol.Joined served)
+      (count Uu_serve.Protocol.Cache served)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "uu serve load generator: %d clients x %d distinct requests per wave (4 apps x 2 configs x 2 shapes), rotated per client, cold then warm",
+  "clients": %d,
+  "distinct_requests": %d,
+  "requests_per_wave": %d,
+  "cold": %s,
+  "warm": %s,
+  "warm_over_cold": %.1f,
+  "byte_identical": %b,
+  "warm_fully_cache_served": %b,
+  "server": { %s }
+}
+|}
+    clients n_mix clients n_mix (clients * n_mix)
+    (wave_json cold cold_rps)
+    (wave_json warm warm_rps)
+    ratio !byte_identical warm_all_cached
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) stats));
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not !byte_identical then exit 1;
+  if not warm_all_cached then exit 1;
+  if ratio < 5.0 then begin
+    Printf.eprintf "serve: warm throughput only %.1fx cold (want >= 5x)\n" ratio;
+    exit 1
+  end
+
 let () =
-  (* `bench sim-throughput` (CI smoke), `bench sim-json [PATH]`, and
-     `bench sim-parallel [PATH]` run only the engine benchmarks; no
-     argument runs the full paper harness. *)
+  (* `bench sim-throughput` (CI smoke), `bench sim-json [PATH]`,
+     `bench sim-parallel [PATH]`, and `bench serve [PATH]` run only the
+     engine/daemon benchmarks; no argument runs the full paper
+     harness. *)
   match Array.to_list Sys.argv with
   | _ :: "sim-parallel" :: rest ->
     sim_parallel_report (match rest with p :: _ -> p | [] -> "BENCH_sim_parallel.json")
@@ -402,4 +570,6 @@ let () =
     end
   | _ :: "sim-json" :: rest ->
     sim_json (match rest with p :: _ -> p | [] -> "BENCH_sim.json")
+  | _ :: "serve" :: rest ->
+    serve_report (match rest with p :: _ -> p | [] -> "BENCH_serve.json")
   | _ -> main ()

@@ -1,8 +1,14 @@
 (* The `uu` compiler driver: compile a MiniCUDA kernel file under one of
    the paper's pipeline configurations, dump IR/CFGs, list loops (with the
    deterministic ids the pass exposes, §III-C), report optimization
-   remarks and pass statistics, or run a kernel on the SIMT simulator with
-   synthetic buffers. *)
+   remarks and pass statistics, run a kernel on the SIMT simulator with
+   synthetic buffers, or talk to the long-lived serve daemon.
+
+   `run`, `compile`, and the daemon all funnel through the same
+   [Uu_serve.Request]/[Uu_serve.Response] pair via
+   [Uu_harness.Runner.run_request]: `uu run` is a local execution of the
+   exact request `uu request` would ship over the socket, and both print
+   [Uu_serve.Response.render]'s bytes. *)
 
 open Cmdliner
 open Uu_support
@@ -31,6 +37,16 @@ let read_source spec =
               (List.map
                  (fun (a : Uu_benchmarks.App.t) -> a.Uu_benchmarks.App.name)
                  Uu_benchmarks.Registry.all)))
+
+(* A file travels inline (the daemon has no reason to share our
+   filesystem); a bundled app travels by name. *)
+let source_of_spec spec : Uu_serve.Request.source =
+  if Sys.file_exists spec then
+    Inline { name = Filename.basename spec; text = read_file spec }
+  else if Option.is_some (Uu_benchmarks.Registry.find spec) then App spec
+  else (
+    ignore (read_source spec) (* raises with the full known-apps message *);
+    assert false)
 
 let file_arg =
   Arg.(
@@ -80,6 +96,15 @@ let stats_arg =
           "Print the pass-statistic counters of this compilation (à la LLVM -stats): \
            gvn.loads_eliminated, unmerge.paths_duplicated, ...")
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix socket of the serve daemon (default: $(b,UU_SERVE_SOCKET) or \
+           <tmpdir>/uu-serve.sock)")
+
 let handle_errors f =
   try f () with
   | Uu_frontend.Lexer.Error (msg, pos) ->
@@ -94,78 +119,108 @@ let handle_errors f =
     Printf.eprintf "error at %d:%d: %s\n" pos.Uu_frontend.Ast.line
       pos.Uu_frontend.Ast.col msg;
     exit 1
+  | Uu_serve.Protocol.Protocol_error msg ->
+    Printf.eprintf "protocol error: %s\n" msg;
+    exit 1
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
 
-let compile_with ?remarks source config_name factor loop =
+let parse_config config_name factor =
   match Uu_core.Pipelines.config_of_string ~default_factor:factor config_name with
   | Error m -> failwith m
-  | Ok config ->
-    let name, text = read_source source in
-    let m = Uu_frontend.Lower.compile ~name text in
-    let targets =
-      match loop with
-      | None -> Uu_core.Pipelines.All_loops
-      | Some id ->
-        let headers =
-          List.concat_map
-            (fun f ->
-              let forest = Uu_analysis.Loops.analyze f in
-              List.filter_map
-                (fun (l : Uu_analysis.Loops.loop) ->
-                  if l.id = id then Some l.header else None)
-                (Uu_analysis.Loops.loops forest))
-            m.Func.funcs
-        in
-        Uu_core.Pipelines.Only headers
-    in
-    let options = Uu_opt.Pass.options ?remarks () in
-    let report = Uu_core.Pipelines.optimize_module ~targets ~options config m in
-    (m, report, config)
+  | Ok config -> config
+
+(* The local compile path used by the commands that need the actual IR
+   values (dot rendering, provenance analysis) rather than a response. *)
+let compile_with ?remarks source config_name factor loop =
+  let config = parse_config config_name factor in
+  let name, text = read_source source in
+  let m = Uu_frontend.Lower.compile ~name text in
+  let targets =
+    match loop with
+    | None -> Uu_core.Pipelines.All_loops
+    | Some id ->
+      let headers =
+        List.concat_map
+          (fun f ->
+            let forest = Uu_analysis.Loops.analyze f in
+            List.filter_map
+              (fun (l : Uu_analysis.Loops.loop) ->
+                if l.id = id then Some l.header else None)
+              (Uu_analysis.Loops.loops forest))
+          m.Func.funcs
+      in
+      Uu_core.Pipelines.Only headers
+  in
+  let options = Uu_opt.Pass.options ?remarks () in
+  let report = Uu_core.Pipelines.optimize_module ~targets ~options config m in
+  (m, report, config)
+
+let remark_format = function
+  | None -> None
+  | Some "text" -> Some `Text
+  | Some "json" -> Some `Json
+  | Some other ->
+    failwith (Printf.sprintf "unknown remark format %s (expected text|json)" other)
 
 let compile_run source config factor loop dot remarks stats =
   handle_errors (fun () ->
-      let fmt =
-        match remarks with
-        | None -> None
-        | Some "text" -> Some `Text
-        | Some "json" -> Some `Json
-        | Some other ->
-          failwith (Printf.sprintf "unknown remark format %s (expected text|json)" other)
-      in
-      let sink = Remark.create () in
-      let m, report, config =
-        compile_with ~remarks:sink source config factor loop
-      in
-      let collected = Remark.remarks sink in
-      (match fmt with
-      | Some `Json ->
-        (* stdout carries one well-formed JSON document and nothing else. *)
-        if stats then
-          print_string
-            (Printf.sprintf "{\"remarks\":%s,\n\"stats\":%s}\n"
-               (Remark.list_to_json collected)
-               (Remark.stats_to_json report.Uu_opt.Pass.stats))
-        else print_string (Remark.list_to_json collected ^ "\n")
-      | Some `Text | None ->
+      let fmt = remark_format remarks in
+      if dot then begin
+        (* Graphviz needs the in-memory CFGs; this path stays local. *)
+        let m, _, _ = compile_with source config factor loop in
         List.iter
-          (fun f ->
-            if dot then print_string (Format.asprintf "%a" Printer.pp_cfg_dot f)
-            else print_string (Printer.func_to_string f))
-          m.Func.funcs;
-        (match fmt with
-        | Some `Text ->
-          List.iter (fun r -> Printf.eprintf "%s\n" (Remark.to_text r)) collected
-        | _ -> ());
-        if stats then begin
-          print_string "; pass statistics:\n";
-          print_string (Statistic.render report.Uu_opt.Pass.stats)
-        end);
-      Printf.eprintf "; config %s: %d instructions, compiled in %.1f ms\n"
-        (Uu_core.Pipelines.config_name config)
-        (List.fold_left (fun acc f -> acc + Func.instr_count f) 0 m.Func.funcs)
-        (1000.0 *. report.Uu_opt.Pass.total_time))
+          (fun f -> print_string (Format.asprintf "%a" Printer.pp_cfg_dot f))
+          m.Func.funcs
+      end
+      else
+        let request =
+          Uu_serve.Request.make ~mode:Uu_serve.Request.Compile ?loop
+            (source_of_spec source)
+            (parse_config config factor)
+        in
+        match Uu_harness.Runner.run_request request with
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+        | Ok
+            {
+              Uu_serve.Response.body = Measured _;
+              _;
+            } ->
+          assert false (* a Compile request never measures *)
+        | Ok
+            {
+              Uu_serve.Response.config = cfg;
+              body = Compiled { ir; instr_count };
+              compile_seconds;
+              remarks = collected;
+              stats = stat_counters;
+            } -> (
+          match fmt with
+          | Some `Json ->
+            (* stdout carries one well-formed JSON document and nothing else. *)
+            if stats then
+              print_string
+                (Printf.sprintf "{\"remarks\":%s,\n\"stats\":%s}\n"
+                   (Remark.list_to_json collected)
+                   (Remark.stats_to_json stat_counters))
+            else print_string (Remark.list_to_json collected ^ "\n")
+          | Some `Text | None ->
+            print_string ir;
+            (match fmt with
+            | Some `Text ->
+              List.iter (fun r -> Printf.eprintf "%s\n" (Remark.to_text r)) collected
+            | _ -> ());
+            if stats then begin
+              print_string "; pass statistics:\n";
+              print_string (Statistic.render stat_counters)
+            end;
+            Printf.eprintf "; config %s: %d instructions, compiled in %.1f ms (modeled)\n"
+              (Uu_core.Pipelines.config_name cfg)
+              instr_count
+              (1000.0 *. compile_seconds)))
 
 let compile_term =
   Term.(
@@ -226,92 +281,77 @@ let provenance_cmd =
           annotations) after compiling under the chosen configuration")
     Term.(const run $ file_arg $ config_arg $ factor_arg $ loop_arg)
 
+(* --- the simulate commands ------------------------------------------ *)
+
+let grid_arg = Arg.(value & opt int 4 & info [ "grid" ] ~docv:"N" ~doc:"Grid dimension")
+
+let block_arg =
+  Arg.(value & opt int 128 & info [ "block" ] ~docv:"N" ~doc:"Block dimension")
+
+let elems_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "elems" ] ~docv:"N" ~doc:"Elements in synthetic buffer arguments")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("decoded", Uu_gpusim.Kernel.Decoded);
+             ("reference", Uu_gpusim.Kernel.Reference) ])
+        Uu_gpusim.Kernel.Decoded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulator execution engine: $(b,decoded) (default) or \
+           $(b,reference) (the tree-walking oracle)")
+
+let sim_jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sim-jobs" ] ~docv:"N"
+        ~doc:
+          "Shard each launch's thread blocks over $(docv) domains. Metrics are \
+           byte-identical for any value; `uu run` defaults to all available cores \
+           (an interactive run has the machine to itself), the daemon to 1 (it \
+           parallelizes across requests instead)")
+
+let races_arg =
+  Arg.(
+    value & flag
+    & info [ "check-races" ]
+        ~doc:
+          "Record every block's global write set and report cells written by more \
+           than one block (violations of the disjoint-writes contract the parallel \
+           shard relies on). Forces serial simulation.")
+
+let build_run_request source config factor loop grid block elems engine sim_jobs
+    check_races =
+  Uu_serve.Request.make ?loop ~grid_dim:grid ~block_dim:block ~elems ~check_races
+    ~engine ?sim_jobs
+    (source_of_spec source)
+    (parse_config config factor)
+
 let run_cmd =
-  let grid_arg = Arg.(value & opt int 4 & info [ "grid" ] ~docv:"N" ~doc:"Grid dimension") in
-  let block_arg =
-    Arg.(value & opt int 128 & info [ "block" ] ~docv:"N" ~doc:"Block dimension")
-  in
-  let elems_arg =
-    Arg.(
-      value & opt int 1024
-      & info [ "elems" ] ~docv:"N" ~doc:"Elements in synthetic buffer arguments")
-  in
-  let engine_arg =
-    Arg.(
-      value
-      & opt
-          (enum
-             [ ("decoded", Uu_gpusim.Kernel.Decoded);
-               ("reference", Uu_gpusim.Kernel.Reference) ])
-          Uu_gpusim.Kernel.Decoded
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:
-            "Simulator execution engine: $(b,decoded) (default) or \
-             $(b,reference) (the tree-walking oracle)")
-  in
-  let sim_jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "sim-jobs" ] ~docv:"N"
-          ~doc:
-            "Shard each launch's thread blocks over $(docv) domains. Metrics are \
-             byte-identical for any value; defaults to all available cores (an \
-             interactive run has the machine to itself)")
-  in
-  let races_arg =
-    Arg.(
-      value & flag
-      & info [ "check-races" ]
-          ~doc:
-            "Record every block's global write set and report cells written by more \
-             than one block (violations of the disjoint-writes contract the parallel \
-             shard relies on). Forces serial simulation.")
-  in
   let run source config factor loop grid block elems engine sim_jobs check_races =
     handle_errors (fun () ->
-        let m, _, config = compile_with source config factor loop in
         let sim_jobs =
-          match sim_jobs with
-          | Some n -> max 1 n
-          | None -> Uu_support.Parallel.available_domains ()
+          (* An interactive run has the machine to itself. *)
+          Some
+            (match sim_jobs with
+            | Some n -> max 1 n
+            | None -> Uu_support.Parallel.available_domains ())
         in
-        let mem = Uu_gpusim.Memory.create () in
-        let rng = Uu_support.Rng.create 7L in
-        List.iter
-          (fun f ->
-            let args =
-              List.map
-                (fun (p : Func.param) ->
-                  match p.pty with
-                  | Types.Ptr Types.F64 ->
-                    Uu_gpusim.Kernel.Buf
-                      (Uu_gpusim.Memory.alloc_f64 mem
-                         (Array.init elems (fun _ -> Uu_support.Rng.float rng 1.0)))
-                  | Types.Ptr Types.I64 ->
-                    Uu_gpusim.Kernel.Buf (Uu_gpusim.Memory.zeros_i64 mem elems)
-                  | Types.F64 -> Uu_gpusim.Kernel.Float_arg 1.0
-                  | Types.I64 | Types.I32 | Types.I1 ->
-                    Uu_gpusim.Kernel.Int_arg (Int64.of_int elems)
-                  | Types.Ptr _ | Types.Void ->
-                    failwith ("unsupported parameter type for " ^ p.pname))
-                f.Func.params
-            in
-            let races =
-              if check_races then Some (Uu_gpusim.Racecheck.create ()) else None
-            in
-            let result =
-              Uu_gpusim.Kernel.launch ~engine ?races ~sim_jobs mem f ~grid_dim:grid
-                ~block_dim:block ~args
-            in
-            Printf.printf "@%s under %s: %.0f cycles, code %d bytes\n  %s\n" f.Func.name
-              (Uu_core.Pipelines.config_name config)
-              result.Uu_gpusim.Kernel.kernel_cycles result.Uu_gpusim.Kernel.code_bytes
-              (Format.asprintf "%a" Uu_gpusim.Metrics.pp result.Uu_gpusim.Kernel.metrics);
-            match races with
-            | None -> ()
-            | Some r -> Printf.printf "  %s\n" (Uu_gpusim.Racecheck.report r))
-          m.Func.funcs)
+        let request =
+          build_run_request source config factor loop grid block elems engine
+            sim_jobs check_races
+        in
+        match Uu_harness.Runner.run_request request with
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+        | response -> print_string (Uu_serve.Response.render response))
   in
   Cmd.v
     (Cmd.info "run"
@@ -322,6 +362,108 @@ let run_cmd =
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
       $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg)
 
+(* --- the daemon and its clients ------------------------------------- *)
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains in the execution pool (default: all available cores)")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "results" "cache")
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Response cache directory, shared with the experiment job graph")
+  in
+  let run socket domains cache_dir =
+    handle_errors (fun () ->
+        let server = Uu_harness.Server.create ?socket ?domains ~cache_dir () in
+        Printf.eprintf "uu serve: listening on %s (cache %s)\n%!"
+          (Uu_harness.Server.socket server)
+          cache_dir;
+        Uu_harness.Server.serve_forever server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile-and-simulate daemon: a unix-socket server that keeps \
+          compiled modules and decode caches warm across requests, dedupes identical \
+          in-flight requests, and serves repeated requests from the on-disk response \
+          cache. Stop it with $(b,uu serve-ctl shutdown)")
+    Term.(const run $ socket_arg $ domains_arg $ cache_dir_arg)
+
+let request_cmd =
+  let compile_flag =
+    Arg.(
+      value & flag
+      & info [ "compile" ]
+          ~doc:"Request the optimized IR instead of running the simulator")
+  in
+  let run source config factor loop grid block elems engine sim_jobs check_races
+      socket compile_only =
+    handle_errors (fun () ->
+        let request =
+          let r =
+            build_run_request source config factor loop grid block elems engine
+              sim_jobs check_races
+          in
+          if compile_only then { r with Uu_serve.Request.mode = Compile } else r
+        in
+        let client = Uu_serve.Client.connect ?socket () in
+        Fun.protect
+          ~finally:(fun () -> Uu_serve.Client.close client)
+          (fun () ->
+            let served, response = Uu_serve.Client.request client request in
+            Printf.eprintf "; served: %s\n" (Uu_serve.Protocol.served_string served);
+            match response with
+            | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 1
+            | response -> print_string (Uu_serve.Response.render response)))
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Ship one compile-or-run request to the serve daemon and print the response \
+          — the same bytes the equivalent $(b,uu run) or $(b,uu compile) prints \
+          locally (the served-status goes to stderr)")
+    Term.(
+      const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
+      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg $ socket_arg $ compile_flag)
+
+let serve_ctl_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("ping", `Ping); ("shutdown", `Shutdown) ])) None
+      & info [] ~docv:"OP" ~doc:"One of $(b,stats), $(b,ping), $(b,shutdown)")
+  in
+  let run op socket =
+    handle_errors (fun () ->
+        let client = Uu_serve.Client.connect ?socket () in
+        Fun.protect
+          ~finally:(fun () -> Uu_serve.Client.close client)
+          (fun () ->
+            match op with
+            | `Ping ->
+              Uu_serve.Client.ping client;
+              print_endline "pong"
+            | `Shutdown ->
+              Uu_serve.Client.shutdown client;
+              print_endline "bye"
+            | `Stats ->
+              List.iter
+                (fun (name, value) -> Printf.printf "%s %d\n" name value)
+                (Uu_serve.Client.stats client)))
+  in
+  Cmd.v
+    (Cmd.info "serve-ctl" ~doc:"Query or stop a running serve daemon")
+    Term.(const run $ op_arg $ socket_arg)
+
 let () =
   let info =
     Cmd.info "uu" ~version:"1.0"
@@ -330,4 +472,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:compile_term info
-          [ compile_cmd; loops_cmd; provenance_cmd; run_cmd ]))
+          [
+            compile_cmd;
+            loops_cmd;
+            provenance_cmd;
+            run_cmd;
+            serve_cmd;
+            request_cmd;
+            serve_ctl_cmd;
+          ]))

@@ -44,7 +44,7 @@ let run config =
 
   (* Launch. *)
   let result =
-    Uu_gpusim.Kernel.launch mem kernel ~grid_dim:8 ~block_dim:128
+    Uu_gpusim.Kernel.exec mem kernel ~grid_dim:8 ~block_dim:128
       ~args:
         [
           Uu_gpusim.Kernel.Buf y; Uu_gpusim.Kernel.Buf x;

@@ -196,9 +196,46 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
     code_bytes = Layout.code_bytes layout;
   }
 
-let launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
-    ?tracer ?races ?(engine = Decoded) ?decode_cache ?(sim_jobs = 1) mem fn
-    ~grid_dim ~block_dim ~args =
+type launch_config = {
+  device : Device.t;
+  noise : Rng.t option;
+  max_warp_cycles : int;
+  tracer : Trace.t option;
+  races : Racecheck.t option;
+  engine : engine;
+  decode_cache : Decode.cache option;
+  sim_jobs : int;
+}
+
+let default_config =
+  {
+    device = Device.v100;
+    noise = None;
+    max_warp_cycles = 200_000_000;
+    tracer = None;
+    races = None;
+    engine = Decoded;
+    decode_cache = None;
+    sim_jobs = 1;
+  }
+
+let config ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
+    ?tracer ?races ?(engine = Decoded) ?decode_cache ?(sim_jobs = 1) () =
+  { device; noise; max_warp_cycles; tracer; races; engine; decode_cache; sim_jobs }
+
+let exec ?(config = default_config) mem fn ~grid_dim ~block_dim ~args =
+  let {
+    device;
+    noise;
+    max_warp_cycles;
+    tracer;
+    races;
+    engine;
+    decode_cache;
+    sim_jobs;
+  } =
+    config
+  in
   let bound = bind_args fn args in
   let sim_jobs =
     (* Traced and race-checked launches share a mutable recorder (and
@@ -219,3 +256,11 @@ let launch ?(device = Device.v100) ?noise ?(max_warp_cycles = 200_000_000)
   | Reference ->
     launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs mem
       fn ~grid_dim ~block_dim ~bound
+
+let launch ?device ?noise ?max_warp_cycles ?tracer ?races ?engine ?decode_cache
+    ?sim_jobs mem fn ~grid_dim ~block_dim ~args =
+  exec
+    ~config:
+      (config ?device ?noise ?max_warp_cycles ?tracer ?races ?engine
+         ?decode_cache ?sim_jobs ())
+    mem fn ~grid_dim ~block_dim ~args

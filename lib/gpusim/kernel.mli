@@ -32,6 +32,82 @@ type engine =
       (** Executes the pre-decoded flat program ({!Decode}); the default.
           Cycle-for-cycle metric-identical to [Reference]. *)
 
+type launch_config = {
+  device : Device.t;           (** simulated GPU model (default v100) *)
+  noise : Rng.t option;        (** memory-latency jitter stream; [None]
+                                   (the default) is fully deterministic *)
+  max_warp_cycles : int;       (** per-warp cycle budget before the
+                                   runaway-kernel guard trips *)
+  tracer : Trace.t option;     (** instruction trace recorder; forces a
+                                   serial launch *)
+  races : Racecheck.t option;  (** write-set / shared-access collector;
+                                   forces a serial launch *)
+  engine : engine;             (** execution engine (default [Decoded]) *)
+  decode_cache : Decode.cache option;
+      (** memoizes the per-(function, device) decode across launches —
+          pass one cache for the lifetime of a compiled module (used
+          only by the decoded engine) *)
+  sim_jobs : int;
+      (** shard the launch's blocks over this many OCaml domains
+          (default 1); metrics are byte-identical for any value *)
+}
+(** Launch knobs travel in one record rather than a growing surface of
+    optional arguments (the [Uu_opt.Pass.options] precedent): one-shot
+    CLI runs, batch experiments, and the serve daemon all build the same
+    typed value. *)
+
+val default_config : launch_config
+(** v100, no noise, 200M-cycle budget, no tracer or race collector,
+    decoded engine, no decode cache, [sim_jobs = 1] — byte-identical to
+    the historical defaults of the optional-argument [launch]. *)
+
+val config :
+  ?device:Device.t ->
+  ?noise:Rng.t ->
+  ?max_warp_cycles:int ->
+  ?tracer:Trace.t ->
+  ?races:Racecheck.t ->
+  ?engine:engine ->
+  ?decode_cache:Decode.cache ->
+  ?sim_jobs:int ->
+  unit ->
+  launch_config
+(** Builder over {!default_config} for call sites that set one knob. *)
+
+val exec :
+  ?config:launch_config ->
+  Memory.t ->
+  Func.t ->
+  grid_dim:int ->
+  block_dim:int ->
+  args:arg list ->
+  result
+(** Execute the kernel over [grid_dim] blocks of [block_dim] threads
+    under the given configuration (default {!default_config}).
+    Every block gets its own cold L1 data cache, icache residency,
+    zeroed shared-memory bank (one [Memory.shared_bank] per worker,
+    reset at block entry), and noise stream (the per-SM model), so block
+    results are independent of grid execution order.
+
+    [config.sim_jobs] shards blocks of the launch over that many OCaml
+    domains in chunked ranges; metrics are reduced in block order and
+    blocks are order-independent, so the result — metrics, final memory,
+    everything — is byte-identical for any [sim_jobs] value. Launches
+    that are inherently order-dependent (kernels with [Alloca] or
+    [Atomic_add]), traced ([tracer] promises execution order), or
+    race-checked ([races] is shared mutable state) silently run with one
+    domain.
+
+    [config.races] audits the sharding contract itself: it records each
+    block's global-memory write set and {!Racecheck.overlaps} then lists
+    any cell written by more than one block. It also records every
+    shared-memory access with its barrier epoch;
+    {!Racecheck.shared_races} lists intra-block conflicts within a
+    barrier interval.
+
+    @raise Invalid_argument when arguments do not match the kernel's
+    parameters; @raise Failure on interpreter errors. *)
+
 val launch :
   ?device:Device.t ->
   ?noise:Rng.t ->
@@ -47,30 +123,5 @@ val launch :
   block_dim:int ->
   args:arg list ->
   result
-(** Execute the kernel over [grid_dim] blocks of [block_dim] threads.
-    Every block gets its own cold L1 data cache, icache residency,
-    zeroed shared-memory bank (one [Memory.shared_bank] per worker,
-    reset at block entry), and noise stream (the per-SM model), so block
-    results are independent of grid execution order.
-
-    [sim_jobs] (default 1) shards blocks of the launch over that many
-    OCaml domains in chunked ranges; metrics are reduced in block order
-    and blocks are order-independent, so the result — metrics, final
-    memory, everything — is byte-identical for any [sim_jobs] value.
-    Launches that are inherently order-dependent (kernels with [Alloca]
-    or [Atomic_add]), traced ([?tracer] promises execution order), or
-    race-checked ([?races] is shared mutable state) silently run with
-    one domain.
-
-    [races] audits the sharding contract itself: it records each block's
-    global-memory write set and {!Racecheck.overlaps} then lists any
-    cell written by more than one block. It also records every
-    shared-memory access with its barrier epoch;
-    {!Racecheck.shared_races} lists intra-block conflicts within a
-    barrier interval.
-
-    [engine] defaults to [Decoded]; [decode_cache] (used only by the
-    decoded engine) memoizes the per-(function, device) decode across
-    launches — pass one cache for the lifetime of a compiled module.
-    @raise Invalid_argument when arguments do not match the kernel's
-    parameters; @raise Failure on interpreter errors. *)
+[@@ocaml.deprecated "use Kernel.exec with Kernel.config instead"]
+(** @deprecated Thin wrapper over {!exec}, kept for one release. *)

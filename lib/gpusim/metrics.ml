@@ -91,3 +91,73 @@ let pp ppf t =
     t.sst_bytes t.shared_transactions t.shared_bank_conflicts
     (100.0 *. stall_inst_fetch t)
     t.divergent_branches
+
+(* JSON codec: the shared wire/cache representation — the on-disk result
+   cache and the serve protocol must agree on it byte for byte. *)
+
+let to_json t =
+  Uu_support.Json.Obj
+    [
+      ("cycles", Uu_support.Json.Int t.cycles);
+      ("warp_instrs", Uu_support.Json.Int t.warp_instrs);
+      ("thread_instrs", Uu_support.Json.Int t.thread_instrs);
+      ("active_lane_sum", Uu_support.Json.Int t.active_lane_sum);
+      ("inst_misc", Uu_support.Json.Int t.inst_misc);
+      ("inst_control", Uu_support.Json.Int t.inst_control);
+      ("inst_memory", Uu_support.Json.Int t.inst_memory);
+      ("gld_bytes", Uu_support.Json.Int t.gld_bytes);
+      ("gst_bytes", Uu_support.Json.Int t.gst_bytes);
+      ("mem_transactions", Uu_support.Json.Int t.mem_transactions);
+      ("sld_bytes", Uu_support.Json.Int t.sld_bytes);
+      ("sst_bytes", Uu_support.Json.Int t.sst_bytes);
+      ("shared_transactions", Uu_support.Json.Int t.shared_transactions);
+      ("shared_bank_conflicts", Uu_support.Json.Int t.shared_bank_conflicts);
+      ("fetch_stall_cycles", Uu_support.Json.Int t.fetch_stall_cycles);
+      ("divergent_branches", Uu_support.Json.Int t.divergent_branches);
+      ("warps_launched", Uu_support.Json.Int t.warps_launched);
+    ]
+
+let of_json v =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Option.bind (Uu_support.Json.member name v) Uu_support.Json.to_int with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "metrics: bad or missing field %s" name)
+  in
+  let* cycles = field "cycles" in
+  let* warp_instrs = field "warp_instrs" in
+  let* thread_instrs = field "thread_instrs" in
+  let* active_lane_sum = field "active_lane_sum" in
+  let* inst_misc = field "inst_misc" in
+  let* inst_control = field "inst_control" in
+  let* inst_memory = field "inst_memory" in
+  let* gld_bytes = field "gld_bytes" in
+  let* gst_bytes = field "gst_bytes" in
+  let* mem_transactions = field "mem_transactions" in
+  let* sld_bytes = field "sld_bytes" in
+  let* sst_bytes = field "sst_bytes" in
+  let* shared_transactions = field "shared_transactions" in
+  let* shared_bank_conflicts = field "shared_bank_conflicts" in
+  let* fetch_stall_cycles = field "fetch_stall_cycles" in
+  let* divergent_branches = field "divergent_branches" in
+  let* warps_launched = field "warps_launched" in
+  Ok
+    {
+      cycles;
+      warp_instrs;
+      thread_instrs;
+      active_lane_sum;
+      inst_misc;
+      inst_control;
+      inst_memory;
+      gld_bytes;
+      gst_bytes;
+      mem_transactions;
+      sld_bytes;
+      sst_bytes;
+      shared_transactions;
+      shared_bank_conflicts;
+      fetch_stall_cycles;
+      divergent_branches;
+      warps_launched;
+    }

@@ -48,3 +48,12 @@ val kernel_time : t -> device:Device.t -> float
     by the achievable concurrency. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Uu_support.Json.t
+(** The canonical wire/cache representation: one object with every
+    counter as an integer field, in declaration order. The on-disk
+    result cache and the serve protocol both use it, so a cached entry
+    and a daemon response serialize a given [t] identically. *)
+
+val of_json : Uu_support.Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the first bad field. *)

@@ -60,17 +60,10 @@ let spec j = spec_v ~version:Pipelines.version j
 let key ?(version = Pipelines.version) ?sim_version j =
   Digest.to_hex (Digest.string (spec_v ?sim_version ~version j))
 
-let noise_seed ~key i =
-  (* Fold the first 8 digest bytes of "key#run<i>" into an int64: a pure
-     function of the job identity and the run index, so repeated noisy
-     runs are reproducible no matter which domain executes them or in
-     what order. *)
-  let d = Digest.string (Printf.sprintf "%s#run%d" key i) in
-  let v = ref 0L in
-  for j = 0 to 7 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.[j]))
-  done;
-  !v
+(* The canonical derivation lives in [Uu_serve.Request] so jobs and
+   serve requests seed noisy runs identically from their respective
+   content-hash keys. *)
+let noise_seed = Uu_serve.Request.noise_seed
 
 type failure = {
   job_label : string;

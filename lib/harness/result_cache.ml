@@ -11,73 +11,12 @@ let misses t = t.miss_count
 
 (* --- serialization ------------------------------------------------- *)
 
-let metrics_to_json (m : Metrics.t) =
-  Json.Obj
-    [
-      ("cycles", Json.Int m.Metrics.cycles);
-      ("warp_instrs", Json.Int m.Metrics.warp_instrs);
-      ("thread_instrs", Json.Int m.Metrics.thread_instrs);
-      ("active_lane_sum", Json.Int m.Metrics.active_lane_sum);
-      ("inst_misc", Json.Int m.Metrics.inst_misc);
-      ("inst_control", Json.Int m.Metrics.inst_control);
-      ("inst_memory", Json.Int m.Metrics.inst_memory);
-      ("gld_bytes", Json.Int m.Metrics.gld_bytes);
-      ("gst_bytes", Json.Int m.Metrics.gst_bytes);
-      ("mem_transactions", Json.Int m.Metrics.mem_transactions);
-      ("sld_bytes", Json.Int m.Metrics.sld_bytes);
-      ("sst_bytes", Json.Int m.Metrics.sst_bytes);
-      ("shared_transactions", Json.Int m.Metrics.shared_transactions);
-      ("shared_bank_conflicts", Json.Int m.Metrics.shared_bank_conflicts);
-      ("fetch_stall_cycles", Json.Int m.Metrics.fetch_stall_cycles);
-      ("divergent_branches", Json.Int m.Metrics.divergent_branches);
-      ("warps_launched", Json.Int m.Metrics.warps_launched);
-    ]
-
 let ( let* ) = Result.bind
 
 let field name conv v =
   match Option.bind (Json.member name v) conv with
   | Some x -> Ok x
   | None -> Error (Printf.sprintf "cache entry: bad or missing field %s" name)
-
-let metrics_of_json v =
-  let* cycles = field "cycles" Json.to_int v in
-  let* warp_instrs = field "warp_instrs" Json.to_int v in
-  let* thread_instrs = field "thread_instrs" Json.to_int v in
-  let* active_lane_sum = field "active_lane_sum" Json.to_int v in
-  let* inst_misc = field "inst_misc" Json.to_int v in
-  let* inst_control = field "inst_control" Json.to_int v in
-  let* inst_memory = field "inst_memory" Json.to_int v in
-  let* gld_bytes = field "gld_bytes" Json.to_int v in
-  let* gst_bytes = field "gst_bytes" Json.to_int v in
-  let* mem_transactions = field "mem_transactions" Json.to_int v in
-  let* sld_bytes = field "sld_bytes" Json.to_int v in
-  let* sst_bytes = field "sst_bytes" Json.to_int v in
-  let* shared_transactions = field "shared_transactions" Json.to_int v in
-  let* shared_bank_conflicts = field "shared_bank_conflicts" Json.to_int v in
-  let* fetch_stall_cycles = field "fetch_stall_cycles" Json.to_int v in
-  let* divergent_branches = field "divergent_branches" Json.to_int v in
-  let* warps_launched = field "warps_launched" Json.to_int v in
-  Ok
-    {
-      Metrics.cycles;
-      warp_instrs;
-      thread_instrs;
-      active_lane_sum;
-      inst_misc;
-      inst_control;
-      inst_memory;
-      gld_bytes;
-      gst_bytes;
-      mem_transactions;
-      sld_bytes;
-      sst_bytes;
-      shared_transactions;
-      shared_bank_conflicts;
-      fetch_stall_cycles;
-      divergent_branches;
-      warps_launched;
-    }
 
 let target_to_json = function
   | None -> Json.Null
@@ -106,7 +45,7 @@ let measurement_to_json (m : Runner.measurement) =
       ("transfer_ms", Json.Float m.Runner.transfer_ms);
       ("code_bytes", Json.Int m.Runner.code_bytes);
       ("compile_seconds", Json.Float m.Runner.compile_seconds);
-      ("metrics", metrics_to_json m.Runner.metrics);
+      ("metrics", Metrics.to_json m.Runner.metrics);
       ( "check",
         match m.Runner.check with Ok () -> Json.Null | Error e -> Json.Str e );
       ("remarks", Json.Arr (List.map Remark.to_json_value m.Runner.remarks));
@@ -134,7 +73,7 @@ let measurement_of_json v =
   let* compile_seconds = field "compile_seconds" Json.to_float v in
   let* metrics =
     match Json.member "metrics" v with
-    | Some mv -> metrics_of_json mv
+    | Some mv -> Metrics.of_json mv
     | None -> Error "cache entry: missing metrics"
   in
   let* check =
@@ -227,4 +166,30 @@ let lookup t ~key =
 
 let store t ~key ~spec measurements =
   Report.write_text ~path:(path_of t ~key ^ ".tmp") (encode ~spec measurements);
+  Sys.rename (path_of t ~key ^ ".tmp") (path_of t ~key)
+
+(* Raw entries: the serve daemon persists whole response documents under
+   its own content-hash keys. Same directory, same atomic
+   write-to-temp-and-rename discipline, same hit/miss counters; the key
+   namespaces never collide because a serve key hashes a spec prefixed
+   "serve;" while a job key hashes a "v<version>;..." spec. *)
+
+let lookup_raw t ~key =
+  let path = path_of t ~key in
+  if not (Sys.file_exists path) then begin
+    t.miss_count <- t.miss_count + 1;
+    None
+  end
+  else
+    match read_file path with
+    | text ->
+      t.hit_count <- t.hit_count + 1;
+      Some text
+    | exception Sys_error msg ->
+      Printf.eprintf "warning: unreadable cache entry %s: %s\n%!" path msg;
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let store_raw t ~key text =
+  Report.write_text ~path:(path_of t ~key ^ ".tmp") text;
   Sys.rename (path_of t ~key ^ ".tmp") (path_of t ~key)

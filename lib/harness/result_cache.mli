@@ -40,7 +40,23 @@ val store : t -> key:string -> spec:string -> Runner.measurement list -> unit
 
 val hits : t -> int
 val misses : t -> int
-(** Counters since [create], maintained across {!lookup} calls. *)
+(** Counters since [create], maintained across {!lookup} and
+    {!lookup_raw} calls. *)
+
+(** {1 Raw entries}
+
+    The serve daemon stores whole response documents (already-serialized
+    JSON) under its own content-hash keys, through the same directory,
+    counters, and atomic write-to-temp-then-rename discipline. The two
+    key namespaces cannot collide: serve keys hash a ["serve;"]-prefixed
+    spec, job keys a ["v<version>;"]-prefixed one. *)
+
+val lookup_raw : t -> key:string -> string option
+(** The entry's verbatim contents on a hit; [None] (counted as a miss)
+    when absent or unreadable. No validation — the caller owns the
+    format. *)
+
+val store_raw : t -> key:string -> string -> unit
 
 (** {1 Serialization}
 

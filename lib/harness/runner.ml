@@ -141,6 +141,15 @@ let simulate ?noise_seed ?(engine = Kernel.Decoded) ?sim_jobs (c : compiled) =
   let cycles = ref 0.0 in
   let code = ref app.App.rest_bytes in
   let seen_kernels = Hashtbl.create 7 in
+  let launch_config =
+    {
+      Kernel.default_config with
+      noise;
+      engine;
+      sim_jobs = Option.value sim_jobs ~default:1;
+      decode_cache = Some c.c_decode;
+    }
+  in
   List.iter
     (fun (l : App.launch) ->
       let f =
@@ -149,9 +158,8 @@ let simulate ?noise_seed ?(engine = Kernel.Decoded) ?sim_jobs (c : compiled) =
         | None -> failwith (Printf.sprintf "%s: unknown kernel %s" app.App.name l.App.kernel)
       in
       let result =
-        Kernel.launch ?noise ~engine ?sim_jobs ~decode_cache:c.c_decode
-          instance.App.mem f ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim
-          ~args:l.App.args
+        Kernel.exec ~config:launch_config instance.App.mem f
+          ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args
       in
       Metrics.add total result.Kernel.metrics;
       cycles := !cycles +. result.Kernel.kernel_cycles;
@@ -190,8 +198,16 @@ let race_audit ?(engine = Kernel.Decoded) (c : compiled) =
       in
       let races = Racecheck.create () in
       ignore
-        (Kernel.launch ~races ~engine ~decode_cache:c.c_decode instance.App.mem f
-           ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args);
+        (Kernel.exec
+           ~config:
+             {
+               Kernel.default_config with
+               races = Some races;
+               engine;
+               decode_cache = Some c.c_decode;
+             }
+           instance.App.mem f ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim
+           ~args:l.App.args);
       (l.App.kernel, races))
     instance.App.launches
 
@@ -207,3 +223,161 @@ let run_exn ?noise_seed ?engine ?sim_jobs ?target app config =
       (Printf.sprintf "%s under %s: wrong results: %s" app.App.name
          (Pipelines.config_name config) msg));
   m
+
+(* --- the request funnel --------------------------------------------- *)
+
+type request_compiled = {
+  rq_modul : Func.modul;
+  rq_config : Pipelines.config;
+  rq_work : int;
+  rq_remarks : Remark.t list;
+  rq_stats : (string * int) list;
+  rq_decode : Decode.cache;
+}
+
+let resolve_source = function
+  | Uu_serve.Request.Inline { name; text } -> Ok (name, text)
+  | Uu_serve.Request.App name -> (
+    match Registry.find name with
+    | Some app -> Ok (app.App.name, app.App.source)
+    | None ->
+      Error
+        (Printf.sprintf "%s is not a bundled application (known apps: %s)" name
+           (String.concat ", " Registry.names)))
+
+let compile_request (r : Uu_serve.Request.t) =
+  match resolve_source r.source with
+  | Error _ as e -> e
+  | Ok (name, text) -> (
+    let body () =
+      let m = Uu_frontend.Lower.compile ~name text in
+      (* Loop ids are resolved against the freshly lowered module, the
+         way `uu run --loop` always has (before the early phase — apps
+         going through the job graph use [loop_inventory] instead). *)
+      let targets =
+        match r.loop with
+        | None -> Pipelines.All_loops
+        | Some id ->
+          let headers =
+            List.concat_map
+              (fun f ->
+                let forest = Uu_analysis.Loops.analyze f in
+                List.filter_map
+                  (fun (l : Uu_analysis.Loops.loop) ->
+                    if l.id = id then Some l.header else None)
+                  (Uu_analysis.Loops.loops forest))
+              m.Func.funcs
+          in
+          Pipelines.Only headers
+      in
+      let sink = Remark.create () in
+      let options = { Uu_opt.Pass.default_options with remarks = Some sink } in
+      let report = Pipelines.optimize_module ~targets ~options r.config m in
+      {
+        rq_modul = m;
+        rq_config = r.config;
+        rq_work = report.Uu_opt.Pass.work;
+        rq_remarks = Remark.remarks sink;
+        rq_stats = report.Uu_opt.Pass.stats;
+        rq_decode = Decode.create_cache ();
+      }
+    in
+    match body () with
+    | c -> Ok c
+    | exception Uu_frontend.Lexer.Error (msg, pos) ->
+      Error
+        (Printf.sprintf "lex error at %d:%d: %s" pos.Uu_frontend.Ast.line
+           pos.Uu_frontend.Ast.col msg)
+    | exception Uu_frontend.Parser.Error (msg, pos) ->
+      Error
+        (Printf.sprintf "parse error at %d:%d: %s" pos.Uu_frontend.Ast.line
+           pos.Uu_frontend.Ast.col msg)
+    | exception Uu_frontend.Lower.Error (msg, pos) ->
+      Error
+        (Printf.sprintf "error at %d:%d: %s" pos.Uu_frontend.Ast.line
+           pos.Uu_frontend.Ast.col msg)
+    | exception Failure msg -> Error msg)
+
+(* The synthetic-buffer argument protocol `uu run` has always used: one
+   shared rng (seed 7) across all kernels of the module, f64 buffers
+   filled with uniform draws, i64 buffers zeroed, int scalars carrying
+   the element count. *)
+let synthetic_args ~elems rng mem (f : Func.t) =
+  List.map
+    (fun (p : Func.param) ->
+      match p.pty with
+      | Types.Ptr Types.F64 ->
+        Kernel.Buf
+          (Memory.alloc_f64 mem (Array.init elems (fun _ -> Rng.float rng 1.0)))
+      | Types.Ptr Types.I64 -> Kernel.Buf (Memory.zeros_i64 mem elems)
+      | Types.F64 -> Kernel.Float_arg 1.0
+      | Types.I64 | Types.I32 | Types.I1 -> Kernel.Int_arg (Int64.of_int elems)
+      | Types.Ptr _ | Types.Void ->
+        failwith ("unsupported parameter type for " ^ p.pname))
+    f.Func.params
+
+let respond ?(default_sim_jobs = 1) (r : Uu_serve.Request.t)
+    (c : request_compiled) : Uu_serve.Response.t =
+  let compile_seconds = float_of_int c.rq_work /. compile_work_per_second in
+  let finish body =
+    Ok
+      {
+        Uu_serve.Response.config = c.rq_config;
+        body;
+        compile_seconds;
+        remarks = c.rq_remarks;
+        stats = c.rq_stats;
+      }
+  in
+  match r.mode with
+  | Uu_serve.Request.Compile ->
+    let ir =
+      String.concat "" (List.map Printer.func_to_string c.rq_modul.Func.funcs)
+    in
+    let instr_count =
+      List.fold_left (fun acc f -> acc + Func.instr_count f) 0 c.rq_modul.Func.funcs
+    in
+    finish (Uu_serve.Response.Compiled { ir; instr_count })
+  | Uu_serve.Request.Run -> (
+    let body () =
+      let sim_jobs =
+        match r.sim_jobs with Some n -> max 1 n | None -> max 1 default_sim_jobs
+      in
+      let mem = Memory.create () in
+      let rng = Rng.create 7L in
+      let noise = Option.map Rng.create r.noise_seed in
+      List.map
+        (fun (f : Func.t) ->
+          let args = synthetic_args ~elems:r.elems rng mem f in
+          let races = if r.check_races then Some (Racecheck.create ()) else None in
+          let config =
+            {
+              Kernel.default_config with
+              engine = r.engine;
+              races;
+              sim_jobs;
+              noise;
+              decode_cache = Some c.rq_decode;
+            }
+          in
+          let result =
+            Kernel.exec ~config mem f ~grid_dim:r.grid_dim ~block_dim:r.block_dim
+              ~args
+          in
+          {
+            Uu_serve.Response.label = f.Func.name;
+            kernel_cycles = result.Kernel.kernel_cycles;
+            code_bytes = result.Kernel.code_bytes;
+            metrics = result.Kernel.metrics;
+            races = Option.map Racecheck.report races;
+          })
+        c.rq_modul.Func.funcs
+    in
+    match body () with
+    | ms -> finish (Uu_serve.Response.Measured ms)
+    | exception Failure msg -> Error msg)
+
+let run_request ?default_sim_jobs r =
+  match compile_request r with
+  | Error msg -> Error msg
+  | Ok c -> respond ?default_sim_jobs r c

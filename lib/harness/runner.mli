@@ -81,7 +81,7 @@ val simulate :
     repeated simulations decode every kernel exactly once. [sim_jobs]
     (default 1) shards each launch's blocks over that many domains —
     measurements are byte-identical for any value (see
-    [Kernel.launch]). *)
+    [Kernel.exec]). *)
 
 val race_audit :
   ?engine:Uu_gpusim.Kernel.engine ->
@@ -115,3 +115,40 @@ val run_exn :
   Pipelines.config ->
   measurement
 (** Like {!run} but raises [Failure] if the oracle check fails. *)
+
+(** {1 The request funnel}
+
+    Every compile-and-simulate entry point — [uu run], [uu compile],
+    [uu request], and the serve daemon — builds a
+    [Uu_serve.Request.t] and comes through here. The split mirrors
+    {!compile}/{!simulate}: a request is compiled once (expensive,
+    cacheable by [Request.compile_key]) and responded to per request
+    identity (shape, races, noise). *)
+
+type request_compiled
+(** An optimized module plus its compile report and warm decode cache,
+    reusable across every request sharing one
+    [Uu_serve.Request.compile_key]. The decode cache inside is
+    single-domain: callers sharing a [request_compiled] across domains
+    must serialize their {!respond} calls (the serve daemon holds a
+    per-entry lock). *)
+
+val compile_request :
+  Uu_serve.Request.t -> (request_compiled, string) result
+(** Resolve the source (registry app or inline text), lower, and
+    optimize under the request's config and target loop. All frontend
+    and pipeline failures come back as [Error] text, never exceptions. *)
+
+val respond :
+  ?default_sim_jobs:int ->
+  Uu_serve.Request.t ->
+  request_compiled ->
+  Uu_serve.Response.t
+(** Answer one request from its compiled module: print IR for [Compile]
+    mode, simulate every kernel with the synthetic-buffer protocol for
+    [Run] mode. [default_sim_jobs] (default 1) applies only when the
+    request leaves [sim_jobs] unset; it cannot change a response byte. *)
+
+val run_request :
+  ?default_sim_jobs:int -> Uu_serve.Request.t -> Uu_serve.Response.t
+(** [compile_request] + {!respond} — the single funnel. *)

@@ -1,0 +1,259 @@
+open Uu_support
+open Uu_core
+open Uu_serve
+
+(* A compiled-module memo entry. [ce_lock] is held while compiling and
+   while simulating with the entry's module: the decode cache inside a
+   [Runner.request_compiled] is single-domain, so simulations sharing
+   one compiled module are serialized on its entry (different modules
+   still run fully in parallel across the pool). *)
+type compiled_entry = {
+  ce_lock : Mutex.t;
+  mutable ce_result : (Runner.request_compiled, string) result option;
+}
+
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  pool : Parallel.Pool.t;
+  cache : Result_cache.t;
+  mutex : Mutex.t;
+      (* guards [inflight], [compiled], the counters, and — because its
+         own counters are unsynchronized — every [cache] access *)
+  inflight : (string, string Parallel.promise) Hashtbl.t;
+  compiled : (string, compiled_entry) Hashtbl.t;
+  mutable stop : bool;
+  mutable n_connections : int;
+  mutable n_requests : int;
+  mutable n_executed : int;
+  mutable n_cache_served : int;
+  mutable n_joined : int;
+  mutable n_errors : int;
+}
+
+let protocol_version = "1"
+
+let create ?socket ?domains ?(cache_dir = Filename.concat "results" "cache") () =
+  let socket_path =
+    match socket with Some p -> p | None -> Protocol.default_socket ()
+  in
+  (* A stale socket file from a crashed daemon would make bind fail. *)
+  (match Unix.lstat socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket_path
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" socket_path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  {
+    socket_path;
+    listen_fd;
+    pool = Parallel.Pool.create ?domains ();
+    cache = Result_cache.create ~dir:cache_dir;
+    mutex = Mutex.create ();
+    inflight = Hashtbl.create 31;
+    compiled = Hashtbl.create 31;
+    stop = false;
+    n_connections = 0;
+    n_requests = 0;
+    n_executed = 0;
+    n_cache_served = 0;
+    n_joined = 0;
+    n_errors = 0;
+  }
+
+let socket t = t.socket_path
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    [
+      ("serve.connections", t.n_connections);
+      ("serve.requests", t.n_requests);
+      ("serve.executed", t.n_executed);
+      ("serve.cache_served", t.n_cache_served);
+      ("serve.joined", t.n_joined);
+      ("serve.errors", t.n_errors);
+      ("serve.inflight", Hashtbl.length t.inflight);
+      ("serve.compiled_modules", Hashtbl.length t.compiled);
+      ("serve.cache_hits", Result_cache.hits t.cache);
+      ("serve.cache_misses", Result_cache.misses t.cache);
+      ("serve.pool_domains", Parallel.Pool.size t.pool);
+    ]
+  in
+  Mutex.unlock t.mutex;
+  s
+
+(* --- executing one request (on a pool domain) ----------------------- *)
+
+let compiled_entry t r =
+  let ckey = Request.compile_key r in
+  Mutex.lock t.mutex;
+  let entry =
+    match Hashtbl.find_opt t.compiled ckey with
+    | Some e -> e
+    | None ->
+      let e = { ce_lock = Mutex.create (); ce_result = None } in
+      Hashtbl.add t.compiled ckey e;
+      e
+  in
+  Mutex.unlock t.mutex;
+  entry
+
+let execute_response t r =
+  let entry = compiled_entry t r in
+  Mutex.lock entry.ce_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock entry.ce_lock)
+    (fun () ->
+      let compiled =
+        match entry.ce_result with
+        | Some res -> res
+        | None ->
+          (* First request for this compile identity: compile once, keep
+             the module and its decode cache warm for every later
+             request that shares it. *)
+          let res = Runner.compile_request r in
+          entry.ce_result <- Some res;
+          res
+      in
+      match compiled with
+      | Error msg -> Error msg
+      | Ok c -> Runner.respond r c)
+
+(* Runs on a pool domain; must never raise (the promise is the only way
+   the submitting connection thread hears back). Returns the serialized
+   response — the exact bytes cached and shipped. *)
+let execute t ~key r () =
+  let response =
+    try execute_response t r
+    with e -> Error ("internal error: " ^ Printexc.to_string e)
+  in
+  let text = Response.to_string response in
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.inflight key;
+  (match response with
+  | Ok _ -> ( try Result_cache.store_raw t.cache ~key text with Sys_error _ -> ())
+  | Error _ -> t.n_errors <- t.n_errors + 1);
+  t.n_executed <- t.n_executed + 1;
+  Mutex.unlock t.mutex;
+  text
+
+(* Serve one request: join an identical in-flight one, read the result
+   cache, or schedule a fresh execution on the pool. Returns how it was
+   served plus the serialized response. *)
+let serve_request t r =
+  let key = Request.key r in
+  Mutex.lock t.mutex;
+  t.n_requests <- t.n_requests + 1;
+  match Hashtbl.find_opt t.inflight key with
+  | Some promise ->
+    t.n_joined <- t.n_joined + 1;
+    Mutex.unlock t.mutex;
+    (Protocol.Joined, Parallel.await_exn promise)
+  | None -> (
+    match Result_cache.lookup_raw t.cache ~key with
+    | Some text ->
+      t.n_cache_served <- t.n_cache_served + 1;
+      Mutex.unlock t.mutex;
+      (Protocol.Cache, text)
+    | None ->
+      let promise = Parallel.Pool.submit t.pool (execute t ~key r) in
+      Hashtbl.add t.inflight key promise;
+      Mutex.unlock t.mutex;
+      (Protocol.Executed, Parallel.await_exn promise))
+
+(* --- connections (one systhread each) ------------------------------- *)
+
+let hello_frame =
+  Protocol.Hello
+    {
+      version = protocol_version;
+      pipelines = Pipelines.version;
+      semantics = Uu_gpusim.Kernel.semantics_version;
+    }
+
+(* The response travels as already-serialized bytes: re-parsing into a
+   [Json.t] and letting [write_frame] print it again is byte-stable
+   (parse-then-print is the identity on this printer's own output), so
+   executed, cache-served, and joined answers ship identical bytes. *)
+let write_result oc ~id ~served text =
+  Protocol.write_frame oc
+    (Json.Obj
+       [
+         ("frame", Json.Str "result");
+         ("id", Json.Int id);
+         ("served", Json.Str (Protocol.served_string served));
+         ("response", Json.of_string_exn text);
+       ])
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_client ic with
+    | None -> ()
+    | Some (Protocol.Request { id; request }) ->
+      let served, text = serve_request t request in
+      write_result oc ~id ~served text;
+      loop ()
+    | Some Protocol.Stats ->
+      Protocol.write_server oc (Protocol.Stats_reply (stats t));
+      loop ()
+    | Some Protocol.Ping ->
+      Protocol.write_server oc Protocol.Pong;
+      loop ()
+    | Some Protocol.Shutdown ->
+      Protocol.write_server oc Protocol.Bye;
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Mutex.unlock t.mutex
+  in
+  (try
+     Protocol.write_server oc hello_frame;
+     loop ()
+   with
+  | Protocol.Protocol_error msg -> (
+    try Protocol.write_server oc (Protocol.Error_msg { id = None; message = msg })
+    with Protocol.Protocol_error _ | Sys_error _ -> ())
+  | Sys_error _ -> ()
+  | End_of_file -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let stopped t =
+  Mutex.lock t.mutex;
+  let s = t.stop in
+  Mutex.unlock t.mutex;
+  s
+
+(* Accept loop. Polls the listen socket with a short timeout so a
+   shutdown op (flagged by whichever connection thread received it) is
+   noticed promptly without self-connect tricks. *)
+let serve_forever t =
+  let rec loop () =
+    if stopped t then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept t.listen_fd with
+        | fd, _ ->
+          Mutex.lock t.mutex;
+          t.n_connections <- t.n_connections + 1;
+          Mutex.unlock t.mutex;
+          ignore (Thread.create (fun () -> handle_connection t fd) ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+      Parallel.Pool.shutdown t.pool)
+    loop
+
+let request_stop t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Mutex.unlock t.mutex

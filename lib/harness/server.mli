@@ -1,0 +1,50 @@
+(** The [uu serve] daemon: a long-lived compile-and-simulate server.
+
+    One process, three layers of reuse a cold [uu run] can never have:
+
+    - {b warm compiled modules}: requests sharing a
+      [Uu_serve.Request.compile_key] (same source, config, target loop,
+      pipeline version) reuse one optimized module and its warm decode
+      cache, so only the first request pays compilation and decoding;
+    - {b in-flight dedupe}: identical concurrent requests (same
+      [Request.key]) join the one running job and all receive its
+      result — N clients, one execution;
+    - {b response cache}: completed [Ok] responses are persisted as raw
+      documents in [Result_cache] (the job graph's directory, disjoint
+      key namespace), so repeats across daemon restarts are served
+      without touching the pool.
+
+    Concurrency model: the accept loop hands each connection to a
+    systhread; request execution is scheduled on a persistent
+    [Uu_support.Parallel.Pool] of worker domains, so simulations run in
+    parallel while connection threads merely block on promises.
+    Responses are deterministic functions of the request identity
+    (see [Uu_serve.Response]), which is what makes all three reuse
+    layers sound: however a request was served, the bytes are the ones
+    a fresh execution would produce. *)
+
+type t
+
+val create : ?socket:string -> ?domains:int -> ?cache_dir:string -> unit -> t
+(** Bind the listening socket (default [Protocol.default_socket ()],
+    replacing a stale socket file), spawn the worker pool (default
+    [Parallel.available_domains ()]), and open the response cache
+    (default [results/cache], shared with the job graph).
+    @raise Unix.Unix_error when the socket cannot be bound,
+    [Failure] when the path exists and is not a socket. *)
+
+val socket : t -> string
+
+val serve_forever : t -> unit
+(** Accept connections until a [Shutdown] op (or {!request_stop});
+    tears down the listen socket, its file, and the pool on exit. *)
+
+val request_stop : t -> unit
+(** Ask the accept loop to exit after its current poll tick — the
+    in-process equivalent of the [Shutdown] op, for embedding the
+    daemon in tests and the bench driver. *)
+
+val stats : t -> (string * int) list
+(** The counters behind the [Stats] op: connections, requests by
+    served-status, errors, in-flight and memoized-module population,
+    response-cache hits/misses, pool width. *)

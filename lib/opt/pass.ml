@@ -116,13 +116,6 @@ let exec_module ?(options = default_options) passes m =
     stats = List.fold_left (fun acc r -> Statistic.merge acc r.stats) [] reports;
   }
 
-(* Deprecated optional-argument surface, kept for one release. *)
-let run ?(verify = true) ?remarks passes f =
-  exec ~options:{ default_options with verify; remarks } passes f
-
-let run_module ?(verify = true) ?remarks passes m =
-  exec_module ~options:{ default_options with verify; remarks } passes m
-
 let fixpoint ?(max_rounds = 8) name passes =
   let run f =
     let rec go round any =

@@ -13,9 +13,9 @@
     report every transform they applied or missed.
 
     Manager knobs travel in one {!options} record rather than a growing
-    surface of optional arguments; {!run} and {!run_module} with
-    [?verify]/[?remarks] remain as thin deprecated wrappers for one
-    release. *)
+    surface of optional arguments. (The deprecated [run]/[run_module]
+    optional-argument wrappers were kept for one release after the
+    {!options} switch and have since been deleted.) *)
 
 open Uu_support
 open Uu_ir
@@ -69,15 +69,6 @@ val exec : ?options:options -> t list -> Func.t -> report
 val exec_module : ?options:options -> t list -> Func.modul -> report
 (** Run the pipeline on every function; times and stats are summed. The
     timeout budget, when present, covers the whole module. *)
-
-val run : ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.t -> report
-[@@ocaml.deprecated "use Pass.exec with Pass.options instead"]
-(** @deprecated Thin wrapper over {!exec}, kept for one release. *)
-
-val run_module :
-  ?verify:bool -> ?remarks:Remark.sink -> t list -> Func.modul -> report
-[@@ocaml.deprecated "use Pass.exec_module with Pass.options instead"]
-(** @deprecated Thin wrapper over {!exec_module}, kept for one release. *)
 
 val fixpoint : ?max_rounds:int -> string -> t list -> t
 (** A pass that repeats the given sub-pipeline until no sub-pass changes

@@ -1,0 +1,70 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  hello : Protocol.server_msg;
+  mutable next_id : int;
+}
+
+let connect ?socket () =
+  let path = match socket with Some p -> p | None -> Protocol.default_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith
+      (Printf.sprintf "cannot connect to uu serve at %s: %s (is the daemon running?)"
+         path (Unix.error_message err)));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  match Protocol.read_server ic with
+  | Some (Protocol.Hello _ as hello) -> { fd; ic; oc; hello; next_id = 0 }
+  | Some _ | None ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith (Printf.sprintf "%s did not greet with a hello frame" path)
+
+let hello t =
+  match t.hello with
+  | Protocol.Hello { version; pipelines; semantics } -> (version, pipelines, semantics)
+  | _ -> assert false
+
+let close t =
+  (* The descriptor backs both channels; flush what we own, close once. *)
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_reply t =
+  match Protocol.read_server t.ic with
+  | Some msg -> msg
+  | None -> raise (Protocol.Protocol_error "server closed the connection")
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Protocol.write_client t.oc (Protocol.Request { id; request = req });
+  match read_reply t with
+  | Protocol.Result { id = rid; served; response } when rid = id -> (served, response)
+  | Protocol.Result { id = rid; _ } ->
+    Protocol.fail "result for request %d while waiting for %d" rid id
+  | Protocol.Error_msg { message; _ } -> Protocol.fail "server error: %s" message
+  | _ -> Protocol.fail "unexpected frame while waiting for result %d" id
+
+let stats t =
+  Protocol.write_client t.oc Protocol.Stats;
+  match read_reply t with
+  | Protocol.Stats_reply stats -> stats
+  | Protocol.Error_msg { message; _ } -> Protocol.fail "server error: %s" message
+  | _ -> Protocol.fail "unexpected frame while waiting for stats"
+
+let ping t =
+  Protocol.write_client t.oc Protocol.Ping;
+  match read_reply t with
+  | Protocol.Pong -> ()
+  | _ -> Protocol.fail "unexpected frame while waiting for pong"
+
+let shutdown t =
+  Protocol.write_client t.oc Protocol.Shutdown;
+  match read_reply t with
+  | Protocol.Bye -> ()
+  | _ -> Protocol.fail "unexpected frame while waiting for bye"

@@ -1,0 +1,29 @@
+(** Synchronous client for the serve daemon.
+
+    One connection, one outstanding op at a time — the concurrency unit
+    is the connection, so a load generator opens N clients. All calls
+    raise [Protocol.Protocol_error] on malformed traffic and [Failure]
+    when the daemon is unreachable. *)
+
+type t
+
+val connect : ?socket:string -> unit -> t
+(** Connect and consume the daemon's hello frame. [socket] defaults to
+    [Protocol.default_socket ()]. *)
+
+val hello : t -> string * string * string
+(** The daemon's [(version, pipelines, semantics)] triple, as greeted. *)
+
+val request : t -> Request.t -> Protocol.served * Response.t
+(** Submit one request and block for its result. [served] says whether
+    the daemon executed it, read the result cache, or joined an
+    identical in-flight request; the response bytes are the same either
+    way. *)
+
+val stats : t -> (string * int) list
+val ping : t -> unit
+
+val shutdown : t -> unit
+(** Ask the daemon to exit; returns once it acknowledges with [Bye]. *)
+
+val close : t -> unit

@@ -1,0 +1,75 @@
+(** The serve daemon's wire protocol.
+
+    Hand-rolled in the spirit of [Uu_support.Json]: the container ships
+    no RPC library, and the protocol is small. Every message is one
+    {e frame} — a 4-byte big-endian payload length followed by that many
+    bytes of compact JSON — over a Unix-domain stream socket. The
+    server speaks first (a [hello] frame carrying its versions, so a
+    client can refuse a daemon whose pipeline or simulator semantics
+    differ from its own); after that the client sends ops and the
+    server answers each with exactly one frame, in order.
+
+    Requests carry an [id] chosen by the client and echoed in the
+    matching result frame. [served] reports how the daemon satisfied a
+    request — executed fresh, read from the on-disk result cache, or
+    joined onto an identical in-flight request — as frame metadata
+    rather than response content, so the [Response.t] bytes stay
+    identical across all three paths. *)
+
+exception Protocol_error of string
+(** Malformed traffic: mid-frame EOF, oversized frames, unparsable JSON,
+    unknown ops. Never raised for a clean EOF at a frame boundary. *)
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Protocol_error} with the formatted message. *)
+
+val default_socket : unit -> string
+(** [$UU_SERVE_SOCKET] when set, else [<tmpdir>/uu-serve.sock]. *)
+
+val max_frame : int
+(** Refuse frames above this payload size (64 MiB) in both directions —
+    a corrupt length prefix must not trigger a giant allocation. *)
+
+val write_frame : out_channel -> Uu_support.Json.t -> unit
+(** Write one frame and flush. @raise Protocol_error if oversized. *)
+
+val read_frame : in_channel -> Uu_support.Json.t option
+(** [None] on clean EOF at a frame boundary.
+    @raise Protocol_error on malformed traffic. *)
+
+(** {1 Typed messages} *)
+
+type client_msg =
+  | Request of { id : int; request : Request.t }
+  | Stats  (** ask for the daemon's counters *)
+  | Ping
+  | Shutdown  (** answered with [Bye], then the daemon exits *)
+
+type served = Executed | Cache | Joined
+
+type server_msg =
+  | Hello of { version : string; pipelines : string; semantics : string }
+  | Result of { id : int; served : served; response : Response.t }
+  | Stats_reply of (string * int) list
+  | Pong
+  | Bye
+  | Error_msg of { id : int option; message : string }
+      (** protocol-level failure (bad frame, malformed request JSON);
+          work-level failures travel as [Result] with an [Error]
+          response *)
+
+val served_string : served -> string
+val served_of_string : string -> served option
+
+val client_to_json : client_msg -> Uu_support.Json.t
+val client_of_json : Uu_support.Json.t -> (client_msg, string) result
+val server_to_json : server_msg -> Uu_support.Json.t
+val server_of_json : Uu_support.Json.t -> (server_msg, string) result
+
+val write_client : out_channel -> client_msg -> unit
+val write_server : out_channel -> server_msg -> unit
+
+val read_client : in_channel -> client_msg option
+val read_server : in_channel -> server_msg option
+(** Framing + codec in one step; [None] on clean EOF.
+    @raise Protocol_error on malformed traffic. *)

@@ -1,0 +1,154 @@
+open Uu_support
+open Uu_core
+
+type measurement = {
+  label : string;
+  kernel_cycles : float;
+  code_bytes : int;
+  metrics : Uu_gpusim.Metrics.t;
+  races : string option;
+}
+
+type body =
+  | Compiled of { ir : string; instr_count : int }
+  | Measured of measurement list
+
+type ok = {
+  config : Pipelines.config;
+  body : body;
+  compile_seconds : float;
+  remarks : Remark.t list;
+  stats : (string * int) list;
+}
+
+type t = (ok, string) result
+
+(* --- rendering ------------------------------------------------------ *)
+
+(* The exact lines [uu run] has always printed (CI greps the racecheck
+   report out of them), so `uu run`, `uu request`, and a cache-served
+   daemon response are textually indistinguishable. *)
+let render_measurement ~config buf (m : measurement) =
+  Buffer.add_string buf
+    (Printf.sprintf "@%s under %s: %.0f cycles, code %d bytes\n  %s\n" m.label
+       (Pipelines.config_name config)
+       m.kernel_cycles m.code_bytes
+       (Format.asprintf "%a" Uu_gpusim.Metrics.pp m.metrics));
+  match m.races with
+  | None -> ()
+  | Some report -> Buffer.add_string buf (Printf.sprintf "  %s\n" report)
+
+let render = function
+  | Error msg -> Printf.sprintf "error: %s\n" msg
+  | Ok { body = Compiled { ir; _ }; _ } -> ir
+  | Ok { body = Measured ms; config; _ } ->
+    let buf = Buffer.create 256 in
+    List.iter (render_measurement ~config buf) ms;
+    Buffer.contents buf
+
+(* --- JSON codec ----------------------------------------------------- *)
+
+let measurement_to_json m =
+  Json.Obj
+    [
+      ("label", Json.Str m.label);
+      ("kernel_cycles", Json.Float m.kernel_cycles);
+      ("code_bytes", Json.Int m.code_bytes);
+      ("metrics", Uu_gpusim.Metrics.to_json m.metrics);
+      ("races", match m.races with None -> Json.Null | Some r -> Json.Str r);
+    ]
+
+let to_json = function
+  | Error msg -> Json.Obj [ ("error", Json.Str msg) ]
+  | Ok { config; body; compile_seconds; remarks; stats } ->
+    let body_fields =
+      match body with
+      | Compiled { ir; instr_count } ->
+        [ ("ir", Json.Str ir); ("instr_count", Json.Int instr_count) ]
+      | Measured ms ->
+        [ ("measurements", Json.Arr (List.map measurement_to_json ms)) ]
+    in
+    Json.Obj
+      ([ ("config", Json.Str (Pipelines.config_to_string config)) ]
+      @ body_fields
+      @ [
+          ("compile_seconds", Json.Float compile_seconds);
+          ("remarks", Json.Arr (List.map Remark.to_json_value remarks));
+          ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) stats));
+        ])
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "response: bad or missing field %S" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let measurement_of_json j =
+  let* label = field "label" Json.to_str j in
+  let* kernel_cycles = field "kernel_cycles" Json.to_float j in
+  let* code_bytes = field "code_bytes" Json.to_int j in
+  let* metrics =
+    match Json.member "metrics" j with
+    | None -> Error "response: missing field \"metrics\""
+    | Some m -> Uu_gpusim.Metrics.of_json m
+  in
+  let* races =
+    match Json.member "races" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_str v with
+      | Some r -> Ok (Some r)
+      | None -> Error "response: bad field \"races\"")
+  in
+  Ok { label; kernel_cycles; code_bytes; metrics; races }
+
+let of_json j =
+  match Option.bind (Json.member "error" j) Json.to_str with
+  | Some msg -> Ok (Error msg)
+  | None ->
+    let* config =
+      let* s = field "config" Json.to_str j in
+      Pipelines.config_of_string s
+    in
+    let* body =
+      match Json.member "measurements" j with
+      | Some ms -> (
+        match Json.to_list ms with
+        | None -> Error "response: bad field \"measurements\""
+        | Some ms ->
+          let* ms = map_result measurement_of_json ms in
+          Ok (Measured ms))
+      | None ->
+        let* ir = field "ir" Json.to_str j in
+        let* instr_count = field "instr_count" Json.to_int j in
+        Ok (Compiled { ir; instr_count })
+    in
+    let* compile_seconds = field "compile_seconds" Json.to_float j in
+    let* remarks =
+      let* items = field "remarks" Json.to_list j in
+      map_result Remark.of_json_value items
+    in
+    let* stats =
+      let* fields = field "stats" Json.to_obj j in
+      map_result
+        (fun (k, v) ->
+          match Json.to_int v with
+          | Some n -> Ok (k, n)
+          | None -> Error (Printf.sprintf "response: bad stat %S" k))
+        fields
+    in
+    Ok (Ok { config; body; compile_seconds; remarks; stats })
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string text =
+  let* j = Json.of_string text in
+  of_json j

@@ -98,3 +98,114 @@ let map_range ?jobs ?chunk ~n f =
            | None -> assert false)
     end
   end
+
+(* --- persistent pool ------------------------------------------------ *)
+
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_state : 'a state;
+}
+
+and 'a state = Pending | Fulfilled of ('a, exn) result
+
+let promise () =
+  { p_mutex = Mutex.create (); p_cond = Condition.create (); p_state = Pending }
+
+let fulfill p outcome =
+  Mutex.lock p.p_mutex;
+  (match p.p_state with
+  | Pending ->
+    p.p_state <- Fulfilled outcome;
+    Condition.broadcast p.p_cond;
+    Mutex.unlock p.p_mutex
+  | Fulfilled _ ->
+    Mutex.unlock p.p_mutex;
+    invalid_arg "Parallel.fulfill: promise already fulfilled")
+
+let await p =
+  Mutex.lock p.p_mutex;
+  let rec wait () =
+    match p.p_state with
+    | Pending ->
+      Condition.wait p.p_cond p.p_mutex;
+      wait ()
+    | Fulfilled outcome -> outcome
+  in
+  let outcome = wait () in
+  Mutex.unlock p.p_mutex;
+  outcome
+
+let await_exn p = match await p with Ok v -> v | Error e -> raise e
+
+module Pool = struct
+  type task = Task : (unit -> 'a) * 'a promise -> task
+
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    queue : task Queue.t;
+    mutable closed : bool;
+    mutable workers : unit Domain.t list;
+    n_domains : int;
+  }
+
+  let size t = t.n_domains
+
+  let worker pool () =
+    let rec loop () =
+      Mutex.lock pool.mutex;
+      let rec next () =
+        if pool.closed then None
+        else if Queue.is_empty pool.queue then begin
+          Condition.wait pool.cond pool.mutex;
+          next ()
+        end
+        else Some (Queue.pop pool.queue)
+      in
+      let task = next () in
+      Mutex.unlock pool.mutex;
+      match task with
+      | None -> ()
+      | Some (Task (f, p)) ->
+        fulfill p (try Ok (f ()) with e -> Error e);
+        loop ()
+    in
+    loop ()
+
+  let create ?domains () =
+    let n_domains =
+      max 1 (match domains with Some d -> d | None -> available_domains ())
+    in
+    let pool =
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        workers = [];
+        n_domains;
+      }
+    in
+    pool.workers <- List.init n_domains (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let submit t f =
+    let p = promise () in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Parallel.Pool.submit: pool is shut down"
+    end;
+    Queue.push (Task (f, p)) t.queue;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex;
+    p
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers
+end

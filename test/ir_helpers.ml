@@ -91,7 +91,7 @@ let run_kernel ?(grid = 1) ?(block = 32) ?(elems = 64) fn scalars =
   let args =
     Uu_gpusim.Kernel.Buf out :: List.map (fun v -> Uu_gpusim.Kernel.Int_arg v) scalars
   in
-  let _result = Uu_gpusim.Kernel.launch mem fn ~grid_dim:grid ~block_dim:block ~args in
+  let _result = Uu_gpusim.Kernel.exec mem fn ~grid_dim:grid ~block_dim:block ~args in
   Uu_gpusim.Memory.read_i64 out
 
 (* Compile MiniCUDA source to a single function. *)

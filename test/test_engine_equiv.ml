@@ -34,7 +34,7 @@ let run_engine engine (app : App.t) config =
         | None -> Alcotest.failf "%s: unknown kernel %s" app.App.name l.App.kernel
       in
       let r =
-        Kernel.launch ~engine ~decode_cache:cache instance.App.mem f
+        Kernel.exec ~config:(Kernel.config ~engine ~decode_cache:cache ()) instance.App.mem f
           ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args
       in
       Metrics.add total r.Kernel.metrics)

@@ -56,14 +56,14 @@ let test_launch_validation () =
   let out = Memory.zeros_i64 mem 4 in
   check bool "arity mismatch rejected" true
     (try
-       ignore (Kernel.launch mem fn ~grid_dim:1 ~block_dim:32 ~args:[ Kernel.Buf out ]);
+       ignore (Kernel.exec mem fn ~grid_dim:1 ~block_dim:32 ~args:[ Kernel.Buf out ]);
        false
      with Invalid_argument _ -> true);
   check bool "type mismatch rejected" true
     (try
        let fbuf = Memory.zeros_f64 mem 4 in
        ignore
-         (Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+         (Kernel.exec mem fn ~grid_dim:1 ~block_dim:32
             ~args:[ Kernel.Buf fbuf; Kernel.Int_arg 1L ]);
        false
      with Invalid_argument _ -> true)
@@ -81,7 +81,7 @@ kernel k(int* restrict out, int n) {
   let mem = Memory.create () in
   let out = Memory.zeros_i64 mem 128 in
   ignore
-    (Kernel.launch mem fn ~grid_dim:2 ~block_dim:64
+    (Kernel.exec mem fn ~grid_dim:2 ~block_dim:64
        ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]);
   let got = Memory.read_i64 out in
   check Alcotest.int64 "thread 0" 0L got.(0);
@@ -94,7 +94,7 @@ let metrics_of src ~elems scalars =
   let mem = Memory.create () in
   let out = Memory.zeros_i64 mem elems in
   let args = Kernel.Buf out :: List.map (fun v -> Kernel.Int_arg v) scalars in
-  Kernel.launch mem fn ~grid_dim:1 ~block_dim:32 ~args
+  Kernel.exec mem fn ~grid_dim:1 ~block_dim:32 ~args
 
 let test_divergence_counted () =
   (* Per-lane divergent branch. *)
@@ -178,7 +178,7 @@ kernel k(int* restrict out, int n) {
   let mem = Memory.create () in
   let out = Memory.zeros_i64 mem 32 in
   let r =
-    Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+    Kernel.exec mem fn ~grid_dim:1 ~block_dim:32
       ~args:[ Kernel.Buf out; Kernel.Int_arg 15L ]
   in
   check bool "selects counted as misc" true (r.Kernel.metrics.Metrics.inst_misc > 0)
@@ -192,7 +192,7 @@ let test_coalescing () =
     let data = Memory.zeros_i64 mem 1024 in
     let out = Memory.zeros_i64 mem 32 in
     let r =
-      Kernel.launch mem fn ~grid_dim:1 ~block_dim:32
+      Kernel.exec mem fn ~grid_dim:1 ~block_dim:32
         ~args:[ Kernel.Buf out; Kernel.Buf data ]
     in
     r.Kernel.metrics.Metrics.mem_transactions
@@ -216,7 +216,7 @@ let test_icache_pressure () =
     let mem = Memory.create () in
     let mk () = Memory.zeros_f64 mem 128 in
     let outa = mk () and outc = mk () and a = mk () and c = mk () in
-    Kernel.launch mem f ~grid_dim:1 ~block_dim:128
+    Kernel.exec mem f ~grid_dim:1 ~block_dim:128
       ~args:[ Kernel.Buf outa; Kernel.Buf outc; Kernel.Buf a; Kernel.Buf c; Kernel.Int_arg 128L ]
   in
   let base = run Uu_core.Pipelines.Baseline in
@@ -239,7 +239,7 @@ kernel k(int* restrict out, int n) {
   let mem = Memory.create () in
   let out = Memory.zeros_i64 mem 2 in
   ignore
-    (Kernel.launch mem fn ~grid_dim:4 ~block_dim:64
+    (Kernel.exec mem fn ~grid_dim:4 ~block_dim:64
        ~args:[ Kernel.Buf out; Kernel.Int_arg 200L ]);
   check Alcotest.int64 "200 atomic increments" 200L (Memory.read_i64 out).(0)
 
@@ -259,7 +259,7 @@ kernel k(int* restrict out, int n) {
   check bool "infinite loop detected" true
     (try
        ignore
-         (Kernel.launch ~max_warp_cycles:10_000 mem fn ~grid_dim:1 ~block_dim:32
+         (Kernel.exec ~config:(Kernel.config ~max_warp_cycles:10_000 ()) mem fn ~grid_dim:1 ~block_dim:32
             ~args:[ Kernel.Buf out; Kernel.Int_arg 1L ]);
        false
      with Failure msg -> Astring.String.is_infix ~affix:"cycles" msg)
@@ -286,7 +286,7 @@ kernel k(int* restrict out, int n) {
   let out = Memory.zeros_i64 mem 32 in
   let tracer = Trace.create () in
   ignore
-    (Kernel.launch ~tracer mem fn ~grid_dim:1 ~block_dim:32
+    (Kernel.exec ~config:(Kernel.config ~tracer ()) mem fn ~grid_dim:1 ~block_dim:32
        ~args:[ Kernel.Buf out; Kernel.Int_arg 0L ]);
   let evs = Trace.events tracer in
   check bool "events recorded" true (List.length evs >= 3);
@@ -326,7 +326,7 @@ kernel k(int* restrict out, const int* restrict a, int n) {
     let a = Memory.zeros_i64 mem 1024 in
     let out = Memory.zeros_i64 mem 32 in
     let r =
-      Kernel.launch ~device mem fn ~grid_dim:1 ~block_dim:32
+      Kernel.exec ~config:(Kernel.config ~device ()) mem fn ~grid_dim:1 ~block_dim:32
         ~args:[ Kernel.Buf out; Kernel.Buf a; Kernel.Int_arg 12L ]
     in
     r.Kernel.metrics.Metrics.cycles
@@ -351,7 +351,7 @@ let run_shared ?(engine = Kernel.Decoded) ?(grid = 2) src =
   let mem = Memory.create () in
   let out = Memory.zeros_f64 mem (grid * 32) in
   let r =
-    Kernel.launch ~engine mem fn ~grid_dim:grid ~block_dim:32
+    Kernel.exec ~config:(Kernel.config ~engine ()) mem fn ~grid_dim:grid ~block_dim:32
       ~args:[ Kernel.Buf out; Kernel.Int_arg (Int64.of_int (grid * 32)) ]
   in
   (r.Kernel.metrics, Memory.read_f64 out)

@@ -17,4 +17,5 @@ let () =
       ("parallel-sim", Test_parallel_sim.suite);
       ("properties", Test_properties.suite);
       ("benchmarks", Test_benchmarks.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -87,7 +87,7 @@ let run_sharded ~sim_jobs engine (app : App.t) config =
         | None -> Alcotest.failf "%s: unknown kernel %s" app.App.name l.App.kernel
       in
       let r =
-        Kernel.launch ~engine ~decode_cache:cache ~sim_jobs instance.App.mem f
+        Kernel.exec ~config:(Kernel.config ~engine ~decode_cache:cache ~sim_jobs ()) instance.App.mem f
           ~grid_dim:l.App.grid_dim ~block_dim:l.App.block_dim ~args:l.App.args
       in
       Metrics.add total r.Kernel.metrics)
@@ -152,7 +152,7 @@ let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) src =
   let out = Memory.zeros_f64 mem 512 in
   let races = Racecheck.create () in
   let r =
-    Kernel.launch ~engine ~races ~sim_jobs:8 mem fn ~grid_dim:grid ~block_dim:32
+    Kernel.exec ~config:(Kernel.config ~engine ~races ~sim_jobs:8 ()) mem fn ~grid_dim:grid ~block_dim:32
       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]
   in
   (r, races)
@@ -191,7 +191,7 @@ let test_racecheck_preserves_metrics () =
   let run ?races () =
     let mem = Memory.create () in
     let out = Memory.zeros_f64 mem 512 in
-    (Kernel.launch ?races ~sim_jobs:8 mem fn ~grid_dim:4 ~block_dim:32
+    (Kernel.exec ~config:{ Kernel.default_config with races; sim_jobs = 8 } mem fn ~grid_dim:4 ~block_dim:32
        ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ])
       .Kernel.metrics
   in

@@ -1,0 +1,396 @@
+(* The serve layer: Request/Response codecs (property-tested round
+   trips), the wire protocol, config-string aliases, launch_config
+   default compatibility, and the daemon end to end — including the
+   in-flight dedupe contract (N identical concurrent requests, one
+   execution). *)
+
+open Uu_support
+open Uu_serve
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* The deprecated wrapper, aliased once with the alert silenced: the CI
+   deprecation gate greps fresh build output, and this is the one
+   legitimate use — proving the wrapper still matches the record path. *)
+module Legacy = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let launch = Uu_gpusim.Kernel.launch
+end
+
+(* --- generators ----------------------------------------------------- *)
+
+let configs =
+  [
+    Uu_core.Pipelines.Baseline;
+    Uu_core.Pipelines.Unroll 4;
+    Uu_core.Pipelines.Unmerge;
+    Uu_core.Pipelines.Uu 2;
+    Uu_core.Pipelines.Uu_heuristic;
+    Uu_core.Pipelines.Uu_heuristic_divergence;
+    Uu_core.Pipelines.Uu_selective 3;
+  ]
+
+let request_gen =
+  let open QCheck2.Gen in
+  let source_gen =
+    oneof
+      [
+        map (fun n -> Request.App n) (oneofl [ "complex"; "rainflow"; "stencil1d" ]);
+        map2
+          (fun name text -> Request.Inline { name; text })
+          string_printable string_printable;
+      ]
+  in
+  let* mode = oneofl [ Request.Compile; Request.Run ] in
+  let* source = source_gen in
+  let* config = oneofl configs in
+  let* loop = opt (int_bound 7) in
+  let* grid_dim = int_range 1 512 in
+  let* block_dim = int_range 1 256 in
+  let* elems = int_range 1 65536 in
+  let* check_races = bool in
+  let* noise_seed = opt (map Int64.of_int int) in
+  let* engine = oneofl [ Uu_gpusim.Kernel.Decoded; Uu_gpusim.Kernel.Reference ] in
+  let* sim_jobs = opt (int_range 1 16) in
+  return
+    {
+      Request.mode;
+      source;
+      config;
+      loop;
+      grid_dim;
+      block_dim;
+      elems;
+      check_races;
+      noise_seed;
+      engine;
+      sim_jobs;
+    }
+
+let metrics_gen =
+  let open QCheck2.Gen in
+  let* cycles = nat in
+  let* warp_instrs = nat in
+  let* gld_bytes = nat in
+  let* divergent_branches = nat in
+  return
+    (let m = Uu_gpusim.Metrics.create () in
+     m.Uu_gpusim.Metrics.cycles <- cycles;
+     m.Uu_gpusim.Metrics.warp_instrs <- warp_instrs;
+     m.Uu_gpusim.Metrics.gld_bytes <- gld_bytes;
+     m.Uu_gpusim.Metrics.divergent_branches <- divergent_branches;
+     m)
+
+let measurement_gen =
+  let open QCheck2.Gen in
+  let* label = string_printable in
+  let* kernel_cycles = float_range (-1e15) 1e15 in
+  let* code_bytes = nat in
+  let* metrics = metrics_gen in
+  let* races = opt string_printable in
+  return { Response.label; kernel_cycles; code_bytes; metrics; races }
+
+let response_gen =
+  let open QCheck2.Gen in
+  let ok_gen =
+    let* config = oneofl configs in
+    let* body =
+      oneof
+        [
+          map2
+            (fun ir instr_count -> Response.Compiled { ir; instr_count })
+            string_printable nat;
+          map (fun ms -> Response.Measured ms) (list_size (int_bound 4) measurement_gen);
+        ]
+    in
+    let* compile_seconds = float_range 0.0 1e6 in
+    let* stats =
+      list_size (int_bound 4) (pair (oneofl [ "a.b"; "c.d"; "e" ]) nat)
+    in
+    return (Ok { Response.config; body; compile_seconds; remarks = []; stats })
+  in
+  oneof [ ok_gen; map (fun m -> Error m) string_printable ]
+
+let client_msg_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map2 (fun id request -> Protocol.Request { id; request }) nat request_gen;
+      oneofl [ Protocol.Stats; Protocol.Ping; Protocol.Shutdown ];
+    ]
+
+let server_msg_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map3
+        (fun version pipelines semantics ->
+          Protocol.Hello { version; pipelines; semantics })
+        string_printable string_printable string_printable;
+      (let* id = nat in
+       let* served = oneofl [ Protocol.Executed; Protocol.Cache; Protocol.Joined ] in
+       let* response = response_gen in
+       return (Protocol.Result { id; served; response }));
+      map
+        (fun stats -> Protocol.Stats_reply stats)
+        (list_size (int_bound 4) (pair (oneofl [ "x"; "y.z" ]) nat));
+      oneofl [ Protocol.Pong; Protocol.Bye ];
+      map2
+        (fun id message -> Protocol.Error_msg { id; message })
+        (opt nat) string_printable;
+    ]
+
+let props =
+  [
+    QCheck2.Test.make ~name:"Request JSON round-trips" ~count:300 request_gen
+      (fun r -> Request.of_json (Request.to_json r) = Ok r);
+    QCheck2.Test.make ~name:"Request JSON round-trips through text" ~count:300
+      request_gen (fun r ->
+        match Json.of_string (Json.to_string (Request.to_json r)) with
+        | Ok j -> Request.of_json j = Ok r
+        | Error _ -> false);
+    QCheck2.Test.make ~name:"Response JSON round-trips" ~count:300 response_gen
+      (fun r -> Response.of_string (Response.to_string r) = Ok r);
+    QCheck2.Test.make ~name:"Response serialization is stable (cache bytes)"
+      ~count:300 response_gen (fun r ->
+        match Response.of_string (Response.to_string r) with
+        | Ok r' -> Response.to_string r' = Response.to_string r
+        | Error _ -> false);
+    QCheck2.Test.make ~name:"client frames round-trip" ~count:300 client_msg_gen
+      (fun m -> Protocol.client_of_json (Protocol.client_to_json m) = Ok m);
+    QCheck2.Test.make ~name:"server frames round-trip" ~count:300 server_msg_gen
+      (fun m -> Protocol.server_of_json (Protocol.server_to_json m) = Ok m);
+    QCheck2.Test.make ~name:"engine and sim_jobs never enter the request key"
+      ~count:100 request_gen (fun r ->
+        let flip = function
+          | Uu_gpusim.Kernel.Decoded -> Uu_gpusim.Kernel.Reference
+          | Uu_gpusim.Kernel.Reference -> Uu_gpusim.Kernel.Decoded
+        in
+        Request.key { r with Request.engine = flip r.engine; sim_jobs = Some 13 }
+        = Request.key r);
+  ]
+
+(* --- framing over a real channel ------------------------------------ *)
+
+let test_frame_io () =
+  let path = Filename.temp_file "uu-serve-frames" ".bin" in
+  let msgs =
+    [
+      Json.Obj [ ("op", Json.Str "ping") ];
+      Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Str "x\"y\n" ];
+      Json.Str (String.make 100_000 'z');
+    ]
+  in
+  let oc = open_out_bin path in
+  List.iter (Protocol.write_frame oc) msgs;
+  close_out oc;
+  let ic = open_in_bin path in
+  List.iter
+    (fun expect ->
+      match Protocol.read_frame ic with
+      | Some got -> check string "frame" (Json.to_string expect) (Json.to_string got)
+      | None -> Alcotest.fail "unexpected EOF")
+    msgs;
+  check bool "clean EOF" true (Protocol.read_frame ic = None);
+  close_in ic;
+  Sys.remove path
+
+(* --- config-string aliases ------------------------------------------ *)
+
+let test_config_aliases () =
+  let open Uu_core.Pipelines in
+  List.iter
+    (fun (s, expect) ->
+      match config_of_string s with
+      | Ok got ->
+        check bool (Printf.sprintf "alias %s" s) true (got = expect)
+      | Error m -> Alcotest.fail (Printf.sprintf "alias %s rejected: %s" s m))
+    [
+      ("baseline", Baseline);
+      ("unmerge", Unmerge);
+      ("heuristic", Uu_heuristic);
+      ("u&u-heuristic", Uu_heuristic);
+      ("uu-heuristic", Uu_heuristic);
+      ("heuristic-div", Uu_heuristic_divergence);
+      ("u&u-heuristic+div", Uu_heuristic_divergence);
+      ("uu-heuristic-div", Uu_heuristic_divergence);
+      ("unroll", Unroll 2);
+      ("unroll-8", Unroll 8);
+      ("unroll:8", Unroll 8);
+      ("uu", Uu 2);
+      ("uu-4", Uu 4);
+      ("u&u-4", Uu 4);
+      ("u&u:4", Uu 4);
+      ("uu-selective-3", Uu_selective 3);
+      ("u&u-selective:5", Uu_selective 5);
+    ];
+  (* and the canonical names always parse back to themselves *)
+  List.iter
+    (fun c ->
+      check bool
+        (Printf.sprintf "round-trip %s" (config_to_string c))
+        true
+        (config_of_string (config_to_string c) = Ok c))
+    configs
+
+(* --- launch_config defaults match the deprecated wrapper ------------- *)
+
+let test_launch_defaults () =
+  let fn =
+    Ir_helpers.compile_one
+      "kernel k(float* restrict out, int n) { int i = blockIdx.x * blockDim.x \
+       + threadIdx.x; if (i < n) { out[i] = i * 2.0; } }"
+  in
+  let run exec_it =
+    let mem = Uu_gpusim.Memory.create () in
+    let out = Uu_gpusim.Memory.zeros_f64 mem 256 in
+    let r =
+      exec_it mem ~args:[ Uu_gpusim.Kernel.Buf out; Uu_gpusim.Kernel.Int_arg 200L ]
+    in
+    (r, Uu_gpusim.Memory.read_f64 out)
+  in
+  let r_new, mem_new =
+    run (fun mem ~args ->
+        Uu_gpusim.Kernel.exec mem fn ~grid_dim:2 ~block_dim:128 ~args)
+  in
+  let r_old, mem_old =
+    run (fun mem ~args -> Legacy.launch mem fn ~grid_dim:2 ~block_dim:128 ~args)
+  in
+  check bool "metrics identical" true
+    (r_new.Uu_gpusim.Kernel.metrics = r_old.Uu_gpusim.Kernel.metrics);
+  check bool "cycles identical" true
+    (r_new.Uu_gpusim.Kernel.kernel_cycles = r_old.Uu_gpusim.Kernel.kernel_cycles);
+  check int "code bytes identical" r_new.Uu_gpusim.Kernel.code_bytes
+    r_old.Uu_gpusim.Kernel.code_bytes;
+  check bool "memory identical" true (mem_new = mem_old);
+  (* the builder with no arguments is the default record *)
+  check bool "config () = default_config" true
+    (Uu_gpusim.Kernel.config () = Uu_gpusim.Kernel.default_config)
+
+(* --- noise-seed delegation ------------------------------------------ *)
+
+let test_noise_seed () =
+  check bool "Jobs delegates to Request" true
+    (Uu_harness.Jobs.noise_seed ~key:"abcdef" 3
+    = Request.noise_seed ~key:"abcdef" 3);
+  check bool "distinct runs, distinct seeds" true
+    (Request.noise_seed ~key:"abcdef" 0 <> Request.noise_seed ~key:"abcdef" 1);
+  check bool "distinct keys, distinct seeds" true
+    (Request.noise_seed ~key:"abcdef" 0 <> Request.noise_seed ~key:"abcdeg" 0)
+
+(* --- the daemon end to end ------------------------------------------ *)
+
+let fresh_paths tag =
+  let tmp = Filename.get_temp_dir_name () in
+  let stamp = Printf.sprintf "%s-%d-%d" tag (Unix.getpid ()) (Random.bits ()) in
+  ( Filename.concat tmp (Printf.sprintf "uu-%s.sock" stamp),
+    Filename.concat tmp (Printf.sprintf "uu-%s.cache" stamp) )
+
+let with_server tag f =
+  let socket, cache_dir = fresh_paths tag in
+  let server = Uu_harness.Server.create ~socket ~domains:1 ~cache_dir () in
+  let th = Thread.create Uu_harness.Server.serve_forever server in
+  Fun.protect
+    ~finally:(fun () ->
+      Uu_harness.Server.request_stop server;
+      Thread.join th)
+    (fun () -> f ~socket ~server)
+
+let test_end_to_end () =
+  with_server "e2e" (fun ~socket ~server:_ ->
+      let r =
+        Request.make ~grid_dim:16 ~block_dim:32 ~elems:256 ~check_races:true
+          (Request.App "complex") (Uu_core.Pipelines.Uu 2)
+      in
+      let local = Uu_harness.Runner.run_request r in
+      let client = Client.connect ~socket () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let _, pipelines, semantics = Client.hello client in
+          check string "hello pipelines" Uu_core.Pipelines.version pipelines;
+          check string "hello semantics" Uu_gpusim.Kernel.semantics_version
+            semantics;
+          Client.ping client;
+          let served1, resp1 = Client.request client r in
+          let served2, resp2 = Client.request client r in
+          check bool "first executed" true (served1 = Protocol.Executed);
+          check bool "second cache-served" true (served2 = Protocol.Cache);
+          check string "daemon response = local run_request"
+            (Response.to_string local)
+            (Response.to_string resp1);
+          check string "cache-served bytes identical"
+            (Response.to_string resp1)
+            (Response.to_string resp2);
+          check string "rendered bytes match too" (Response.render local)
+            (Response.render resp1);
+          (* a broken request comes back as a response, not a dead socket *)
+          let bad =
+            Request.make
+              (Request.Inline { name = "bad.cu"; text = "kernel oops(" })
+              Uu_core.Pipelines.Baseline
+          in
+          let _, bad_resp = Client.request client bad in
+          check bool "parse failure is an Error response" true
+            (match bad_resp with Error _ -> true | Ok _ -> false)))
+
+let test_inflight_dedupe () =
+  with_server "dedupe" (fun ~socket ~server ->
+      (* A request slow enough that all clients pile in while it runs. *)
+      let r =
+        Request.make ~grid_dim:64 ~block_dim:32 ~elems:2048
+          (Request.App "bezier-surface") (Uu_core.Pipelines.Uu 4)
+      in
+      let n = 6 in
+      let results = Array.make n (Protocol.Executed, "") in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun i ->
+                let c = Client.connect ~socket () in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    let served, resp = Client.request c r in
+                    results.(i) <- (served, Response.to_string resp)))
+              i)
+      in
+      List.iter Thread.join threads;
+      let stats = Uu_harness.Server.stats server in
+      let stat name = List.assoc name stats in
+      check int "one execution for N identical requests" 1 (stat "serve.executed");
+      check int "all requests accounted" n (stat "serve.requests");
+      check int "no errors" 0 (stat "serve.errors");
+      let _, expect = results.(0) in
+      Array.iteri
+        (fun i (_, text) ->
+          check string (Printf.sprintf "client %d got identical bytes" i) expect text)
+        results;
+      let executed, joined, cache =
+        Array.fold_left
+          (fun (e, j, c) (s, _) ->
+            match s with
+            | Protocol.Executed -> (e + 1, j, c)
+            | Protocol.Joined -> (e, j + 1, c)
+            | Protocol.Cache -> (e, j, c + 1))
+          (0, 0, 0) results
+      in
+      check int "one client saw its request execute" 1 executed;
+      check int "the rest joined in flight or hit the cache" (n - 1)
+        (joined + cache))
+
+let suite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) props
+  @ [
+      ("frame io over a channel", `Quick, test_frame_io);
+      ("config_of_string aliases", `Quick, test_config_aliases);
+      ("launch_config defaults = deprecated launch", `Quick, test_launch_defaults);
+      ("noise-seed delegation", `Quick, test_noise_seed);
+      ("daemon end to end", `Quick, test_end_to_end);
+      ("in-flight dedupe: N requests, one execution", `Quick, test_inflight_dedupe);
+    ]
