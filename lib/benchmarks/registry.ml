@@ -17,8 +17,14 @@ let all =
     Quicksort.app;
     Rainflow.app;
     Stencil1d.app;
+    Stencil1d.app64;
+    Stencil1d.app128;
+    Stencil1d.app256;
     Stencil2d.app;
     Treduce.app;
+    Treduce.app64;
+    Treduce.app128;
+    Treduce.app256;
     Xsbench.app;
   ]
 

@@ -5,15 +5,24 @@
    center element, the edge lanes fetch the halo, and a barrier
    separates the fill from the read phase — the canonical block-scoped
    shared-memory idiom the memory model documents. All tile writes go to
-   distinct cells, so the intra-block race audit is clean. *)
+   distinct cells, so the intra-block race audit is clean.
+
+   The multi-warp variants (block_dim 64/128/256) cross the tile over
+   warp boundaries: lane 31 of warp 0 reads the cell lane 32 of warp 1
+   staged before the barrier (and the last thread of the block fills the
+   right halo every other warp's tail reads). A run-to-completion warp
+   order would leave those cells zero, so the variants pin down the
+   barrier scheduler's cross-warp dataflow against a block-size-
+   independent host oracle. *)
 
 open Uu_support
 open Uu_gpusim
 
-let source =
-  {|
+let source ~block_dim =
+  Printf.sprintf
+    {|
 kernel stencil1d(float* restrict out, const float* restrict in, int n) {
-  __shared__ float tile[34];
+  __shared__ float tile[%d];
   int lid = threadIdx.x;
   int gid = blockIdx.x * blockDim.x + lid;
   float center = 0.0;
@@ -41,13 +50,14 @@ kernel stencil1d(float* restrict out, const float* restrict in, int n) {
   }
 }
 |}
+    (block_dim + 2)
 
 let host n input =
   Array.init n (fun i ->
       let at j = if j < 0 || j >= n then 0.0 else input.(j) in
       (0.25 *. at (i - 1)) +. (0.5 *. at i) +. (0.25 *. at (i + 1)))
 
-let setup rng =
+let setup ~block_dim rng =
   let n = 4096 in
   let mem = Memory.create () in
   let input = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
@@ -60,8 +70,8 @@ let setup rng =
       [
         {
           App.kernel = "stencil1d";
-          grid_dim = n / 32;
-          block_dim = 32;
+          grid_dim = n / block_dim;
+          block_dim;
           args =
             [ Kernel.Buf bout; Kernel.Buf bin; Kernel.Int_arg (Int64.of_int n) ];
         };
@@ -70,12 +80,17 @@ let setup rng =
     check = (fun () -> App.check_f64 ~name:"stencil1d.out" ~expected bout);
   }
 
-let app =
+let make name ~block_dim =
   {
-    App.name = "stencil1d";
+    App.name;
     category = "shared-memory wave";
     cli = "4096";
-    source;
+    source = source ~block_dim;
     rest_bytes = 512;
-    setup;
+    setup = setup ~block_dim;
   }
+
+let app = make "stencil1d" ~block_dim:32
+let app64 = make "stencil1d-64" ~block_dim:64
+let app128 = make "stencil1d-128" ~block_dim:128
+let app256 = make "stencil1d-256" ~block_dim:256

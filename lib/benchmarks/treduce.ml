@@ -1,19 +1,28 @@
 (* treduce (shared-memory wave).
 
-   Tiled tree reduction: each block stages 32 inputs in shared memory
-   and halves the stride each round, with a barrier inside the loop so
-   every round's writes are in their own barrier interval — the epoch
-   discipline the intra-block race checker enforces. Lane 0 writes one
-   partial per block. The host oracle replays the exact pairwise tree
-   ((s0+s16), (s1+s17), ...) so the check is bitwise, not tolerance. *)
+   Tiled tree reduction: each block stages [block_dim] inputs in shared
+   memory and halves the stride each round, with a barrier inside the
+   loop so every round's writes are in their own barrier interval — the
+   epoch discipline the intra-block race checker enforces. Lane 0 writes
+   one partial per block. The host oracle replays the exact pairwise
+   tree ((s0+sB/2), (s1+sB/2+1), ...) so the check is bitwise, not
+   tolerance.
+
+   Block dims above the warp size (64/128/256 variants) make the
+   reduction genuinely cross-warp: after the first barrier, warp 0 sums
+   partials that other warps staged — dataflow that only works under the
+   barrier scheduler's warp interleaving, so these variants exercise the
+   multi-warp contract in every suite the registry feeds (engine
+   equivalence, shard determinism, race audit). *)
 
 open Uu_support
 open Uu_gpusim
 
-let source =
-  {|
+let source ~block_dim =
+  Printf.sprintf
+    {|
 kernel treduce(float* restrict out, const float* restrict in, int n) {
-  __shared__ float s[32];
+  __shared__ float s[%d];
   int lid = threadIdx.x;
   int gid = blockIdx.x * blockDim.x + lid;
   float v = 0.0;
@@ -22,7 +31,7 @@ kernel treduce(float* restrict out, const float* restrict in, int n) {
   }
   s[lid] = v;
   __syncthreads();
-  int stride = 16;
+  int stride = %d;
   while (stride > 0) {
     if (lid < stride) {
       s[lid] = s[lid] + s[lid + stride];
@@ -35,18 +44,19 @@ kernel treduce(float* restrict out, const float* restrict in, int n) {
   }
 }
 |}
+    block_dim (block_dim / 2)
 
-(* Replays the kernel's reduction tree exactly: fold strides 16..1,
-   pairing s.(lid) with s.(lid + stride), so the float evaluation order
-   matches the device result bit for bit. *)
-let host n grid input =
+(* Replays the kernel's reduction tree exactly: fold strides
+   block_dim/2 .. 1, pairing s.(lid) with s.(lid + stride), so the float
+   evaluation order matches the device result bit for bit. *)
+let host ~block_dim n grid input =
   Array.init grid (fun b ->
       let s =
-        Array.init 32 (fun lid ->
-            let gid = (b * 32) + lid in
+        Array.init block_dim (fun lid ->
+            let gid = (b * block_dim) + lid in
             if gid < n then input.(gid) else 0.0)
       in
-      let stride = ref 16 in
+      let stride = ref (block_dim / 2) in
       while !stride > 0 do
         for lid = 0 to !stride - 1 do
           s.(lid) <- s.(lid) +. s.(lid + !stride)
@@ -55,14 +65,14 @@ let host n grid input =
       done;
       s.(0))
 
-let setup rng =
+let setup ~block_dim rng =
   let n = 4096 in
-  let grid = n / 32 in
+  let grid = n / block_dim in
   let mem = Memory.create () in
   let input = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
   let bin = Memory.alloc_f64 mem input in
   let bout = Memory.zeros_f64 mem grid in
-  let expected = host n grid input in
+  let expected = host ~block_dim n grid input in
   {
     App.mem;
     launches =
@@ -70,7 +80,7 @@ let setup rng =
         {
           App.kernel = "treduce";
           grid_dim = grid;
-          block_dim = 32;
+          block_dim;
           args =
             [ Kernel.Buf bout; Kernel.Buf bin; Kernel.Int_arg (Int64.of_int n) ];
         };
@@ -79,12 +89,17 @@ let setup rng =
     check = (fun () -> App.check_f64 ~name:"treduce.out" ~expected bout);
   }
 
-let app =
+let make name ~block_dim =
   {
-    App.name = "treduce";
+    App.name;
     category = "shared-memory wave";
     cli = "4096";
-    source;
+    source = source ~block_dim;
     rest_bytes = 512;
-    setup;
+    setup = setup ~block_dim;
   }
+
+let app = make "treduce" ~block_dim:32
+let app64 = make "treduce-64" ~block_dim:64
+let app128 = make "treduce-128" ~block_dim:128
+let app256 = make "treduce-256" ~block_dim:256

@@ -6,7 +6,7 @@
     specialized by value class (float / int / pointer), phi incomings as
     per-predecessor arrays, the immediate post-dominator relation and the
     per-block icache line extents baked into int arrays. [Warp] executes
-    this representation over unboxed register files; [Kernel.launch]
+    this representation over unboxed register files; [Kernel.exec]
     selects between it and the reference interpreter.
 
     Decode invariants (what makes the decoded engine cycle-identical to

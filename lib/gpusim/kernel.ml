@@ -3,9 +3,10 @@ open Uu_support
 
 (* Bump whenever a change alters the metrics or final memory a launch
    produces for the same inputs (the per-block L1 switch, a cost-model
-   change, ...). The harness folds this into its result-cache keys, so
-   stale entries from the previous semantics are never served. *)
-let semantics_version = "3"
+   change, barrier scheduling, ...). The harness folds this into its
+   result-cache keys, so stale entries from the previous semantics are
+   never served. *)
+let semantics_version = "4"
 
 type arg =
   | Buf of Memory.buffer
@@ -120,7 +121,10 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
   let wpb = warps_per_block ~device ~block_dim in
   let launch_seed = Option.map Rng.next noise in
   let run_shard ~lo ~hi =
-    let st = Warp.decoded_state env in
+    (* One scratch state per warp slot: the warps of a block are live
+       concurrently under barrier scheduling, and each state is reused
+       across every block of the shard. *)
+    let sts = Array.init wpb (fun _ -> Warp.decoded_state env) in
     let smem = shared_bank fn in
     let icache = Layout.icache_create device in
     let dcache = Cache.create ~capacity:device.Device.l1_lines in
@@ -130,14 +134,21 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
       Cache.reset dcache;
       Memory.shared_reset smem;
       let noise = block_noise launch_seed block_id in
+      (* Ascending warp order: creation draws the per-warp noise, so the
+         RNG sequence stays a function of (block, warp). *)
+      let warps = ref [] in
       for warp_id = 0 to wpb - 1 do
         let base = warp_id * device.Device.warp_size in
         let lanes = min device.Device.warp_size (block_dim - base) in
         if lanes > 0 then
-          Metrics.add acc
-            (Warp.run_decoded env st ~smem ~dcache ~icache ~noise ~block_id
-               ~warp_id ~lanes)
-      done
+          warps :=
+            Warp.make_decoded env sts.(warp_id) ~smem ~dcache ~icache ~noise
+              ~block_id ~warp_id ~lanes
+            :: !warps
+      done;
+      Metrics.add acc
+        (Scheduler.run_block ~fn_name:prog.Decode.fn_name ~block_id
+           (Array.of_list (List.rev !warps)))
     done;
     acc
   in
@@ -179,13 +190,20 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
       Cache.reset dcache;
       Memory.shared_reset smem;
       let noise = block_noise launch_seed block_id in
+      (* Ascending warp order: creation draws the per-warp noise, so the
+         RNG sequence stays a function of (block, warp). *)
+      let warps = ref [] in
       for warp_id = 0 to wpb - 1 do
         let base = warp_id * device.Device.warp_size in
         let lanes = min device.Device.warp_size (block_dim - base) in
         if lanes > 0 then
-          Metrics.add acc
-            (Warp.run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes)
-      done
+          warps :=
+            Warp.make env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes
+            :: !warps
+      done;
+      Metrics.add acc
+        (Scheduler.run_block ~fn_name:fn.Func.name ~block_id
+           (Array.of_list (List.rev !warps)))
     done;
     acc
   in
@@ -256,11 +274,3 @@ let exec ?(config = default_config) mem fn ~grid_dim ~block_dim ~args =
   | Reference ->
     launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs mem
       fn ~grid_dim ~block_dim ~bound
-
-let launch ?device ?noise ?max_warp_cycles ?tracer ?races ?engine ?decode_cache
-    ?sim_jobs mem fn ~grid_dim ~block_dim ~args =
-  exec
-    ~config:
-      (config ?device ?noise ?max_warp_cycles ?tracer ?races ?engine
-         ?decode_cache ?sim_jobs ())
-    mem fn ~grid_dim ~block_dim ~args

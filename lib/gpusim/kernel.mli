@@ -8,10 +8,11 @@ open Uu_support
 val semantics_version : string
 (** Version of the simulator's observable semantics: bumped whenever a
     change alters the metrics or final memory a launch produces for the
-    same inputs (cost-model changes, the per-block L1 switch, ...).
-    The harness folds it into result-cache keys so entries computed
-    under older semantics are never served. Engine choice and [sim_jobs]
-    are deliberately {e not} part of it — they are metric-identical. *)
+    same inputs (cost-model changes, the per-block L1 switch, barrier
+    scheduling, ...). The harness folds it into result-cache keys so
+    entries computed under older semantics are never served. Engine
+    choice and [sim_jobs] are deliberately {e not} part of it — they are
+    metric-identical. *)
 
 type arg =
   | Buf of Memory.buffer
@@ -59,7 +60,7 @@ type launch_config = {
 val default_config : launch_config
 (** v100, no noise, 200M-cycle budget, no tracer or race collector,
     decoded engine, no decode cache, [sim_jobs = 1] — byte-identical to
-    the historical defaults of the optional-argument [launch]. *)
+    the historical defaults. *)
 
 val config :
   ?device:Device.t ->
@@ -87,7 +88,15 @@ val exec :
     Every block gets its own cold L1 data cache, icache residency,
     zeroed shared-memory bank (one [Memory.shared_bank] per worker,
     reset at block entry), and noise stream (the per-SM model), so block
-    results are independent of grid execution order.
+    results are independent of grid execution order. Within a block the
+    warps are resumable computations driven by the barrier scheduler
+    ({!Scheduler.run_block}): they run in ascending warp order until
+    each arrives at a [__syncthreads()] or exits, the barrier is
+    verified convergent (a divergent barrier raises [Failure]), waiting
+    warps are charged {!Metrics.t.barrier_wait_cycles} up to the
+    slowest arrival, and the block resumes the next interval — so
+    shared-memory dataflow crosses barriers in both directions at any
+    [block_dim].
 
     [config.sim_jobs] shards blocks of the launch over that many OCaml
     domains in chunked ranges; metrics are reduced in block order and
@@ -106,22 +115,5 @@ val exec :
     barrier interval.
 
     @raise Invalid_argument when arguments do not match the kernel's
-    parameters; @raise Failure on interpreter errors. *)
-
-val launch :
-  ?device:Device.t ->
-  ?noise:Rng.t ->
-  ?max_warp_cycles:int ->
-  ?tracer:Trace.t ->
-  ?races:Racecheck.t ->
-  ?engine:engine ->
-  ?decode_cache:Decode.cache ->
-  ?sim_jobs:int ->
-  Memory.t ->
-  Func.t ->
-  grid_dim:int ->
-  block_dim:int ->
-  args:arg list ->
-  result
-[@@ocaml.deprecated "use Kernel.exec with Kernel.config instead"]
-(** @deprecated Thin wrapper over {!exec}, kept for one release. *)
+    parameters; @raise Failure on interpreter errors or on a divergent
+    [__syncthreads()]. *)

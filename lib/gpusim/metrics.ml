@@ -15,6 +15,7 @@ type t = {
   mutable shared_bank_conflicts : int;
   mutable fetch_stall_cycles : int;
   mutable divergent_branches : int;
+  mutable barrier_wait_cycles : int;
   mutable warps_launched : int;
 }
 
@@ -36,6 +37,7 @@ let create () =
     shared_bank_conflicts = 0;
     fetch_stall_cycles = 0;
     divergent_branches = 0;
+    barrier_wait_cycles = 0;
     warps_launched = 0;
   }
 
@@ -56,6 +58,7 @@ let add acc m =
   acc.shared_bank_conflicts <- acc.shared_bank_conflicts + m.shared_bank_conflicts;
   acc.fetch_stall_cycles <- acc.fetch_stall_cycles + m.fetch_stall_cycles;
   acc.divergent_branches <- acc.divergent_branches + m.divergent_branches;
+  acc.barrier_wait_cycles <- acc.barrier_wait_cycles + m.barrier_wait_cycles;
   acc.warps_launched <- acc.warps_launched + m.warps_launched
 
 let warp_execution_efficiency t ~warp_size =
@@ -84,13 +87,13 @@ let pp ppf t =
   Format.fprintf ppf
     "cycles=%d warp_instrs=%d thread_instrs=%d eff=%.2f%% ipc=%.2f misc=%d \
      control=%d mem=%d gld=%dB sld=%dB sst=%dB smem_tx=%d bank_conf=%d \
-     stall_fetch=%.2f%% div_branches=%d"
+     stall_fetch=%.2f%% div_branches=%d barrier_wait=%d"
     t.cycles t.warp_instrs t.thread_instrs
     (100.0 *. warp_execution_efficiency t ~warp_size:32)
     (ipc t) t.inst_misc t.inst_control t.inst_memory t.gld_bytes t.sld_bytes
     t.sst_bytes t.shared_transactions t.shared_bank_conflicts
     (100.0 *. stall_inst_fetch t)
-    t.divergent_branches
+    t.divergent_branches t.barrier_wait_cycles
 
 (* JSON codec: the shared wire/cache representation — the on-disk result
    cache and the serve protocol must agree on it byte for byte. *)
@@ -114,6 +117,7 @@ let to_json t =
       ("shared_bank_conflicts", Uu_support.Json.Int t.shared_bank_conflicts);
       ("fetch_stall_cycles", Uu_support.Json.Int t.fetch_stall_cycles);
       ("divergent_branches", Uu_support.Json.Int t.divergent_branches);
+      ("barrier_wait_cycles", Uu_support.Json.Int t.barrier_wait_cycles);
       ("warps_launched", Uu_support.Json.Int t.warps_launched);
     ]
 
@@ -140,6 +144,7 @@ let of_json v =
   let* shared_bank_conflicts = field "shared_bank_conflicts" in
   let* fetch_stall_cycles = field "fetch_stall_cycles" in
   let* divergent_branches = field "divergent_branches" in
+  let* barrier_wait_cycles = field "barrier_wait_cycles" in
   let* warps_launched = field "warps_launched" in
   Ok
     {
@@ -159,5 +164,6 @@ let of_json v =
       shared_bank_conflicts;
       fetch_stall_cycles;
       divergent_branches;
+      barrier_wait_cycles;
       warps_launched;
     }

@@ -23,6 +23,10 @@ type t = {
           the warp is conflict-free or a broadcast *)
   mutable fetch_stall_cycles : int;
   mutable divergent_branches : int;
+  mutable barrier_wait_cycles : int;
+      (** cycles warps spent stalled at [__syncthreads()] waiting for the
+          rest of their block — 0 for single-warp blocks, where the lone
+          warp never waits *)
   mutable warps_launched : int;
 }
 

@@ -10,10 +10,10 @@
    block, so the inter-block recorder must never see them (their ids
    repeat across blocks and would alias). Instead, every shared access
    is logged against the barrier interval ("epoch") it happened in: the
-   engines bump a per-warp epoch counter at each __syncthreads, and two
-   threads of the same block conflict iff they touch the same shared
-   cell in the same epoch with at least one write from a thread the
-   other is not. *)
+   barrier scheduler advances a block-global epoch each time it releases
+   a __syncthreads barrier, and two threads of the same block conflict
+   iff they touch the same shared cell in the same epoch with at least
+   one write from a thread the other is not. *)
 
 type shared_cell = { mutable s_writers : int list; mutable s_readers : int list }
 

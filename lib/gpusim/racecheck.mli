@@ -4,7 +4,7 @@
     launch write disjoint global memory (absent atomics): only then is
     final memory independent of block execution order. [--check-races]
     verifies the assumption empirically — attach a collector to
-    {!Kernel.launch} via [?races] and every global store and atomic
+    {!Kernel.exec} via [races] and every global store and atomic
     update records its cell against the writing block; {!overlaps} lists
     the cells written by more than one block.
 
@@ -29,8 +29,9 @@ type shared_race = {
   s_block : int;
   s_slot : int;    (** shared declaration index, 0-based *)
   s_offset : int;
-  s_epoch : int;   (** barrier interval: number of __syncthreads before
-                       the access *)
+  s_epoch : int;   (** barrier interval: number of [__syncthreads]
+                       barriers the block had released before the
+                       access *)
   s_threads : int list;  (** sorted, distinct conflicting thread ids *)
 }
 
@@ -52,8 +53,9 @@ val record_shared :
   unit
 (** Called by the warp engines on every shared load, store, and atomic
     update, once per active lane. [thread_id] is the flat thread index
-    within the block ([warp_id * warp_size + lane]); [epoch] counts the
-    [__syncthreads] executed by that warp so far in the block. *)
+    within the block ([warp_id * warp_size + lane]); [epoch] is the
+    block-global barrier interval maintained by the scheduler — the
+    number of [__syncthreads] barriers the block has released so far. *)
 
 val writes : t -> int
 (** Total global writes recorded (lane grain). *)

@@ -2,7 +2,7 @@
     each warp takes — the raw SIMT schedule. Used by tests to assert
     reconvergence behaviour and by humans to see divergence happen.
 
-    Attach a fresh trace to {!Kernel.launch} via [?tracer]; each executed
+    Attach a fresh trace to {!Kernel.exec} via [tracer]; each executed
     block appends one event. *)
 
 open Uu_ir

@@ -32,7 +32,7 @@ let default_of_ty = function
   | Types.Ptr _ -> Eval.Ptr { buffer = -1; offset = 0 }
   | Types.Void -> Eval.Int 0L
 
-let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
+let make env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
   let d = env.device in
   let fn = env.fn in
   let m = Metrics.create () in
@@ -45,7 +45,8 @@ let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
   let prev = Array.make d.Device.warp_size (-1) in
   let retired = ref Mask.empty in
   (* Per-warp memory jitter factor, the source of run-to-run variance.
-     [noise] is the block's private stream, so the draw sequence is a
+     [noise] is the block's private stream and the launcher creates a
+     block's warps in ascending warp order, so the draw sequence is a
      function of (block, warp) alone, not of grid execution order. *)
   let mem_factor =
     match noise with
@@ -122,8 +123,9 @@ let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
     | Eval.Int _ | Eval.Float _ -> failwith "simulator: address is not a pointer"
   in
   let live_streams = ref 1 in
-  (* Barrier interval for the shared-race audit: bumped at each
-     __syncthreads this warp executes. *)
+  (* Barrier interval for the shared-race audit: block-global, set by
+     the scheduler at each [step] to the number of barriers the block
+     has released so far. *)
   let epoch = ref 0 in
   let exec_instr mask instr =
     let active = Mask.popcount mask in
@@ -321,8 +323,9 @@ let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
         mask;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Instr.Syncthreads ->
-      incr epoch;
-      charge ~cycles:d.Device.sync_cost ~active ()
+      (* Intercepted by the block walker below, which suspends the warp
+         at the barrier; reaching it here would bypass the scheduler. *)
+      assert false
   in
   let exec_phis mask b =
     match b.Block.phis with
@@ -348,95 +351,143 @@ let run env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
         phis;
       List.iter (fun (lane, dst, v) -> regs.(lane).(dst) <- v) !updates
   in
+  (* A __syncthreads() executed with a partial mask — some lanes of the
+     warp retired or sit on the other side of a divergent branch — is the
+     intra-warp form of the divergent-barrier error (the inter-warp form,
+     a whole warp missing the barrier, is the scheduler's to detect). *)
+  let exec_sync mask =
+    if not (Mask.equal mask (Mask.full ~width:lanes)) then
+      failwith
+        (Printf.sprintf
+           "simulator: divergent __syncthreads() in @%s: warp %d of block %d \
+            hit the barrier with %d of %d lanes"
+           fn.Func.name warp_id block_id (Mask.popcount mask) lanes);
+    charge ~cycles:d.Device.sync_cost ~active:(Mask.popcount mask) ()
+  in
+  (* Walk a block's instruction tail; [Some rest] means the warp arrived
+     at a barrier (already charged) with [rest] still to execute. *)
+  let rec exec_instrs mask = function
+    | [] -> None
+    | Instr.Syncthreads :: rest ->
+      exec_sync mask;
+      Some rest
+    | i :: rest ->
+      exec_instr mask i;
+      exec_instrs mask rest
+  in
   let stack : entry list ref =
     ref [ { block = fn.Func.entry; mask = Mask.full ~width:lanes; rpc = None } ]
   in
   let set_prev mask cur = Mask.iter (fun lane -> prev.(lane) <- cur) mask in
   let pop () = match !stack with [] -> () | _ :: rest -> stack := rest in
   let push e = stack := e :: !stack in
-  let continue = ref true in
-  while !continue do
-    match !stack with
-    | [] -> continue := false
-    | top :: _ ->
-      if m.Metrics.cycles > env.max_warp_cycles then
-        failwith
-          (Printf.sprintf
-             "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
-             env.max_warp_cycles fn.Func.name);
-      let mask = Mask.diff top.mask !retired in
-      if Mask.is_empty mask then pop ()
-      else if Some top.block = top.rpc then pop ()
-      else begin
-        live_streams := List.length !stack;
-        (match env.tracer with
-        | Some t ->
-          Trace.record t { Trace.block_id; warp_id; label = top.block; mask }
-        | None -> ());
-        let b = Func.block fn top.block in
-        let misses = Layout.touch_block icache env.layout top.block in
-        if misses > 0 then begin
-          let stall = misses * d.Device.fetch_miss_penalty in
-          m.Metrics.cycles <- m.Metrics.cycles + stall;
-          m.Metrics.fetch_stall_cycles <- m.Metrics.fetch_stall_cycles + stall
-        end;
-        exec_phis mask b;
-        List.iter (exec_instr mask) b.Block.instrs;
-        let cur = top.block in
-        let active = Mask.popcount mask in
-        match b.Block.term with
-        | Instr.Ret _ ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          retired := Mask.union !retired mask;
-          pop ()
-        | Instr.Unreachable ->
-          failwith (Printf.sprintf "simulator: reached unreachable bb%d" cur)
-        | Instr.Br target ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          set_prev mask cur;
-          if Some target = top.rpc then pop () else top.block <- target
-        | Instr.Cond_br { cond; if_true; if_false } ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          let m_t = ref Mask.empty in
-          Mask.iter
-            (fun lane -> if Eval.is_true (eval lane cond) then m_t := Mask.add lane !m_t)
-            mask;
-          let m_t = !m_t in
-          let m_f = Mask.diff mask m_t in
-          set_prev mask cur;
-          if Mask.is_empty m_f then begin
-            if Some if_true = top.rpc then pop () else top.block <- if_true
-          end
-          else if Mask.is_empty m_t then begin
-            if Some if_false = top.rpc then pop () else top.block <- if_false
-          end
-          else begin
-            m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
-            m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
-            let r = env.ipdom cur in
-            pop ();
-            (match r with
-            | Some rp -> push { block = rp; mask; rpc = top.rpc }
-            | None -> ());
-            let part_rpc = match r with Some _ -> r | None -> top.rpc in
-            if Some if_false <> part_rpc then
-              push { block = if_false; mask = m_f; rpc = part_rpc };
-            if Some if_true <> part_rpc then
-              push { block = if_true; mask = m_t; rpc = part_rpc }
-          end
-      end
-  done;
-  m
+  (* Instructions left in the current block when the warp suspended at a
+     barrier — the resume point. The rest of the live state (registers,
+     [prev], [retired], the reconvergence stack) survives in this
+     closure across suspensions. *)
+  let pending = ref None in
+  let step ~epoch:interval =
+    epoch := interval;
+    let status = ref None in
+    while Option.is_none !status do
+      match !stack with
+      | [] -> status := Some Scheduler.Exited
+      | top :: _ ->
+        if m.Metrics.cycles > env.max_warp_cycles then
+          failwith
+            (Printf.sprintf
+               "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
+               env.max_warp_cycles fn.Func.name);
+        let mask = Mask.diff top.mask !retired in
+        if Mask.is_empty mask then pop ()
+        else if Some top.block = top.rpc then pop ()
+        else begin
+          live_streams := List.length !stack;
+          let b = Func.block fn top.block in
+          let instrs =
+            match !pending with
+            | Some rest ->
+              (* Resuming mid-block: trace, fetch, and phis already
+                 happened when the block was entered. *)
+              pending := None;
+              rest
+            | None ->
+              (match env.tracer with
+              | Some t ->
+                Trace.record t { Trace.block_id; warp_id; label = top.block; mask }
+              | None -> ());
+              let misses = Layout.touch_block icache env.layout top.block in
+              if misses > 0 then begin
+                let stall = misses * d.Device.fetch_miss_penalty in
+                m.Metrics.cycles <- m.Metrics.cycles + stall;
+                m.Metrics.fetch_stall_cycles <- m.Metrics.fetch_stall_cycles + stall
+              end;
+              exec_phis mask b;
+              b.Block.instrs
+          in
+          match exec_instrs mask instrs with
+          | Some rest ->
+            pending := Some rest;
+            status := Some Scheduler.Arrived
+          | None -> (
+            let cur = top.block in
+            let active = Mask.popcount mask in
+            match b.Block.term with
+            | Instr.Ret _ ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              retired := Mask.union !retired mask;
+              pop ()
+            | Instr.Unreachable ->
+              failwith (Printf.sprintf "simulator: reached unreachable bb%d" cur)
+            | Instr.Br target ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              set_prev mask cur;
+              if Some target = top.rpc then pop () else top.block <- target
+            | Instr.Cond_br { cond; if_true; if_false } ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              let m_t = ref Mask.empty in
+              Mask.iter
+                (fun lane ->
+                  if Eval.is_true (eval lane cond) then m_t := Mask.add lane !m_t)
+                mask;
+              let m_t = !m_t in
+              let m_f = Mask.diff mask m_t in
+              set_prev mask cur;
+              if Mask.is_empty m_f then begin
+                if Some if_true = top.rpc then pop () else top.block <- if_true
+              end
+              else if Mask.is_empty m_t then begin
+                if Some if_false = top.rpc then pop () else top.block <- if_false
+              end
+              else begin
+                m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
+                m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
+                let r = env.ipdom cur in
+                pop ();
+                (match r with
+                | Some rp -> push { block = rp; mask; rpc = top.rpc }
+                | None -> ());
+                let part_rpc = match r with Some _ -> r | None -> top.rpc in
+                if Some if_false <> part_rpc then
+                  push { block = if_false; mask = m_f; rpc = part_rpc };
+                if Some if_true <> part_rpc then
+                  push { block = if_true; mask = m_t; rpc = part_rpc }
+              end)
+        end
+    done;
+    Option.get !status
+  in
+  { Scheduler.step; metrics = m }
 
 (* ------------------------------------------------------------------ *)
 (* Decoded engine: the same machine run over [Decode.t] programs.      *)
 (* Every charge, cache touch, RNG draw, and failure message below      *)
-(* replicates [run] exactly; only the representation changed.          *)
+(* replicates [make] exactly; only the representation changed.         *)
 (* ------------------------------------------------------------------ *)
 
 (* Like [launch_env]: immutable during the grid walk, shareable across
    domains; the caches and the noise stream are per-block arguments of
-   [run_decoded]. *)
+   [make_decoded]. *)
 type decoded_env = {
   d_device : Device.t;
   prog : Decode.t;
@@ -449,9 +500,12 @@ type decoded_env = {
   d_races : Racecheck.t option;
 }
 
-(* Per-launch scratch, reset per warp: unboxed register files (one row
-   of [warp_size] lanes per slot), phi staging, the reconvergence stack
-   as parallel int arrays, and coalescing scratch. *)
+(* Per-warp scratch, re-initialised by [make_decoded] and reused across
+   the blocks of a shard: unboxed register files (one row of [warp_size]
+   lanes per slot), phi staging, the reconvergence stack as parallel int
+   arrays, and coalescing scratch. Each concurrently-live warp of a
+   block needs its own state — register files stay alive across barrier
+   suspensions while other warps run. *)
 type decoded_state = {
   fregs : float array;
   iregs : int array;
@@ -596,7 +650,7 @@ let icmp_exec op x y =
   | Instr.Uge -> b2i (x lxor min_int >= y lxor min_int)
   | _ -> assert false
 
-let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
+let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
     ~noise ~block_id ~warp_id ~lanes =
   let d = env.d_device in
   let p = env.prog in
@@ -680,7 +734,8 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
     end
   in
   let live_streams = ref 1 in
-  (* Barrier interval for the shared-race audit, as in [run]. *)
+  (* Barrier interval for the shared-race audit: block-global, set by
+     the scheduler at each [step], as in [make]. *)
   let epoch = ref 0 in
   (* Lane loops walk the mask by shifting it right one lane per
      iteration — ascending lane order, two ALU ops per lane, and operand
@@ -1493,8 +1548,9 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
       done;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Decode.D_sync ->
-      incr epoch;
-      charge ~cycles:d.Device.sync_cost ~active ()
+      (* Intercepted by the block walker below, which suspends the warp
+         at the barrier; reaching it here would bypass the scheduler. *)
+      assert false
   in
   let phi_fail orig pr =
     failwith
@@ -1592,9 +1648,21 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
       done
     end
   in
+  (* A __syncthreads() under a partial mask, as in [make]: message and
+     lane count byte-identical to the reference engine's. *)
+  let full_mask = Mask.bits (Mask.full ~width:lanes) in
+  let exec_sync mask =
+    if mask <> full_mask then
+      failwith
+        (Printf.sprintf
+           "simulator: divergent __syncthreads() in @%s: warp %d of block %d \
+            hit the barrier with %d of %d lanes"
+           p.Decode.fn_name warp_id block_id (popcount62 mask) lanes);
+    charge ~cycles:d.Device.sync_cost ~active:(popcount62 mask) ()
+  in
   let depth = ref 1 in
   st.st_blk.(0) <- p.Decode.entry;
-  st.st_msk.(0) <- Mask.bits (Mask.full ~width:lanes);
+  st.st_msk.(0) <- full_mask;
   st.st_rpc.(0) <- -1;
   let push blk msk rpc =
     if !depth >= Array.length st.st_blk then begin
@@ -1617,90 +1685,134 @@ let run_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
       mm := !mm lsr 1
     done
   in
-  let continue = ref true in
-  while !continue do
-    if !depth = 0 then continue := false
-    else begin
-      let ti = !depth - 1 in
-      if m.Metrics.cycles > env.d_max_warp_cycles then
-        failwith
-          (Printf.sprintf "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
-             env.d_max_warp_cycles p.Decode.fn_name);
-      let mask = st.st_msk.(ti) land lnot !retired in
-      let cur = st.st_blk.(ti) in
-      let rpc = st.st_rpc.(ti) in
-      if mask = 0 then decr depth
-      else if cur = rpc then decr depth
+  (* Program counter within the current block after a barrier
+     suspension; -1 when the next entry into the top block starts from
+     its beginning. Everything else — flat register files, [dprev],
+     [retired], the int-array stack — lives in [st] across suspensions,
+     so resuming costs nothing and boxes nothing. *)
+  let pend = ref (-1) in
+  let step ~epoch:interval =
+    epoch := interval;
+    let status = ref None in
+    while Option.is_none !status do
+      if !depth = 0 then status := Some Scheduler.Exited
       else begin
-        live_streams := !depth;
-        let b = blocks.(cur) in
-        (match env.d_tracer with
-        | Some t ->
-          Trace.record t
-            { Trace.block_id; warp_id; label = b.Decode.orig; mask = Mask.of_bits mask }
-        | None -> ());
-        let fmisses = ref 0 in
-        for line = b.Decode.line_first to b.Decode.line_last do
-          if Cache.touch icache line then incr fmisses
-        done;
-        if !fmisses > 0 then begin
-          let stall = !fmisses * d.Device.fetch_miss_penalty in
-          m.Metrics.cycles <- m.Metrics.cycles + stall;
-          m.Metrics.fetch_stall_cycles <- m.Metrics.fetch_stall_cycles + stall
-        end;
-        exec_phis mask b;
-        let instrs = b.Decode.instrs in
-        for k = 0 to Array.length instrs - 1 do
-          exec_instr mask instrs.(k)
-        done;
-        let active = popcount62 mask in
-        match b.Decode.term with
-        | Decode.T_ret ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          retired := !retired lor mask;
-          decr depth
-        | Decode.T_unreachable ->
-          failwith (Printf.sprintf "simulator: reached unreachable bb%d" b.Decode.orig)
-        | Decode.T_br target ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          set_prev mask cur;
-          if target = rpc then decr depth else st.st_blk.(ti) <- target
-        | Decode.T_cbr { cond; if_true; if_false } ->
-          charge ~control:active ~cycles:d.Device.branch_cost ~active ();
-          let mt = ref 0 in
-          let mm = ref mask and l = ref 0 in
-          while !mm <> 0 do
-            if !mm land 1 <> 0 then begin
-              let c =
-                match cond with
-                | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
-                | Decode.I_imm n -> n
-              in
-              if c land 1 <> 0 then mt := !mt lor (1 lsl !l)
-            end;
-            incr l;
-            mm := !mm lsr 1
+        let ti = !depth - 1 in
+        if m.Metrics.cycles > env.d_max_warp_cycles then
+          failwith
+            (Printf.sprintf
+               "simulator: warp exceeded %d cycles in @%s (infinite loop?)"
+               env.d_max_warp_cycles p.Decode.fn_name);
+        let mask = st.st_msk.(ti) land lnot !retired in
+        let cur = st.st_blk.(ti) in
+        let rpc = st.st_rpc.(ti) in
+        if mask = 0 then decr depth
+        else if cur = rpc then decr depth
+        else begin
+          live_streams := !depth;
+          let b = blocks.(cur) in
+          let k0 =
+            if !pend >= 0 then begin
+              (* Resuming mid-block: trace, fetch, and phis already
+                 happened when the block was entered. *)
+              let k = !pend in
+              pend := -1;
+              k
+            end
+            else begin
+              (match env.d_tracer with
+              | Some t ->
+                Trace.record t
+                  {
+                    Trace.block_id;
+                    warp_id;
+                    label = b.Decode.orig;
+                    mask = Mask.of_bits mask;
+                  }
+              | None -> ());
+              let fmisses = ref 0 in
+              for line = b.Decode.line_first to b.Decode.line_last do
+                if Cache.touch icache line then incr fmisses
+              done;
+              if !fmisses > 0 then begin
+                let stall = !fmisses * d.Device.fetch_miss_penalty in
+                m.Metrics.cycles <- m.Metrics.cycles + stall;
+                m.Metrics.fetch_stall_cycles <-
+                  m.Metrics.fetch_stall_cycles + stall
+              end;
+              exec_phis mask b;
+              0
+            end
+          in
+          let instrs = b.Decode.instrs in
+          let ni = Array.length instrs in
+          let k = ref k0 in
+          let arrived = ref false in
+          while (not !arrived) && !k < ni do
+            (match instrs.(!k) with
+            | Decode.D_sync ->
+              exec_sync mask;
+              arrived := true
+            | i -> exec_instr mask i);
+            incr k
           done;
-          let mt = !mt in
-          let mf = mask land lnot mt in
-          set_prev mask cur;
-          if mf = 0 then begin
-            if if_true = rpc then decr depth else st.st_blk.(ti) <- if_true
-          end
-          else if mt = 0 then begin
-            if if_false = rpc then decr depth else st.st_blk.(ti) <- if_false
+          if !arrived then begin
+            pend := !k;
+            status := Some Scheduler.Arrived
           end
           else begin
-            m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
-            m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
-            let r = p.Decode.ipdom.(cur) in
-            decr depth;
-            if r >= 0 then push r mask rpc;
-            let part_rpc = if r >= 0 then r else rpc in
-            if if_false <> part_rpc then push if_false mf part_rpc;
-            if if_true <> part_rpc then push if_true mt part_rpc
+            let active = popcount62 mask in
+            match b.Decode.term with
+            | Decode.T_ret ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              retired := !retired lor mask;
+              decr depth
+            | Decode.T_unreachable ->
+              failwith
+                (Printf.sprintf "simulator: reached unreachable bb%d" b.Decode.orig)
+            | Decode.T_br target ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              set_prev mask cur;
+              if target = rpc then decr depth else st.st_blk.(ti) <- target
+            | Decode.T_cbr { cond; if_true; if_false } ->
+              charge ~control:active ~cycles:d.Device.branch_cost ~active ();
+              let mt = ref 0 in
+              let mm = ref mask and l = ref 0 in
+              while !mm <> 0 do
+                if !mm land 1 <> 0 then begin
+                  let c =
+                    match cond with
+                    | Decode.I_reg s -> Array.unsafe_get iregs ((s * ws) + !l)
+                    | Decode.I_imm n -> n
+                  in
+                  if c land 1 <> 0 then mt := !mt lor (1 lsl !l)
+                end;
+                incr l;
+                mm := !mm lsr 1
+              done;
+              let mt = !mt in
+              let mf = mask land lnot mt in
+              set_prev mask cur;
+              if mf = 0 then begin
+                if if_true = rpc then decr depth else st.st_blk.(ti) <- if_true
+              end
+              else if mt = 0 then begin
+                if if_false = rpc then decr depth else st.st_blk.(ti) <- if_false
+              end
+              else begin
+                m.Metrics.divergent_branches <- m.Metrics.divergent_branches + 1;
+                m.Metrics.cycles <- m.Metrics.cycles + d.Device.divergence_penalty;
+                let r = p.Decode.ipdom.(cur) in
+                decr depth;
+                if r >= 0 then push r mask rpc;
+                let part_rpc = if r >= 0 then r else rpc in
+                if if_false <> part_rpc then push if_false mf part_rpc;
+                if if_true <> part_rpc then push if_true mt part_rpc
+              end
           end
+        end
       end
-    end
-  done;
-  m
+    done;
+    Option.get !status
+  in
+  { Scheduler.step; metrics = m }

@@ -9,7 +9,16 @@
     unmerged longer paths of u&u cost warp-execution efficiency exactly
     as the paper reports (§V). Per-lane registers, per-lane predecessor
     tracking for phi resolution, per-transaction memory coalescing, and
-    icache fetch accounting are all handled here. *)
+    icache fetch accounting are all handled here.
+
+    Warps are {e resumable}: {!make} / {!make_decoded} return a
+    {!Scheduler.warp} whose [step] runs the warp until it arrives at a
+    [__syncthreads()] barrier or exits, keeping the live register, mask,
+    and program-counter state alive across suspensions so the
+    {!Scheduler} can interleave the warps of a block at barriers. A
+    barrier executed with a partial lane mask (divergence or early
+    returns within the warp) raises the divergent-[__syncthreads()]
+    error directly from the executor. *)
 
 open Uu_ir
 open Uu_support
@@ -31,10 +40,10 @@ type launch_env = {
     walk (or, for [mem], written at block-disjoint cells), so one env is
     shared read-only by all domains simulating blocks of a launch. The
     mutable per-block state — data cache, icache residency, noise
-    stream — is passed to {!run} per block, matching the per-SM L1 of
+    stream — is passed to {!make} per block, matching the per-SM L1 of
     real devices. *)
 
-val run :
+val make :
   launch_env ->
   smem:Memory.shared_bank ->
   dcache:(int * int) Cache.t ->
@@ -43,24 +52,25 @@ val run :
   block_id:int ->
   warp_id:int ->
   lanes:int ->
-  Metrics.t
-(** Execute one warp ([lanes] ≤ warp size active threads, lane 0 is
-    thread [warp_id * warp_size] of the block). [smem] is the block's
+  Scheduler.warp
+(** Create one resumable warp ([lanes] ≤ warp size active threads, lane 0
+    is thread [warp_id * warp_size] of the block). [smem] is the block's
     shared-memory bank (zero-reset by the launcher at block entry),
     [dcache] the block's L1 model over (buffer, segment) keys, [icache]
     its instruction-cache residency, [noise] its private jitter stream
-    (one gaussian draw per warp, in warp order) — all owned by the block
-    so warp metrics are a function of (launch, block) alone. Returns the
-    warp's metrics.
-    @raise Failure on interpreter errors (out-of-bounds access, type
-    confusion) or when [max_warp_cycles] is exceeded. *)
+    (one gaussian draw per warp, taken here at creation — create a
+    block's warps in ascending warp order) — all owned by the block so
+    warp metrics are a function of (launch, block) alone. The returned
+    warp's [step] raises [Failure] on interpreter errors (out-of-bounds
+    access, type confusion, a barrier under a partial lane mask) or when
+    [max_warp_cycles] is exceeded. *)
 
 (** {1 Decoded engine}
 
     The same machine run over a pre-decoded flat program ({!Decode}):
     unboxed per-class register files, dense int block ids, baked
     post-dominators and icache extents. Charges, cache touches, RNG
-    draws, and failure messages replicate {!run} exactly. *)
+    draws, and failure messages replicate {!make} exactly. *)
 
 type decoded_env = {
   d_device : Device.t;
@@ -74,17 +84,18 @@ type decoded_env = {
   d_races : Racecheck.t option;
 }
 (** Shareable across domains like {!launch_env}; per-block caches and
-    noise are arguments of {!run_decoded}. *)
+    noise are arguments of {!make_decoded}. *)
 
 type decoded_state
-(** Per-worker scratch (register files, reconvergence stack, coalescing
-    staging), reset at the start of each warp — allocate once per
-    domain simulating blocks of the launch and reuse across its whole
-    block range. *)
+(** Per-warp scratch (flat register files, reconvergence stack,
+    coalescing staging), re-initialised by {!make_decoded} — allocate
+    one per warp slot of a block (they stay live across barrier
+    suspensions while sibling warps run) and reuse each across the whole
+    block range of a shard. *)
 
 val decoded_state : decoded_env -> decoded_state
 
-val run_decoded :
+val make_decoded :
   decoded_env ->
   decoded_state ->
   smem:Memory.shared_bank ->
@@ -94,7 +105,10 @@ val run_decoded :
   block_id:int ->
   warp_id:int ->
   lanes:int ->
-  Metrics.t
-(** Decoded counterpart of {!run}: identical metrics, memory effects,
+  Scheduler.warp
+(** Decoded counterpart of {!make}: identical metrics, memory effects,
     and failures for any program both engines can execute. [dcache] is
-    the block's L1 over [(buffer lsl 32) lor segment] keys. *)
+    the block's L1 over [(buffer lsl 32) lor segment] keys. Suspension
+    at a barrier stores only an instruction index — the flat register
+    files in [st] stay alive across suspensions, so nothing on the hot
+    path boxes. *)

@@ -447,6 +447,124 @@ let test_shared_out_of_bounds () =
            Astring.String.is_infix ~affix:"out of bounds" msg))
     [ Kernel.Reference; Kernel.Decoded ]
 
+(* --- the barrier scheduler (multi-warp blocks) ---------------------- *)
+
+let run_block ?(engine = Kernel.Decoded) ?(grid = 2) ~block src =
+  let fn = Ir_helpers.compile_one src in
+  let mem = Memory.create () in
+  let out = Memory.zeros_f64 mem (grid * block) in
+  let r =
+    Kernel.exec ~config:(Kernel.config ~engine ()) mem fn ~grid_dim:grid
+      ~block_dim:block
+      ~args:[ Kernel.Buf out; Kernel.Int_arg (Int64.of_int (grid * block)) ]
+  in
+  (r.Kernel.metrics, Memory.read_f64 out)
+
+(* Warp 0 stages 3.0, warp 1 stages 5.0; after the barrier every thread
+   reads its partner's cell one warp over. Under run-to-completion warp
+   order, warp 0 would read zeros (warp 1 had not run yet) — the exact
+   case memory-model.md used to document as a known limitation. *)
+let cross_warp_swap =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[64];
+      int lid = threadIdx.x;
+      float v = 3.0;
+      if (lid > 31) { v = 5.0; }
+      s[lid] = v;
+      __syncthreads();
+      int partner = lid + 32;
+      if (partner > 63) { partner = partner - 64; }
+      int gid = lid + blockIdx.x * blockDim.x;
+      if (gid < n) { out[gid] = s[partner]; }
+    }|}
+
+let test_cross_warp_dataflow () =
+  let runs =
+    List.map
+      (fun engine -> run_block ~engine ~block:64 cross_warp_swap)
+      [ Kernel.Reference; Kernel.Decoded ]
+  in
+  List.iter
+    (fun ((_ : Metrics.t), out) ->
+      Array.iteri
+        (fun i v ->
+          let expected = if i mod 64 < 32 then 5.0 else 3.0 in
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "out[%d] crossed the warp boundary" i)
+            expected v)
+        out)
+    runs;
+  match runs with
+  | [ (mr, outr); (md, outd) ] ->
+    check bool "metrics byte-identical at block_dim 64" true (mr = md);
+    check bool "memory byte-identical at block_dim 64" true (outr = outd)
+  | _ -> assert false
+
+(* Warp 0 burns a 64-iteration loop before the barrier while warp 1
+   arrives almost immediately: the scheduler settles the block clock at
+   release and charges warp 1 the difference as barrier_wait_cycles. A
+   single-warp block is always alone at the barrier and never waits. *)
+let lopsided =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[64];
+      int lid = threadIdx.x;
+      float acc = 0.0;
+      if (lid < 32) {
+        int i = 0;
+        while (i < 64) { acc = acc + 1.0; i = i + 1; }
+      }
+      s[lid] = acc;
+      __syncthreads();
+      int gid = lid + blockIdx.x * blockDim.x;
+      if (gid < n) { out[gid] = s[63 - lid]; }
+    }|}
+
+let test_barrier_wait_accounted () =
+  List.iter
+    (fun engine ->
+      let m64, out = run_block ~engine ~grid:1 ~block:64 lopsided in
+      Array.iteri
+        (fun i v ->
+          (* Reverse-indexed copy-out: the slow warp's 64.0 partials land
+             in the fast warp's half and vice versa. *)
+          let expected = if i < 32 then 0.0 else 64.0 in
+          check (Alcotest.float 0.0) (Printf.sprintf "out[%d]" i) expected v)
+        out;
+      check bool "the fast warp waited at the barrier" true
+        (m64.Metrics.barrier_wait_cycles > 0);
+      let m32, _ = run_block ~engine ~grid:1 ~block:32 lopsided in
+      check int "a single-warp block never waits" 0
+        m32.Metrics.barrier_wait_cycles)
+    [ Kernel.Reference; Kernel.Decoded ]
+
+(* __syncthreads() must be barrier-uniform at both granularities: a
+   partially-active warp trips the executor, and a warp that exits while
+   a sibling waits trips the scheduler. Both engines raise the same
+   message, which names the offending shape. *)
+let test_divergent_barrier_traps () =
+  let expect_trap ~block ~affix src =
+    List.iter
+      (fun engine ->
+        check bool (Printf.sprintf "trap mentions %S" affix) true
+          (try
+             ignore (run_block ~engine ~grid:1 ~block src);
+             false
+           with Failure msg ->
+             Astring.String.is_infix ~affix:"divergent __syncthreads()" msg
+             && Astring.String.is_infix ~affix msg))
+      [ Kernel.Reference; Kernel.Decoded ]
+  in
+  expect_trap ~block:32 ~affix:"16 of 32 lanes"
+    {|kernel k(float* restrict out, int n) {
+        if (threadIdx.x < 16) { __syncthreads(); }
+        out[threadIdx.x] = 1.0;
+      }|};
+  expect_trap ~block:64 ~affix:"1 of 2 warps"
+    {|kernel k(float* restrict out, int n) {
+        if (threadIdx.x < 32) { __syncthreads(); }
+        out[threadIdx.x + blockIdx.x * blockDim.x] = 1.0;
+      }|}
+
 let suite =
   [
     ("memory round trip", `Quick, test_memory_round_trip);
@@ -471,4 +589,7 @@ let suite =
     ("shared bank conflicts", `Quick, test_shared_bank_conflicts);
     ("shared metrics engine agreement", `Quick, test_shared_engines_agree);
     ("shared out of bounds", `Quick, test_shared_out_of_bounds);
+    ("cross-warp shared dataflow", `Quick, test_cross_warp_dataflow);
+    ("barrier wait accounting", `Quick, test_barrier_wait_accounted);
+    ("divergent barrier traps", `Quick, test_divergent_barrier_traps);
   ]

@@ -146,13 +146,13 @@ let test_noisy_deterministic () =
 
 (* --- the race checker ---------------------------------------------- *)
 
-let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) src =
+let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) ?(block = 32) src =
   let fn = Ir_helpers.compile_one src in
   let mem = Memory.create () in
   let out = Memory.zeros_f64 mem 512 in
   let races = Racecheck.create () in
   let r =
-    Kernel.exec ~config:(Kernel.config ~engine ~races ~sim_jobs:8 ()) mem fn ~grid_dim:grid ~block_dim:32
+    Kernel.exec ~config:(Kernel.config ~engine ~races ~sim_jobs:8 ()) mem fn ~grid_dim:grid ~block_dim:block
       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]
   in
   (r, races)
@@ -270,6 +270,62 @@ let test_shared_racecheck () =
     (Astring.String.is_infix ~affix:"no intra-block conflicts"
        (Racecheck.report clean))
 
+(* --- barrier intervals are block-global ----------------------------- *)
+
+(* Lanes 0 and 32 write the same cell before the first barrier. They
+   never co-execute an instruction (different warps), so only the
+   block-global epoch the scheduler maintains — not a per-warp counter —
+   puts the two writes in the same interval and flags the race. *)
+let shared_cross_warp_racy =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[4];
+      int lid = threadIdx.x;
+      if (lid == 0) { s[0] = 1.0; }
+      if (lid == 32) { s[0] = 2.0; }
+      __syncthreads();
+      int tid = lid + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = s[0]; }
+    }|}
+
+(* The negative image: the write and the cross-warp read are separated
+   by a barrier, so their epochs differ and the exchange is clean. *)
+let shared_cross_warp_clean =
+  {|kernel k(float* restrict out, int n) {
+      __shared__ float s[64];
+      int lid = threadIdx.x;
+      s[lid] = 1.0;
+      __syncthreads();
+      int partner = lid + 32;
+      if (partner > 63) { partner = partner - 64; }
+      float v = s[partner];
+      int tid = lid + blockIdx.x * blockDim.x;
+      if (tid < n) { out[tid] = v; }
+    }|}
+
+let test_shared_epoch_block_global () =
+  List.iter
+    (fun engine ->
+      let _, races =
+        launch_with_races ~engine ~block:64 shared_cross_warp_racy
+      in
+      (match Racecheck.shared_races races with
+      | [] -> Alcotest.fail "cross-warp same-interval writers missed"
+      | rs ->
+        check int "one racy cell per block" 4 (List.length rs);
+        let r = List.hd rs in
+        check int "racy cell is offset 0" 0 r.Racecheck.s_offset;
+        check int "both writes land in interval 0" 0 r.Racecheck.s_epoch;
+        check (Alcotest.list int) "lanes 0 and 32 named" [ 0; 32 ]
+          r.Racecheck.s_threads);
+      let _, clean =
+        launch_with_races ~engine ~block:64 shared_cross_warp_clean
+      in
+      check bool "clean kernel recorded accesses" true
+        (Racecheck.shared_accesses clean > 0);
+      check int "barrier-separated cross-warp exchange is race-free" 0
+        (List.length (Racecheck.shared_races clean)))
+    [ Kernel.Reference; Kernel.Decoded ]
+
 (* Kernels with no shared memory must not grow a shared section: the
    global-only report is unchanged from the pre-shared simulator. *)
 let test_shared_report_absent () =
@@ -306,11 +362,13 @@ let bezier =
   match Registry.find "bezier-surface" with Some a -> a | None -> assert false
 
 let test_sim_version_in_key () =
-  (* Shared memory changed what a launch measures (smem charges, new
-     metric fields), so the semantics version must have been bumped past
-     the pre-shared "2" — otherwise stale cache entries would be served. *)
-  check bool "semantics version bumped for shared memory" true
-    (Kernel.semantics_version > "2");
+  (* Shared memory bumped the version past the pre-shared "2"; the
+     barrier scheduler (multi-warp blocks, barrier_wait_cycles, block-
+     global epochs) bumped it again to "4" — cached entries measured
+     under single-warp scheduling must never be served to the new
+     simulator. *)
+  check bool "semantics version covers the barrier scheduler" true
+    (Kernel.semantics_version >= "4");
   let j = Jobs.job bezier Pipelines.Baseline in
   check bool "spec names the simulator version" true
     (Astring.String.is_infix
@@ -341,6 +399,8 @@ let suite =
     Alcotest.test_case "map_range" `Quick test_map_range;
     Alcotest.test_case "racecheck overlap detection" `Quick test_racecheck;
     Alcotest.test_case "shared racecheck" `Quick test_shared_racecheck;
+    Alcotest.test_case "shared epochs are block-global" `Quick
+      test_shared_epoch_block_global;
     Alcotest.test_case "shared report absent without shared memory" `Quick
       test_shared_report_absent;
     Alcotest.test_case "racecheck preserves metrics" `Quick

@@ -12,16 +12,6 @@ let bool = Alcotest.bool
 let int = Alcotest.int
 let string = Alcotest.string
 
-(* The deprecated wrapper, aliased once with the alert silenced: the CI
-   deprecation gate greps fresh build output, and this is the one
-   legitimate use — proving the wrapper still matches the record path. *)
-module Legacy = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
-
-  let launch = Uu_gpusim.Kernel.launch
-end
-
 (* --- generators ----------------------------------------------------- *)
 
 let configs =
@@ -238,7 +228,7 @@ let test_config_aliases () =
         (config_of_string (config_to_string c) = Ok c))
     configs
 
-(* --- launch_config defaults match the deprecated wrapper ------------- *)
+(* --- launch_config defaults ------------------------------------------ *)
 
 let test_launch_defaults () =
   let fn =
@@ -254,21 +244,26 @@ let test_launch_defaults () =
     in
     (r, Uu_gpusim.Memory.read_f64 out)
   in
-  let r_new, mem_new =
+  (* exec with no config and exec with the builder's empty config are the
+     same launch; the builder with no arguments is the default record. *)
+  let r_plain, mem_plain =
     run (fun mem ~args ->
         Uu_gpusim.Kernel.exec mem fn ~grid_dim:2 ~block_dim:128 ~args)
   in
-  let r_old, mem_old =
-    run (fun mem ~args -> Legacy.launch mem fn ~grid_dim:2 ~block_dim:128 ~args)
+  let r_built, mem_built =
+    run (fun mem ~args ->
+        Uu_gpusim.Kernel.exec
+          ~config:(Uu_gpusim.Kernel.config ())
+          mem fn ~grid_dim:2 ~block_dim:128 ~args)
   in
   check bool "metrics identical" true
-    (r_new.Uu_gpusim.Kernel.metrics = r_old.Uu_gpusim.Kernel.metrics);
+    (r_plain.Uu_gpusim.Kernel.metrics = r_built.Uu_gpusim.Kernel.metrics);
   check bool "cycles identical" true
-    (r_new.Uu_gpusim.Kernel.kernel_cycles = r_old.Uu_gpusim.Kernel.kernel_cycles);
-  check int "code bytes identical" r_new.Uu_gpusim.Kernel.code_bytes
-    r_old.Uu_gpusim.Kernel.code_bytes;
-  check bool "memory identical" true (mem_new = mem_old);
-  (* the builder with no arguments is the default record *)
+    (r_plain.Uu_gpusim.Kernel.kernel_cycles
+    = r_built.Uu_gpusim.Kernel.kernel_cycles);
+  check int "code bytes identical" r_plain.Uu_gpusim.Kernel.code_bytes
+    r_built.Uu_gpusim.Kernel.code_bytes;
+  check bool "memory identical" true (mem_plain = mem_built);
   check bool "config () = default_config" true
     (Uu_gpusim.Kernel.config () = Uu_gpusim.Kernel.default_config)
 
@@ -389,7 +384,7 @@ let suite =
   @ [
       ("frame io over a channel", `Quick, test_frame_io);
       ("config_of_string aliases", `Quick, test_config_aliases);
-      ("launch_config defaults = deprecated launch", `Quick, test_launch_defaults);
+      ("launch_config defaults", `Quick, test_launch_defaults);
       ("noise-seed delegation", `Quick, test_noise_seed);
       ("daemon end to end", `Quick, test_end_to_end);
       ("in-flight dedupe: N requests, one execution", `Quick, test_inflight_dedupe);
