@@ -187,11 +187,13 @@ let sim_throughput_report () =
 
 (* Block-shard scaling: the same Table I-scale workload (XSBench under
    u&u-4, its own launch schedule and grids) simulated at increasing
-   --sim-jobs widths. Two things are recorded: that metrics stay
-   byte-identical at every width (the determinism contract), and the
-   wall-clock speedup over the serial sweep, which tracks the machine's
-   core count — a 1-core container measures the sharding overhead,
-   anything wider measures the win. *)
+   --sim-jobs widths. Three things are recorded: that metrics stay
+   byte-identical at every width (the determinism contract, doubly
+   witnessed by a per-width metrics digest in the JSON), the wall-clock
+   speedup over the serial sweep, and the domain count that produced
+   the numbers. A 1-domain container measures sharding overhead, not
+   scaling, so it refuses to overwrite an existing baseline — only a
+   machine with real parallelism may rebaseline the curve. *)
 let sim_parallel_report path =
   let scale_n = 65536 in
   let _, m = sim_module (Uu_core.Pipelines.Uu 4) in
@@ -253,28 +255,56 @@ let sim_parallel_report path =
       (fun (bj, bs, bm) (j, s, m) -> if s < bs then (j, s, m) else (bj, bs, bm))
       (List.hd rows) (List.tl rows)
   in
-  let oc = open_out path in
-  Printf.fprintf oc
-    {|{
+  if avail = 1 && Sys.file_exists path then begin
+    Printf.eprintf
+      "sim-parallel: WARNING: only 1 domain available — this run measures \
+       sharding overhead, not scaling.\n\
+       sim-parallel: refusing to overwrite the baseline %s; rebaseline on a \
+       multicore machine.\n%!"
+      path;
+    if mismatches <> [] then exit 1
+  end
+  else begin
+    if avail = 1 then
+      Printf.eprintf
+        "sim-parallel: WARNING: only 1 domain available — writing a fresh \
+         overhead-only baseline to %s; the scaling curve is meaningless until \
+         a multicore machine rebaselines it.\n%!"
+        path;
+    (* The digest doubly witnesses the determinism contract: identical
+       metrics at every width must hash identically, and a future reader
+       can diff curves knowing whether the simulated work changed. *)
+    let digest_of m =
+      Digest.to_hex
+        (Digest.string (Format.asprintf "%a" Uu_gpusim.Metrics.pp m))
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      {|{
   "benchmark": "XSBench launch schedule under uu-4 scaled to %d blocks per launch, decoded engine, %d reps per width",
   "available_domains": %d,
   "widths": [%s],
   "seconds": [%s],
   "speedup_vs_serial": [%s],
+  "metrics_digest": [%s],
   "best": { "sim_jobs": %d, "speedup": %.2f },
   "metrics_identical_across_widths": %b
 }
 |}
-    (scale_n / 128) reps avail
-    (String.concat ", " (List.map (fun (j, _, _) -> string_of_int j) rows))
-    (String.concat ", " (List.map (fun (_, s, _) -> Printf.sprintf "%.3f" s) rows))
-    (String.concat ", "
-       (List.map (fun (_, s, _) -> Printf.sprintf "%.2f" (serial_s /. s)) rows))
-    best_j (serial_s /. best_s) (mismatches = []);
-  close_out oc;
-  Printf.printf "  best: sim-jobs %d at %.2fx vs serial -> %s\n" best_j
-    (serial_s /. best_s) path;
-  if mismatches <> [] then exit 1
+      (scale_n / 128) reps avail
+      (String.concat ", " (List.map (fun (j, _, _) -> string_of_int j) rows))
+      (String.concat ", "
+         (List.map (fun (_, s, _) -> Printf.sprintf "%.3f" s) rows))
+      (String.concat ", "
+         (List.map (fun (_, s, _) -> Printf.sprintf "%.2f" (serial_s /. s)) rows))
+      (String.concat ", "
+         (List.map (fun (_, _, m) -> Printf.sprintf "%S" (digest_of m)) rows))
+      best_j (serial_s /. best_s) (mismatches = []);
+    close_out oc;
+    Printf.printf "  best: sim-jobs %d at %.2fx vs serial -> %s\n" best_j
+      (serial_s /. best_s) path;
+    if mismatches <> [] then exit 1
+  end
 
 let compile_bench config =
   Test.make

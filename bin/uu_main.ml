@@ -324,17 +324,29 @@ let races_arg =
         ~doc:
           "Record every block's global write set and report cells written by more \
            than one block (violations of the disjoint-writes contract the parallel \
-           shard relies on). Forces serial simulation.")
+           shard relies on). Collected per shard and merged in block order, so the \
+           report is byte-identical at any $(b,--sim-jobs) width.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record and print the SIMT schedule of every launch, one line per \
+           executed basic block with its active mask. Buffered per shard and \
+           spliced in block order, so the stream is byte-identical at any \
+           $(b,--sim-jobs) width.")
 
 let build_run_request source config factor loop grid block elems engine sim_jobs
-    check_races =
+    check_races trace =
   Uu_serve.Request.make ?loop ~grid_dim:grid ~block_dim:block ~elems ~check_races
-    ~engine ?sim_jobs
+    ~trace ~engine ?sim_jobs
     (source_of_spec source)
     (parse_config config factor)
 
 let run_cmd =
-  let run source config factor loop grid block elems engine sim_jobs check_races =
+  let run source config factor loop grid block elems engine sim_jobs check_races
+      trace =
     handle_errors (fun () ->
         let sim_jobs =
           (* An interactive run has the machine to itself. *)
@@ -345,7 +357,7 @@ let run_cmd =
         in
         let request =
           build_run_request source config factor loop grid block elems engine
-            sim_jobs check_races
+            sim_jobs check_races trace
         in
         match Uu_harness.Runner.run_request request with
         | Error msg ->
@@ -360,7 +372,7 @@ let run_cmd =
           (last int parameter receives the element count)")
     Term.(
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
-      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg)
+      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg $ trace_arg)
 
 (* --- the daemon and its clients ------------------------------------- *)
 
@@ -404,12 +416,12 @@ let request_cmd =
           ~doc:"Request the optimized IR instead of running the simulator")
   in
   let run source config factor loop grid block elems engine sim_jobs check_races
-      socket compile_only =
+      trace socket compile_only =
     handle_errors (fun () ->
         let request =
           let r =
             build_run_request source config factor loop grid block elems engine
-              sim_jobs check_races
+              sim_jobs check_races trace
           in
           if compile_only then { r with Uu_serve.Request.mode = Compile } else r
         in
@@ -433,7 +445,8 @@ let request_cmd =
           locally (the served-status goes to stderr)")
     Term.(
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
-      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg $ socket_arg $ compile_flag)
+      $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg $ trace_arg $ socket_arg
+      $ compile_flag)
 
 let serve_ctl_cmd =
   let op_arg =

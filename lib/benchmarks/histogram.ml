@@ -1,0 +1,105 @@
+(* histogram (atomic wave).
+
+   Every thread classifies one input and bumps a global bin with
+   atomicAdd — the canonical atomics-heavy kernel, and the registry's
+   probe of the deferred block-ordered commit: bins are hammered by
+   every block, so any ordering leak in the parallel atomics shows up as
+   a cross-width diff in metrics, bins, or old values.
+
+   The kernel also stores each thread's returned old value. Under the
+   deferred commit an old value is the launch-start bin value plus the
+   executing block's own prior increments, and within a block updates
+   land in ascending thread order (warps run to completion in ascending
+   warp order, lanes ascend within a warp) — so the host oracle can
+   replay it exactly: old(gid) = earlier same-block threads that chose
+   the same bin. Both oracles are bitwise, not tolerance. *)
+
+open Uu_support
+open Uu_gpusim
+
+let source =
+  {|
+kernel histogram(int* restrict bins, int* restrict old_out,
+                 const int* restrict in, int n) {
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid < n) {
+    int b = in[gid];
+    int old = atomicAdd(&bins[b], 1);
+    old_out[gid] = old;
+  }
+}
+|}
+
+let n = 8192
+let block_dim = 64
+let grid = n / block_dim
+let nbins = 32
+
+(* Replays the commit semantics: per-block counts in ascending thread
+   order for the old values, launch totals for the bins. *)
+let host input =
+  let expected_bins = Array.make nbins 0L in
+  let expected_old = Array.make n 0L in
+  for b = 0 to grid - 1 do
+    let counts = Array.make nbins 0 in
+    for lid = 0 to block_dim - 1 do
+      let gid = (b * block_dim) + lid in
+      if gid < n then begin
+        let k = input.(gid) in
+        expected_old.(gid) <- Int64.of_int counts.(k);
+        counts.(k) <- counts.(k) + 1
+      end
+    done;
+    Array.iteri
+      (fun k c -> expected_bins.(k) <- Int64.add expected_bins.(k) (Int64.of_int c))
+      counts
+  done;
+  (expected_bins, expected_old)
+
+let setup rng =
+  let mem = Memory.create () in
+  (* Skewed bins (squared draw) so hot bins see heavy same-block
+     contention — many distinct old values per bin per block. *)
+  let input =
+    Array.init n (fun _ ->
+        let u = Rng.float rng 1.0 in
+        int_of_float (u *. u *. float_of_int nbins) mod nbins)
+  in
+  let bbins = Memory.zeros_i64 mem nbins in
+  let bold = Memory.zeros_i64 mem n in
+  let bin = Memory.alloc_i64 mem (Array.map Int64.of_int input) in
+  let expected_bins, expected_old = host input in
+  {
+    App.mem;
+    launches =
+      [
+        {
+          App.kernel = "histogram";
+          grid_dim = grid;
+          block_dim;
+          args =
+            [
+              Kernel.Buf bbins;
+              Kernel.Buf bold;
+              Kernel.Buf bin;
+              Kernel.Int_arg (Int64.of_int n);
+            ];
+        };
+      ];
+    transfer_bytes = (n * 8) + (nbins * 8) + (n * 8);
+    check =
+      (fun () ->
+        match App.check_i64 ~name:"histogram.bins" ~expected:expected_bins bbins with
+        | Error _ as e -> e
+        | Ok () -> App.check_i64 ~name:"histogram.old" ~expected:expected_old bold);
+  }
+
+let app =
+  {
+    App.name = "histogram";
+    category = "atomic wave";
+    cli = "8192 32";
+    source;
+    rest_bytes = 512;
+    setup;
+  }

@@ -10,6 +10,7 @@ let all =
     Coordinates.app;
     Dbuf.app;
     Haccmk.app;
+    Histogram.app;
     Lavamd.app;
     Libor.app;
     Mandelbrot.app;

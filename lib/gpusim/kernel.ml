@@ -5,8 +5,10 @@ open Uu_support
    produces for the same inputs (the per-block L1 switch, a cost-model
    change, barrier scheduling, ...). The harness folds this into its
    result-cache keys, so stale entries from the previous semantics are
-   never served. *)
-let semantics_version = "4"
+   never served. "5": deferred block-ordered atomic commits and
+   bank-resident alloca arenas (global Atomic_add old values and
+   alloca traffic costing both changed). *)
+let semantics_version = "5"
 
 type arg =
   | Buf of Memory.buffer
@@ -60,20 +62,6 @@ let shared_bank fn =
 
 type engine = Reference | Decoded
 
-(* Kernels whose execution is inherently block-order dependent must not
-   be sharded: [Alloca] allocates from the shared buffer table (ids
-   depend on allocation order), and [Atomic_add] returns old values that
-   depend on which block got there first. Such launches run serially,
-   where both are deterministic. *)
-let order_dependent fn =
-  Func.fold_blocks
-    (fun b acc ->
-      acc
-      || List.exists
-           (function Instr.Alloca _ | Instr.Atomic_add _ -> true | _ -> false)
-           b.Block.instrs)
-    fn false
-
 (* The per-launch noise draw keeps [Runner]'s cross-launch rng sequencing
    (one [next] per launch), and each block derives a private stream from
    it — warp jitter is a function of (launch, block, warp), never of
@@ -86,16 +74,48 @@ let block_noise launch_seed block_id =
 let warps_per_block ~device ~block_dim =
   (block_dim + device.Device.warp_size - 1) / device.Device.warp_size
 
-(* Run a shard of blocks with worker-private per-block caches ([reset]
-   per block: every block starts cold, the per-SM L1 model) and reduce
-   chunk metrics in ascending block order — byte-identical totals for
-   any [sim_jobs]/chunking. *)
-let reduce_blocks ~grid_dim ~sim_jobs run_shard =
+(* One shard's result: the metrics sum plus the shard-private sinks its
+   warps recorded into. [Parallel.map_range] returns chunks in ascending
+   range order, so reducing the shard list front to back IS ascending
+   block order. *)
+type shard = {
+  s_metrics : Metrics.t;
+  s_atomics : Atomics.t;
+  s_races : Racecheck.t option;
+  s_trace : Trace.t option;
+}
+
+(* Fresh private sinks for one shard. The per-shard trace copies the
+   destination's limit so sharded truncation matches serial truncation
+   (see [Trace.append]). *)
+let shard_sinks ~tracer ~races mem =
+  ( Atomics.create mem,
+    Option.map (fun _ -> Racecheck.create ()) races,
+    Option.map (fun t -> Trace.create ~limit:(Trace.limit t) ()) tracer )
+
+(* Run the shards (worker-private per-block caches, [reset] per block:
+   every block starts cold, the per-SM L1 model) and reduce them in
+   ascending block order: sum metrics, commit the deferred atomic
+   deltas, merge the race collectors, splice the trace buffers. Each
+   reduction is order-deterministic, so metrics, final memory, race
+   reports, and traces are byte-identical for any [sim_jobs]/chunking. *)
+let reduce_shards ~tracer ~races ~grid_dim ~sim_jobs run_shard =
+  let shards =
+    if sim_jobs <= 1 then [ run_shard ~lo:0 ~hi:grid_dim ]
+    else Parallel.map_range ~jobs:sim_jobs ~n:grid_dim run_shard
+  in
   let total = Metrics.create () in
-  if sim_jobs <= 1 then Metrics.add total (run_shard ~lo:0 ~hi:grid_dim)
-  else
-    List.iter (Metrics.add total)
-      (Parallel.map_range ~jobs:sim_jobs ~n:grid_dim run_shard);
+  List.iter
+    (fun s ->
+      Metrics.add total s.s_metrics;
+      Atomics.commit s.s_atomics;
+      (match races, s.s_races with
+      | Some into, Some src -> Racecheck.merge ~into src
+      | _ -> ());
+      (match tracer, s.s_trace with
+      | Some into, Some src -> Trace.append ~into src
+      | _ -> ()))
+    shards;
   total
 
 let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
@@ -105,7 +125,9 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
     | Some cache -> Decode.decode_cached cache device fn
     | None -> Decode.decode device fn
   in
-  let env =
+  (* Base env: the shard-private sink fields are placeholders, replaced
+     per shard below so no sink is ever shared across domains. *)
+  let env0 =
     {
       Warp.d_device = device;
       prog;
@@ -114,13 +136,18 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
       d_block_dim = block_dim;
       d_grid_dim = grid_dim;
       d_max_warp_cycles = max_warp_cycles;
-      d_tracer = tracer;
-      d_races = races;
+      d_tracer = None;
+      d_races = None;
+      d_atomics = Atomics.create mem;
     }
   in
   let wpb = warps_per_block ~device ~block_dim in
   let launch_seed = Option.map Rng.next noise in
   let run_shard ~lo ~hi =
+    let s_atomics, s_races, s_trace = shard_sinks ~tracer ~races mem in
+    let env =
+      { env0 with Warp.d_tracer = s_trace; d_races = s_races; d_atomics = s_atomics }
+    in
     (* One scratch state per warp slot: the warps of a block are live
        concurrently under barrier scheduling, and each state is reused
        across every block of the shard. *)
@@ -150,9 +177,9 @@ let launch_decoded ~device ~noise ~max_warp_cycles ~tracer ~races ~decode_cache
         (Scheduler.run_block ~fn_name:prog.Decode.fn_name ~block_id
            (Array.of_list (List.rev !warps)))
     done;
-    acc
+    { s_metrics = acc; s_atomics; s_races; s_trace }
   in
-  let total = reduce_blocks ~grid_dim ~sim_jobs run_shard in
+  let total = reduce_shards ~tracer ~races ~grid_dim ~sim_jobs run_shard in
   {
     metrics = total;
     kernel_cycles = Metrics.kernel_time total ~device;
@@ -163,7 +190,9 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
     fn ~grid_dim ~block_dim ~bound =
   let layout = Layout.compute device fn in
   let post = Uu_analysis.Dominance.compute_post fn in
-  let env =
+  (* Base env: the shard-private sink fields are placeholders, replaced
+     per shard below so no sink is ever shared across domains. *)
+  let env0 =
     {
       Warp.device;
       fn;
@@ -174,13 +203,18 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
       block_dim;
       grid_dim;
       max_warp_cycles;
-      tracer;
-      races;
+      tracer = None;
+      races = None;
+      atomics = Atomics.create mem;
     }
   in
   let wpb = warps_per_block ~device ~block_dim in
   let launch_seed = Option.map Rng.next noise in
   let run_shard ~lo ~hi =
+    let s_atomics, s_races, s_trace = shard_sinks ~tracer ~races mem in
+    let env =
+      { env0 with Warp.tracer = s_trace; races = s_races; atomics = s_atomics }
+    in
     let smem = shared_bank fn in
     let icache = Layout.icache_create device in
     let dcache = Cache.create ~capacity:device.Device.l1_lines in
@@ -205,9 +239,9 @@ let launch_reference ~device ~noise ~max_warp_cycles ~tracer ~races ~sim_jobs me
         (Scheduler.run_block ~fn_name:fn.Func.name ~block_id
            (Array.of_list (List.rev !warps)))
     done;
-    acc
+    { s_metrics = acc; s_atomics; s_races; s_trace }
   in
-  let total = reduce_blocks ~grid_dim ~sim_jobs run_shard in
+  let total = reduce_shards ~tracer ~races ~grid_dim ~sim_jobs run_shard in
   {
     metrics = total;
     kernel_cycles = Metrics.kernel_time total ~device;
@@ -255,17 +289,11 @@ let exec ?(config = default_config) mem fn ~grid_dim ~block_dim ~args =
     config
   in
   let bound = bind_args fn args in
+  (* No serial gates: tracing, race checking, atomics, and allocas are
+     all deterministic under sharding (per-shard sinks reduced in block
+     order at the join), so every launch shards freely. *)
   let sim_jobs =
-    (* Traced and race-checked launches share a mutable recorder (and
-       traces promise execution order); order-dependent kernels are
-       wrong under any interleaving. All run serially. *)
-    if
-      sim_jobs <= 1 || grid_dim <= 1
-      || Option.is_some tracer
-      || Option.is_some races
-      || order_dependent fn
-    then 1
-    else min sim_jobs grid_dim
+    if sim_jobs <= 1 || grid_dim <= 1 then 1 else min sim_jobs grid_dim
   in
   match engine with
   | Decoded ->

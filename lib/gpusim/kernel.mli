@@ -39,10 +39,12 @@ type launch_config = {
                                    (the default) is fully deterministic *)
   max_warp_cycles : int;       (** per-warp cycle budget before the
                                    runaway-kernel guard trips *)
-  tracer : Trace.t option;     (** instruction trace recorder; forces a
-                                   serial launch *)
+  tracer : Trace.t option;     (** instruction trace recorder; sharded
+                                   launches buffer per shard and splice
+                                   in block order *)
   races : Racecheck.t option;  (** write-set / shared-access collector;
-                                   forces a serial launch *)
+                                   sharded launches collect per shard
+                                   and merge in block order *)
   engine : engine;             (** execution engine (default [Decoded]) *)
   decode_cache : Decode.cache option;
       (** memoizes the per-(function, device) decode across launches —
@@ -99,17 +101,24 @@ val exec :
     [block_dim].
 
     [config.sim_jobs] shards blocks of the launch over that many OCaml
-    domains in chunked ranges; metrics are reduced in block order and
-    blocks are order-independent, so the result — metrics, final memory,
-    everything — is byte-identical for any [sim_jobs] value. Launches
-    that are inherently order-dependent (kernels with [Alloca] or
-    [Atomic_add]), traced ([tracer] promises execution order), or
-    race-checked ([races] is shared mutable state) silently run with one
-    domain.
+    domains in chunked ranges. Every shard gets private sinks — a
+    deferred-commit view of the atomic targets ({!Atomics}), a race
+    collector, a trace buffer — and the join reduces them in ascending
+    block order: metrics sum, atomic deltas commit, race collectors
+    merge, trace buffers splice. [Atomic_add] old values are defined as
+    the launch-start value plus the executing block's own prior deltas,
+    and [Alloca] arenas live in the block's shared bank with ids that
+    are a function of (block, allocation index) — so the result —
+    metrics, final memory, race reports, traces, everything — is
+    byte-identical for any [sim_jobs] value, with no serial gates.
+    (A program that races a plain store against another block's
+    [Atomic_add] on the same cell has no well-defined result; [races]
+    reports exactly those cells.)
 
     [config.races] audits the sharding contract itself: it records each
     block's global-memory write set and {!Racecheck.overlaps} then lists
-    any cell written by more than one block. It also records every
+    any cell plain-written by more than one block (or plain-written and
+    atomically updated by distinct blocks). It also records every
     shared-memory access with its barrier epoch;
     {!Racecheck.shared_races} lists intra-block conflicts within a
     barrier interval.

@@ -60,17 +60,6 @@ let alloc_i64 t host = alloc t Types.I64 (I (Array.map fit host))
 let zeros_f64 t n = alloc t Types.F64 (F (Array.make n 0.0))
 let zeros_i64 t n = alloc t Types.I64 (I (Array.make n 0))
 
-let alloc_scratch t elt n =
-  let payload =
-    match elt with
-    | Types.F64 -> F (Array.make n 0.0)
-    | Types.I1 | Types.I32 | Types.I64 | Types.Void -> I (Array.make n 0)
-    | Types.Ptr _ -> P { pbuf = Array.make n (-1); poff = Array.make n 0 }
-  in
-  let b = { id = t.next_id; elt; esz = Types.size_bytes elt; payload } in
-  register t b;
-  b
-
 let buffer_id b = b.id
 let buffer_len b = payload_len b.payload
 let buffer_elt b = b.elt
@@ -138,6 +127,25 @@ let atomic_add t ~buffer_id ~offset v =
     Eval.Float old
   | _, _ -> failwith "simulated memory: atomic_add type mismatch"
 
+(* Non-mutating counterparts of [atomic_addi]/[atomic_addf], with the
+   same bounds and type checks: the deferred-commit atomics collector
+   ([Atomics]) reads a cell's pristine value once per shard and applies
+   the accumulated deltas only after the shard join. *)
+
+let atomic_readi t ~buffer_id ~offset =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | I a -> a.(offset)
+  | F _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
+let atomic_readf t ~buffer_id ~offset =
+  let b = find t buffer_id in
+  check b offset;
+  match b.payload with
+  | F a -> a.(offset)
+  | I _ | P _ -> failwith "simulated memory: atomic_add type mismatch"
+
 let elt_size t ~buffer_id = (find t buffer_id).esz
 
 (* Allocation-free accessors for the decoded engine. *)
@@ -201,48 +209,78 @@ let atomic_addf t ~buffer_id ~offset x =
 (* Block-scoped shared memory.
 
    Shared arrays live in their own bank, addressed by negative buffer
-   ids: slot [k] of the kernel's shared declarations is buffer
-   [-2 - k] (id -1 stays the null/undef pointer, so [is_shared] is a
-   single compare). The bank is created once per simulation shard and
-   zero-reset at every block entry, which keeps block-order sharding
+   ids: slot [k] is buffer [-2 - k] (id -1 stays the null/undef pointer,
+   so [is_shared] is a single compare). The first [decls] slots are the
+   kernel's [__shared__] declarations; slots appended after them are
+   per-block [Alloca] arenas ([bank_alloca]). The bank is created once
+   per simulation shard, and at every block entry the declaration slots
+   are zeroed and the arenas dropped ([shared_reset]) — so an arena's id
+   is a pure function of the block's own deterministic execution order,
+   never of global allocation order, which keeps block-order sharding
    byte-identical for any [sim_jobs]. *)
 
-type shared_bank = buffer array
+type shared_bank = {
+  mutable slots : buffer array;  (* declarations, then live arenas *)
+  mutable n : int;               (* live slots: [decls] + arenas *)
+  decls : int;
+}
 
 let is_shared id = id < -1
 
-let shared_create decls =
-  Array.of_list
-    (List.mapi
-       (fun k (elt, size) ->
-         if size <= 0 then
-           invalid_arg
-             (Printf.sprintf "Memory.shared_create: non-positive size %d" size);
-         let payload =
-           match elt with
-           | Types.F64 -> F (Array.make size 0.0)
-           | Types.I64 -> I (Array.make size 0)
-           | other ->
+let shared_create decl_list =
+  let slots =
+    Array.of_list
+      (List.mapi
+         (fun k (elt, size) ->
+           if size <= 0 then
              invalid_arg
-               (Printf.sprintf
-                  "Memory.shared_create: unbankable element type %s"
-                  (Types.to_string other))
-         in
-         { id = -2 - k; elt; esz = Types.size_bytes elt; payload })
-       decls)
+               (Printf.sprintf "Memory.shared_create: non-positive size %d" size);
+           let payload =
+             match elt with
+             | Types.F64 -> F (Array.make size 0.0)
+             | Types.I64 -> I (Array.make size 0)
+             | other ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Memory.shared_create: unbankable element type %s"
+                    (Types.to_string other))
+           in
+           { id = -2 - k; elt; esz = Types.size_bytes elt; payload })
+         decl_list)
+  in
+  let n = Array.length slots in
+  { slots; n; decls = n }
 
 let shared_reset bank =
-  Array.iter
-    (fun b ->
-      match b.payload with
-      | F a -> Array.fill a 0 (Array.length a) 0.0
-      | I a -> Array.fill a 0 (Array.length a) 0
-      | P _ -> assert false)
-    bank
+  for k = 0 to bank.decls - 1 do
+    match bank.slots.(k).payload with
+    | F a -> Array.fill a 0 (Array.length a) 0.0
+    | I a -> Array.fill a 0 (Array.length a) 0
+    | P _ -> assert false
+  done;
+  bank.n <- bank.decls
+
+let bank_alloca bank elt size =
+  let payload =
+    match elt with
+    | Types.F64 -> F (Array.make size 0.0)
+    | Types.I1 | Types.I32 | Types.I64 | Types.Void -> I (Array.make size 0)
+    | Types.Ptr _ -> P { pbuf = Array.make size (-1); poff = Array.make size 0 }
+  in
+  let b = { id = -2 - bank.n; elt; esz = Types.size_bytes elt; payload } in
+  if bank.n >= Array.length bank.slots then begin
+    let cap = max 4 (2 * Array.length bank.slots) in
+    let grown = Array.make cap b in
+    Array.blit bank.slots 0 grown 0 bank.n;
+    bank.slots <- grown
+  end;
+  bank.slots.(bank.n) <- b;
+  bank.n <- bank.n + 1;
+  b.id
 
 let find_shared bank id =
   let k = -2 - id in
-  if k >= 0 && k < Array.length bank then bank.(k)
+  if k >= 0 && k < bank.n then bank.slots.(k)
   else failwith (Printf.sprintf "simulated memory: unknown shared buffer %d" id)
 
 let shared_load bank ~buffer_id ~offset =
@@ -251,7 +289,7 @@ let shared_load bank ~buffer_id ~offset =
   match b.payload with
   | F a -> Eval.Float a.(offset)
   | I a -> Eval.Int (Int64.of_int a.(offset))
-  | P _ -> assert false
+  | P { pbuf; poff } -> Eval.Ptr { buffer = pbuf.(offset); offset = poff.(offset) }
 
 let shared_store bank ~buffer_id ~offset v =
   let b = find_shared bank buffer_id in
@@ -259,9 +297,12 @@ let shared_store bank ~buffer_id ~offset v =
   match b.payload, v with
   | F a, Eval.Float x -> a.(offset) <- x
   | I a, Eval.Int x -> a.(offset) <- fit x
+  | P { pbuf; poff }, Eval.Ptr p ->
+    pbuf.(offset) <- p.buffer;
+    poff.(offset) <- p.offset
   | F _, (Eval.Int _ | Eval.Ptr _) -> type_confusion b "a non-float"
   | I _, (Eval.Float _ | Eval.Ptr _) -> type_confusion b "a non-integer"
-  | P _, _ -> assert false
+  | P _, (Eval.Float _ | Eval.Int _) -> type_confusion b "a non-pointer"
 
 let shared_atomic_add bank ~buffer_id ~offset v =
   let b = find_shared bank buffer_id in
@@ -298,6 +339,22 @@ let shared_storei bank ~buffer_id ~offset x =
   match b.payload with
   | I a -> a.(offset) <- x
   | F _ | P _ -> type_confusion b "an integer"
+
+let shared_loadp bank ~buffer_id ~offset =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | P { pbuf; poff } -> (pbuf.(offset), poff.(offset))
+  | F _ | I _ -> type_confusion b "a pointer"
+
+let shared_storep bank ~buffer_id ~offset ~pbuffer ~poffset =
+  let b = find_shared bank buffer_id in
+  check b offset;
+  match b.payload with
+  | P { pbuf; poff } ->
+    pbuf.(offset) <- pbuffer;
+    poff.(offset) <- poffset
+  | F _ | I _ -> type_confusion b "a pointer"
 
 let shared_atomic_addi bank ~buffer_id ~offset x =
   let b = find_shared bank buffer_id in

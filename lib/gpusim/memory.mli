@@ -21,10 +21,6 @@ val alloc_i64 : t -> int64 array -> buffer
 val zeros_f64 : t -> int -> buffer
 val zeros_i64 : t -> int -> buffer
 
-val alloc_scratch : t -> Types.t -> int -> buffer
-(** Device-side scratch (backs [Alloca] when unoptimized IR is simulated);
-    not counted as host transfer. *)
-
 val buffer_id : buffer -> int
 val buffer_len : buffer -> int
 val buffer_elt : buffer -> Types.t
@@ -76,6 +72,17 @@ val atomic_addi : t -> buffer_id:int -> offset:int -> int -> int
 val atomic_addf : t -> buffer_id:int -> offset:int -> float -> float
 (** Add and return the previous value. *)
 
+val atomic_readi : t -> buffer_id:int -> offset:int -> int
+val atomic_readf : t -> buffer_id:int -> offset:int -> float
+(** Read an atomic target without mutating it, with the exact bounds and
+    type checks of {!atomic_addi}/{!atomic_addf} — the deferred-commit
+    collector ({!Atomics}) snapshots a cell's pristine value with these
+    and commits accumulated deltas only after the shard join. *)
+
+val fit : int64 -> int
+(** Narrow to the simulator's 63-bit storage.
+    @raise Failure when the value does not fit. *)
+
 val dump : t -> (int * Eval.rvalue array) list
 (** Snapshot of every buffer (id, copied contents) in allocation order —
     used by the engine-equivalence tests to compare whole memory spaces. *)
@@ -83,11 +90,14 @@ val dump : t -> (int * Eval.rvalue array) list
 (** {1 Block-scoped shared memory}
 
     Shared arrays live in a separate bank addressed by negative buffer
-    ids: shared slot [k] is buffer [-2 - k] (id [-1] remains the
-    null/undef pointer). A bank is created once per simulation shard and
-    zero-reset at every block entry, so results are independent of how
-    blocks are sharded across domains. Shared transfers never count
-    toward {!bytes_moved}. *)
+    ids: bank slot [k] is buffer [-2 - k] (id [-1] remains the
+    null/undef pointer). The first slots are the kernel's [__shared__]
+    declarations; slots appended after them are per-block [Alloca]
+    arenas ({!bank_alloca}). A bank is created once per simulation
+    shard, and at every block entry the declaration slots are zeroed and
+    the arenas dropped, so results are independent of how blocks are
+    sharded across domains. Shared transfers never count toward
+    {!bytes_moved}. *)
 
 type shared_bank
 
@@ -102,8 +112,18 @@ val shared_create : (Types.t * int) list -> shared_bank
     other than f64/i64. *)
 
 val shared_reset : shared_bank -> unit
-(** Zero-fill every array — run at each block entry so blocks observe a
-    freshly initialized bank regardless of execution order. *)
+(** Zero-fill every declaration array and drop the [Alloca] arenas — run
+    at each block entry so blocks observe a freshly initialized bank
+    regardless of execution order. *)
+
+val bank_alloca : shared_bank -> Types.t -> int -> int
+(** Append a zero-initialized per-block arena of [size] elements after
+    the declaration slots and return its (negative) buffer id. Arena ids
+    count up from [-2 - decls] in allocation order, and {!shared_reset}
+    reclaims them — so within a block, an arena's id is a pure function
+    of the block's own deterministic execution order. Backs [Alloca] in
+    both engines (each warp-level [Alloca] allocates one arena with a
+    private cell per lane). *)
 
 val shared_load : shared_bank -> buffer_id:int -> offset:int -> Eval.rvalue
 (** @raise Failure on out-of-bounds or unknown shared buffer. *)
@@ -123,6 +143,13 @@ val shared_fdata : shared_bank -> buffer_id:int -> float array
 
 val shared_loadi : shared_bank -> buffer_id:int -> offset:int -> int
 val shared_storei : shared_bank -> buffer_id:int -> offset:int -> int -> unit
+
+val shared_loadp : shared_bank -> buffer_id:int -> offset:int -> int * int
+val shared_storep :
+  shared_bank -> buffer_id:int -> offset:int -> pbuffer:int -> poffset:int -> unit
+(** Pointer elements of an [Alloca] arena as [(buffer, offset)] pairs —
+    declaration slots are f64/i64 only, so these raise the usual
+    type-confusion failure on them. *)
 
 val shared_atomic_addi : shared_bank -> buffer_id:int -> offset:int -> int -> int
 val shared_atomic_addf : shared_bank -> buffer_id:int -> offset:int -> float -> float

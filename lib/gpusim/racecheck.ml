@@ -1,10 +1,16 @@
 (* Write-set tracking for the order-independence audit. Every global
-   store (and atomic update) records its (buffer, offset) cell against
-   the writing block; cells touched by more than one block are the
-   launch's inter-block write overlaps. The collector is shared mutable
-   state, so race-checked launches run serially (Kernel forces
-   sim_jobs = 1), which is fine: the point is to audit the workload, not
-   to be fast.
+   plain store records its (buffer, offset) cell against the writing
+   block; cells plain-written by more than one block are the launch's
+   inter-block write overlaps. Global Atomic_add updates are recorded
+   separately: atomics commute under the deferred block-ordered commit
+   ([Atomics]), so atomic-only cells are never overlaps — but a cell
+   that mixes a plain write from one block with an atomic update from
+   another has no well-defined value and is reported as an overlap.
+
+   Sharded launches give every shard a private collector and [merge]
+   them at the join: counters are order-independent sums and every
+   reported list is sorted, so the merged [report] is byte-identical to
+   a serial run's.
 
    Shared arrays get their own intra-block check. They are private to a
    block, so the inter-block recorder must never see them (their ids
@@ -18,9 +24,12 @@
 type shared_cell = { mutable s_writers : int list; mutable s_readers : int list }
 
 type t = {
-  (* cell -> distinct blocks that wrote it, most recent first *)
+  (* cell -> distinct blocks that plain-wrote it, most recent first *)
   writers : (int * int, int list ref) Hashtbl.t;
   mutable writes : int;
+  (* cell -> distinct blocks that atomically updated it *)
+  atomics : (int * int, int list ref) Hashtbl.t;
+  mutable atomic_updates : int;
   (* (block, shared slot, offset, epoch) -> distinct accessing threads *)
   shared : (int * int * int * int, shared_cell) Hashtbl.t;
   mutable shared_accesses : int;
@@ -40,15 +49,24 @@ let create () =
   {
     writers = Hashtbl.create 1024;
     writes = 0;
+    atomics = Hashtbl.create 64;
+    atomic_updates = 0;
     shared = Hashtbl.create 1024;
     shared_accesses = 0;
   }
 
+let add_block table key block_id =
+  match Hashtbl.find_opt table key with
+  | Some l -> if not (List.mem block_id !l) then l := block_id :: !l
+  | None -> Hashtbl.add table key (ref [ block_id ])
+
 let record t ~block_id ~buffer ~offset =
   t.writes <- t.writes + 1;
-  match Hashtbl.find_opt t.writers (buffer, offset) with
-  | Some l -> if not (List.mem block_id !l) then l := block_id :: !l
-  | None -> Hashtbl.add t.writers (buffer, offset) (ref [ block_id ])
+  add_block t.writers (buffer, offset) block_id
+
+let record_atomic t ~block_id ~buffer ~offset =
+  t.atomic_updates <- t.atomic_updates + 1;
+  add_block t.atomics (buffer, offset) block_id
 
 let record_shared t ~block_id ~thread_id ~slot ~offset ~epoch ~write =
   t.shared_accesses <- t.shared_accesses + 1;
@@ -70,16 +88,61 @@ let record_shared t ~block_id ~thread_id ~slot ~offset ~epoch ~write =
 
 let writes t = t.writes
 let cells t = Hashtbl.length t.writers
+let atomic_updates t = t.atomic_updates
+let atomic_cells t = Hashtbl.length t.atomics
 let shared_accesses t = t.shared_accesses
 
 let overlaps t =
   Hashtbl.fold
     (fun (buffer, offset) l acc ->
-      match !l with
-      | [] | [ _ ] -> acc
-      | blocks -> { buffer; offset; blocks = List.sort compare blocks } :: acc)
+      let atomic =
+        match Hashtbl.find_opt t.atomics (buffer, offset) with
+        | Some a -> !a
+        | None -> []
+      in
+      let racy =
+        match !l with
+        | [] -> false
+        | [ b ] -> List.exists (fun a -> a <> b) atomic
+        | _ :: _ :: _ -> true
+      in
+      if racy then
+        { buffer; offset; blocks = List.sort_uniq compare (!l @ atomic) } :: acc
+      else acc)
     t.writers []
   |> List.sort (fun a b -> compare (a.buffer, a.offset) (b.buffer, b.offset))
+
+(* Merge a shard's collector into the launch-wide one. Counters are
+   order-independent sums; block and thread lists dedupe exactly as
+   [record]/[record_shared] would have, and every report list is sorted
+   before printing — so merged reports are byte-identical to a serial
+   run's for any shard split. *)
+let merge ~into src =
+  into.writes <- into.writes + src.writes;
+  Hashtbl.iter
+    (fun key l -> List.iter (add_block into.writers key) (List.rev !l))
+    src.writers;
+  into.atomic_updates <- into.atomic_updates + src.atomic_updates;
+  Hashtbl.iter
+    (fun key l -> List.iter (add_block into.atomics key) (List.rev !l))
+    src.atomics;
+  into.shared_accesses <- into.shared_accesses + src.shared_accesses;
+  Hashtbl.iter
+    (fun key c ->
+      match Hashtbl.find_opt into.shared key with
+      | Some dst ->
+        List.iter
+          (fun w ->
+            if not (List.mem w dst.s_writers) then dst.s_writers <- w :: dst.s_writers)
+          (List.rev c.s_writers);
+        List.iter
+          (fun r ->
+            if not (List.mem r dst.s_readers) then dst.s_readers <- r :: dst.s_readers)
+          (List.rev c.s_readers)
+      | None ->
+        Hashtbl.add into.shared key
+          { s_writers = c.s_writers; s_readers = c.s_readers })
+    src.shared
 
 let shared_races t =
   Hashtbl.fold
@@ -131,6 +194,15 @@ let report t =
           os
       in
       String.concat "\n" (head :: lines)
+  in
+  let global =
+    if t.atomic_updates = 0 then global
+    else
+      global
+      ^ Printf.sprintf
+          "\n  atomics: %d atomic update(s) to %d cell(s), committed in block \
+           order"
+          (atomic_updates t) (atomic_cells t)
   in
   if t.shared_accesses = 0 then global
   else

@@ -4,9 +4,13 @@
     launch write disjoint global memory (absent atomics): only then is
     final memory independent of block execution order. [--check-races]
     verifies the assumption empirically — attach a collector to
-    {!Kernel.exec} via [races] and every global store and atomic
-    update records its cell against the writing block; {!overlaps} lists
-    the cells written by more than one block.
+    {!Kernel.exec} via [races] and every global plain store records its
+    cell against the writing block; {!overlaps} lists the cells written
+    by more than one block. Global [Atomic_add] updates are recorded
+    separately ({!record_atomic}): they commute under the deferred
+    block-ordered commit ({!Atomics}), so atomic-only cells are never
+    overlaps, while a cell mixing a plain write from one block with an
+    atomic update from another is reported as one.
 
     Shared arrays are block-private, so they get a separate intra-block
     check instead: every shared access is logged against the barrier
@@ -14,8 +18,11 @@
     cells where two threads of one block conflicted between barriers
     (two distinct writers, or a writer plus an independent reader).
 
-    A race-checked launch always runs serially (the collector is shared
-    mutable state); use it to audit workloads, not to measure them. *)
+    Race checking no longer forces a serial launch: a sharded launch
+    gives every shard a fresh private collector and {!merge}s them into
+    the caller's at the join. Counters are order-independent sums and
+    every reported list is sorted, so {!report} is byte-identical to a
+    serial run's at any [sim_jobs] width. *)
 
 type t
 
@@ -38,9 +45,20 @@ type shared_race = {
 val create : unit -> t
 
 val record : t -> block_id:int -> buffer:int -> offset:int -> unit
-(** Called by the warp engines on every global store and atomic update,
-    once per active lane. Shared stores must NOT be recorded here —
-    their ids repeat across blocks and would report false overlaps. *)
+(** Called by the warp engines on every global plain store, once per
+    active lane. Shared stores must NOT be recorded here — their ids
+    repeat across blocks and would report false overlaps. *)
+
+val record_atomic : t -> block_id:int -> buffer:int -> offset:int -> unit
+(** Called by the warp engines on every global [Atomic_add], once per
+    active lane. Atomic-only cells never count as overlaps; a cell both
+    plain-written and atomically updated by distinct blocks does. *)
+
+val merge : into:t -> t -> unit
+(** Fold a shard's collector into [into]. Deduplicates block and thread
+    lists exactly as direct recording would, and sums the counters —
+    merging the per-shard collectors of a launch in any order yields the
+    same {!report} bytes as serial collection. *)
 
 val record_shared :
   t ->
@@ -58,18 +76,26 @@ val record_shared :
     number of [__syncthreads] barriers the block has released so far. *)
 
 val writes : t -> int
-(** Total global writes recorded (lane grain). *)
+(** Total global plain writes recorded (lane grain). *)
 
 val cells : t -> int
-(** Distinct global (buffer, offset) cells written. *)
+(** Distinct global (buffer, offset) cells plain-written. *)
+
+val atomic_updates : t -> int
+(** Total global atomic updates recorded (lane grain). *)
+
+val atomic_cells : t -> int
+(** Distinct global (buffer, offset) cells atomically updated. *)
 
 val shared_accesses : t -> int
 (** Total shared accesses recorded (lane grain, reads and writes). *)
 
 val overlaps : t -> overlap list
-(** Cells written by ≥ 2 distinct blocks, sorted by (buffer, offset).
-    Empty means block-order independence of final memory holds for this
-    input. *)
+(** Cells plain-written by ≥ 2 distinct blocks, plus cells plain-written
+    by one block and atomically updated by a different one; sorted by
+    (buffer, offset). Empty means block-order independence of final
+    memory holds for this input (atomic-only cells are ordered by the
+    deferred commit). *)
 
 val shared_races : t -> shared_race list
 (** Shared cells touched by conflicting threads of one block within a
@@ -80,5 +106,6 @@ val shared_races : t -> shared_race list
 
 val report : t -> string
 (** Human-readable summary covering both checks, one line per
-    overlapping or racy cell. The shared section is printed only when
-    shared accesses were recorded. *)
+    overlapping or racy cell. The atomics line is printed only when
+    atomic updates were recorded, the shared section only when shared
+    accesses were. *)

@@ -18,7 +18,15 @@ let record t e =
     t.count <- t.count + 1
   end
 
+let limit t = t.limit
 let events t = List.rev t.events
+
+(* Splice a shard's buffered events onto [into]. Shards are appended in
+   ascending block order and each per-shard trace is created with the
+   destination's limit, so a shard's buffer always covers at least the
+   prefix the serial stream would have taken from it — [record]'s
+   destination-side cutoff then reproduces serial truncation exactly. *)
+let append ~into src = List.iter (record into) (events src)
 
 let warp_events t ~block_id ~warp_id =
   List.filter (fun e -> e.block_id = block_id && e.warp_id = warp_id) (events t)

@@ -3,7 +3,10 @@
     reconvergence behaviour and by humans to see divergence happen.
 
     Attach a fresh trace to {!Kernel.exec} via [tracer]; each executed
-    block appends one event. *)
+    block appends one event. Tracing no longer forces a serial launch:
+    a sharded launch buffers events into per-shard traces and splices
+    them in block order at the join, so the recorded stream is
+    byte-identical at any [sim_jobs] width. *)
 
 open Uu_ir
 open Uu_support
@@ -21,6 +24,16 @@ val create : ?limit:int -> unit -> t
 (** Recording stops silently after [limit] events (default 100_000). *)
 
 val record : t -> event -> unit
+
+val limit : t -> int
+(** The cutoff this trace was created with — per-shard traces copy it so
+    sharded truncation matches serial truncation. *)
+
+val append : into:t -> t -> unit
+(** Splice a shard's buffered events onto [into], respecting [into]'s
+    limit. Appending per-shard traces in ascending block order yields
+    the byte-identical stream a serial run records. *)
+
 val events : t -> event list
 (** In execution order. *)
 

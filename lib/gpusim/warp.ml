@@ -1,11 +1,13 @@
 open Uu_ir
 open Uu_support
 
-(* The env carries only launch-wide state that is immutable (or, for
-   [mem], written at block-disjoint cells) during the grid walk, so one
-   env can be shared read-only by every domain simulating blocks of the
-   launch. All mutable per-block state — the per-SM L1 model, icache
-   residency, the noise stream — is passed to [run] per block. *)
+(* The env carries launch-wide state that is immutable (or, for [mem],
+   written at block-disjoint cells) during the grid walk, plus the
+   shard-private sinks: [Kernel] builds one base env per launch and then
+   one copy per shard with fresh [tracer]/[races]/[atomics], so nothing
+   here is ever mutated by two domains. All mutable per-block state —
+   the per-SM L1 model, icache residency, the noise stream — is passed
+   to [make] per block. *)
 type launch_env = {
   device : Device.t;
   fn : Func.t;
@@ -16,8 +18,9 @@ type launch_env = {
   block_dim : int;
   grid_dim : int;
   max_warp_cycles : int;
-  tracer : Trace.t option;
-  races : Racecheck.t option;  (* inter-block write-overlap audit *)
+  tracer : Trace.t option;  (* shard-private event buffer *)
+  races : Racecheck.t option;  (* shard-private write-overlap collector *)
+  atomics : Atomics.t;  (* shard-private deferred-commit atomics view *)
 }
 
 type entry = {
@@ -285,10 +288,10 @@ let make env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
           end
           else begin
             (match env.races with
-            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | Some r -> Racecheck.record_atomic r ~block_id ~buffer ~offset
             | None -> ());
             regs.(lane).(dst) <-
-              Memory.atomic_add env.mem ~buffer_id:buffer ~offset (eval lane value)
+              Atomics.add env.atomics ~block_id ~buffer ~offset (eval lane value)
           end)
         mask;
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + active;
@@ -313,13 +316,14 @@ let make env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
         mask;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Instr.Alloca { dst; ty } ->
-      (* One cell per lane, so each lane gets a private slot. *)
-      let buf =
-        Memory.alloc_scratch env.mem ty d.Device.warp_size
-      in
+      (* One cell per lane, so each lane gets a private slot. Arenas live
+         in the block's shared bank: their ids are a pure function of
+         (block, allocation index within the block), so they are
+         identical at any shard width, and the bank drops them wholesale
+         at the next block entry. *)
+      let bid = Memory.bank_alloca smem ty d.Device.warp_size in
       Mask.iter
-        (fun lane ->
-          regs.(lane).(dst) <- Eval.Ptr { buffer = Memory.buffer_id buf; offset = lane })
+        (fun lane -> regs.(lane).(dst) <- Eval.Ptr { buffer = bid; offset = lane })
         mask;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Instr.Syncthreads ->
@@ -485,8 +489,9 @@ let make env ~smem ~dcache ~icache ~noise ~block_id ~warp_id ~lanes =
 (* replicates [make] exactly; only the representation changed.         *)
 (* ------------------------------------------------------------------ *)
 
-(* Like [launch_env]: immutable during the grid walk, shareable across
-   domains; the caches and the noise stream are per-block arguments of
+(* Like [launch_env]: launch-wide immutable state plus the shard-private
+   sinks ([d_tracer]/[d_races]/[d_atomics] are fresh per shard); the
+   caches and the noise stream are per-block arguments of
    [make_decoded]. *)
 type decoded_env = {
   d_device : Device.t;
@@ -498,6 +503,7 @@ type decoded_env = {
   d_max_warp_cycles : int;
   d_tracer : Trace.t option;
   d_races : Racecheck.t option;
+  d_atomics : Atomics.t;
 }
 
 (* Per-warp scratch, re-initialised by [make_decoded] and reused across
@@ -1155,8 +1161,11 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
           + exposed)
         ~active ()
     | Decode.D_pload { dst; addr; bytes } ->
+      (* Shared declarations hold only f64/i64 elements (see the
+         verifier), but alloca arenas may hold pointers; the bank raises
+         the usual type confusion on a non-P slot. *)
       let base = dst * ws in
-      let n = ref 0 in
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -1169,29 +1178,44 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          (* Shared arrays hold only f64/i64 elements (see the verifier),
-             so a pointer-typed load from the shared space is always a
-             type confusion. *)
-          if buffer < -1 then
-            failwith
-              (Printf.sprintf
-                 "simulated memory: shared buffer %d accessed as a pointer"
-                 buffer);
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
-          let vb, vo = Memory.loadp env.d_mem ~buffer_id:buffer ~offset in
-          Array.unsafe_set pbuf (base + !l) vb;
-          Array.unsafe_set poff (base + !l) vo
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:false
+            | None -> ());
+            let vb, vo = Memory.shared_loadp smem ~buffer_id:buffer ~offset in
+            Array.unsafe_set pbuf (base + !l) vb;
+            Array.unsafe_set poff (base + !l) vo
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            let vb, vo = Memory.loadp env.d_mem ~buffer_id:buffer ~offset in
+            Array.unsafe_set pbuf (base + !l) vb;
+            Array.unsafe_set poff (base + !l) vo
+          end
         end;
         incr l;
         mm := !mm lsr 1
       done;
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gld_bytes <- m.Metrics.gld_bytes + ((active - !ns) * bytes);
+      m.Metrics.sld_bytes <- m.Metrics.sld_bytes + (!ns * bytes);
       let latency =
-        if misses > 0 then d.Device.mem_dep_latency else d.Device.l1_hit_latency
+        if misses > 0 then d.Device.mem_dep_latency
+        else if hits > 0 then d.Device.l1_hit_latency
+        else d.Device.smem_latency
       in
       let exposed =
         if d.Device.its_latency_hiding then latency / max 1 !live_streams else latency
@@ -1199,7 +1223,9 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
       charge ~memory:active
         ~cycles:
           (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
-          + mem_cost misses + exposed)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost)
+          + exposed)
         ~active ()
     | Decode.D_istore { addr; value; bytes } ->
       let n = ref 0 and ns = ref 0 in
@@ -1330,7 +1356,10 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
           + (replays * d.Device.smem_cost))
         ~active ()
     | Decode.D_pstore { addr; value; bytes } ->
-      let n = ref 0 in
+      (* Shared declarations hold only f64/i64 elements, but alloca
+         arenas may hold pointers; [shared_storep] raises the reference
+         engine's type confusion on a non-P slot. *)
+      let n = ref 0 and ns = ref 0 in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin
@@ -1343,25 +1372,6 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          (* Shared arrays hold only f64/i64 elements, so a pointer store
-             into the shared space is a type confusion ([shared_store]
-             raises the message the reference engine produces). *)
-          if buffer < -1 then begin
-            let vb =
-              match value with
-              | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
-              | Decode.P_imm (b', _) -> b'
-            and vo =
-              match value with
-              | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
-              | Decode.P_imm (_, o) -> o
-            in
-            Memory.shared_store smem ~buffer_id:buffer ~offset
-              (Eval.Ptr { buffer = vb; offset = vo })
-          end;
-          st.tx_buf.(!n) <- buffer;
-          st.tx_off.(!n) <- offset;
-          incr n;
           let vb =
             match value with
             | Decode.P_reg s -> Array.unsafe_get pbuf ((s * ws) + !l)
@@ -1371,7 +1381,25 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
             | Decode.P_reg s -> Array.unsafe_get poff ((s * ws) + !l)
             | Decode.P_imm (_, o) -> o
           in
-          Memory.storep env.d_mem ~buffer_id:buffer ~offset ~pbuffer:vb ~poffset:vo
+          if buffer < -1 then begin
+            st.sx_buf.(!ns) <- buffer;
+            st.sx_off.(!ns) <- offset;
+            incr ns;
+            (match env.d_races with
+            | Some r ->
+              Racecheck.record_shared r ~block_id ~thread_id:((warp_id * ws) + !l)
+                ~slot:(-2 - buffer) ~offset ~epoch:!epoch ~write:true
+            | None -> ());
+            Memory.shared_storep smem ~buffer_id:buffer ~offset ~pbuffer:vb
+              ~poffset:vo
+          end
+          else begin
+            st.tx_buf.(!n) <- buffer;
+            st.tx_off.(!n) <- offset;
+            incr n;
+            Memory.storep env.d_mem ~buffer_id:buffer ~offset ~pbuffer:vb
+              ~poffset:vo
+          end
         end;
         incr l;
         mm := !mm lsr 1
@@ -1383,11 +1411,19 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
         done
       | None -> ());
       let hits, misses = classify !n in
+      let replays = shared_replays !ns in
       m.Metrics.mem_transactions <- m.Metrics.mem_transactions + hits + misses;
-      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + (active * bytes);
+      m.Metrics.shared_transactions <- m.Metrics.shared_transactions + replays;
+      if replays > 1 then
+        m.Metrics.shared_bank_conflicts <-
+          m.Metrics.shared_bank_conflicts + (replays - 1);
+      m.Metrics.gst_bytes <- m.Metrics.gst_bytes + ((active - !ns) * bytes);
+      m.Metrics.sst_bytes <- m.Metrics.sst_bytes + (!ns * bytes);
       charge ~memory:active
         ~cycles:
-          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost) + mem_cost misses)
+          (d.Device.mem_issue_cost + (hits * d.Device.l1_hit_cost)
+          + mem_cost misses
+          + (replays * d.Device.smem_cost))
         ~active ()
     | Decode.D_iatomic { dst; addr; value } ->
       let base = dst * ws in
@@ -1418,10 +1454,10 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
           end
           else begin
             (match env.d_races with
-            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | Some r -> Racecheck.record_atomic r ~block_id ~buffer ~offset
             | None -> ());
             Array.unsafe_set iregs (base + !l)
-              (Memory.atomic_addi env.d_mem ~buffer_id:buffer ~offset v)
+              (Atomics.addi env.d_atomics ~block_id ~buffer ~offset v)
           end
         end;
         incr l;
@@ -1458,10 +1494,10 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
           end
           else begin
             (match env.d_races with
-            | Some r -> Racecheck.record r ~block_id ~buffer ~offset
+            | Some r -> Racecheck.record_atomic r ~block_id ~buffer ~offset
             | None -> ());
             Array.unsafe_set fregs (base + !l)
-              (Memory.atomic_addf env.d_mem ~buffer_id:buffer ~offset v)
+              (Atomics.addf env.d_atomics ~block_id ~buffer ~offset v)
           end
         end;
         incr l;
@@ -1533,10 +1569,13 @@ let make_decoded (env : decoded_env) (st : decoded_state) ~smem ~dcache ~icache
       done;
       charge ~cycles:d.Device.alu_cost ~active ()
     | Decode.D_alloca { dst; ty } ->
-      (* One cell per lane, so each lane gets a private slot. *)
-      let buf = Memory.alloc_scratch env.d_mem ty ws in
+      (* One cell per lane, so each lane gets a private slot. Arenas live
+         in the block's shared bank: their ids are a pure function of
+         (block, allocation index within the block), so they are
+         identical at any shard width, and the bank drops them wholesale
+         at the next block entry. *)
       let base = dst * ws in
-      let bid = Memory.buffer_id buf in
+      let bid = Memory.bank_alloca smem ty ws in
       let mm = ref mask and l = ref 0 in
       while !mm <> 0 do
         if !mm land 1 <> 0 then begin

@@ -33,15 +33,17 @@ type launch_env = {
   block_dim : int;
   grid_dim : int;
   max_warp_cycles : int;  (** runaway-loop guard *)
-  tracer : Trace.t option;       (** optional execution trace *)
-  races : Racecheck.t option;    (** inter-block write-overlap audit *)
+  tracer : Trace.t option;       (** shard-private execution trace *)
+  races : Racecheck.t option;    (** shard-private write-overlap collector *)
+  atomics : Atomics.t;           (** shard-private deferred atomics view *)
 }
-(** Launch-wide state only: everything here is immutable during the grid
-    walk (or, for [mem], written at block-disjoint cells), so one env is
-    shared read-only by all domains simulating blocks of a launch. The
-    mutable per-block state — data cache, icache residency, noise
-    stream — is passed to {!make} per block, matching the per-SM L1 of
-    real devices. *)
+(** Launch-wide state plus shard-private sinks: the plain fields are
+    immutable during the grid walk (or, for [mem], written at
+    block-disjoint cells), and {!Kernel} gives every shard its own env
+    copy with fresh [tracer]/[races]/[atomics], so no field is ever
+    mutated by two domains. The mutable per-block state — data cache,
+    icache residency, noise stream — is passed to {!make} per block,
+    matching the per-SM L1 of real devices. *)
 
 val make :
   launch_env ->
@@ -82,9 +84,10 @@ type decoded_env = {
   d_max_warp_cycles : int;
   d_tracer : Trace.t option;
   d_races : Racecheck.t option;
+  d_atomics : Atomics.t;
 }
-(** Shareable across domains like {!launch_env}; per-block caches and
-    noise are arguments of {!make_decoded}. *)
+(** Launch-wide state plus shard-private sinks, like {!launch_env};
+    per-block caches and noise are arguments of {!make_decoded}. *)
 
 type decoded_state
 (** Per-warp scratch (flat register files, reconvergence stack,

@@ -183,8 +183,9 @@ let simulate ?noise_seed ?(engine = Kernel.Decoded) ?sim_jobs (c : compiled) =
 
 (* Replay the launch schedule with a write-set collector per launch:
    the empirical check that blocks write disjoint cells, i.e. that the
-   parallel block shard may not change final memory. Runs serially by
-   construction (Kernel forces sim_jobs = 1 when races is set). *)
+   parallel block shard may not change final memory. Sharded launches
+   collect per shard and merge in block order, so the report bytes are
+   the same at any sim_jobs width. *)
 let race_audit ?(engine = Kernel.Decoded) (c : compiled) =
   let app = c.c_app and m = c.modul in
   let instance = app.App.setup (Rng.create workload_seed) in
@@ -350,11 +351,13 @@ let respond ?(default_sim_jobs = 1) (r : Uu_serve.Request.t)
         (fun (f : Func.t) ->
           let args = synthetic_args ~elems:r.elems rng mem f in
           let races = if r.check_races then Some (Racecheck.create ()) else None in
+          let tracer = if r.trace then Some (Trace.create ()) else None in
           let config =
             {
               Kernel.default_config with
               engine = r.engine;
               races;
+              tracer;
               sim_jobs;
               noise;
               decode_cache = Some c.rq_decode;
@@ -370,6 +373,7 @@ let respond ?(default_sim_jobs = 1) (r : Uu_serve.Request.t)
             code_bytes = result.Kernel.code_bytes;
             metrics = result.Kernel.metrics;
             races = Option.map Racecheck.report races;
+            trace = Option.map (Trace.render f) tracer;
           })
         c.rq_modul.Func.funcs
     in

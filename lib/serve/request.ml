@@ -13,14 +13,15 @@ type t = {
   block_dim : int;
   elems : int;
   check_races : bool;
+  trace : bool;
   noise_seed : int64 option;
   engine : Uu_gpusim.Kernel.engine;
   sim_jobs : int option;
 }
 
 let make ?(mode = Run) ?loop ?(grid_dim = 4) ?(block_dim = 128) ?(elems = 1024)
-    ?(check_races = false) ?noise_seed ?(engine = Uu_gpusim.Kernel.Decoded)
-    ?sim_jobs source config =
+    ?(check_races = false) ?(trace = false) ?noise_seed
+    ?(engine = Uu_gpusim.Kernel.Decoded) ?sim_jobs source config =
   {
     mode;
     source;
@@ -30,6 +31,7 @@ let make ?(mode = Run) ?loop ?(grid_dim = 4) ?(block_dim = 128) ?(elems = 1024)
     block_dim;
     elems;
     check_races;
+    trace;
     noise_seed;
     engine;
     sim_jobs;
@@ -56,11 +58,11 @@ let loop_string = function None -> "-" | Some id -> string_of_int id
    the same reason they are in [Uu_harness.Jobs.spec]: a compiler change
    and a simulator-semantics change each invalidate old entries. *)
 let spec r =
-  Printf.sprintf "serve;v%s;sim=%s;mode=%s;source=%s;config=%s;loop=%s;shape=%dx%dx%d;races=%b;noise=%s"
+  Printf.sprintf "serve;v%s;sim=%s;mode=%s;source=%s;config=%s;loop=%s;shape=%dx%dx%d;races=%b;trace=%b;noise=%s"
     Pipelines.version Uu_gpusim.Kernel.semantics_version (mode_string r.mode)
     (source_spec r.source)
     (Pipelines.config_to_string r.config)
-    (loop_string r.loop) r.grid_dim r.block_dim r.elems r.check_races
+    (loop_string r.loop) r.grid_dim r.block_dim r.elems r.check_races r.trace
     (match r.noise_seed with None -> "-" | Some s -> Int64.to_string s)
 
 let key r = Digest.to_hex (Digest.string (spec r))
@@ -113,6 +115,7 @@ let to_json r =
       ("block", Json.Int r.block_dim);
       ("elems", Json.Int r.elems);
       ("check_races", Json.Bool r.check_races);
+      ("trace", Json.Bool r.trace);
       ( "noise_seed",
         match r.noise_seed with
         | None -> Json.Null
@@ -165,6 +168,16 @@ let of_json j =
   let* block_dim = field "block" Json.to_int j in
   let* elems = field "elems" Json.to_int j in
   let* check_races = field "check_races" Json.to_bool j in
+  (* Absent means false: clients speaking the pre-trace protocol keep
+     round-tripping. *)
+  let* trace =
+    match Json.member "trace" j with
+    | None | Some Json.Null -> Ok false
+    | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error "request: bad field \"trace\"")
+  in
   let* noise_seed =
     let* s = opt_field "noise_seed" Json.to_str j in
     match s with
@@ -192,6 +205,7 @@ let of_json j =
       block_dim;
       elems;
       check_races;
+      trace;
       noise_seed;
       engine;
       sim_jobs;

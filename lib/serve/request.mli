@@ -10,7 +10,8 @@
     Identity: {!spec} is the human-readable one-line description of
     everything the response depends on — the pipeline version, the
     simulator-semantics version, mode, source (inline text by content
-    hash), config, loop, shape, race checking, and noise seed. {!key}
+    hash), config, loop, shape, race checking, tracing, and noise seed.
+    {!key}
     is its content hash, under which the daemon caches serialized
     responses in [Uu_harness.Result_cache] (raw-entry namespace).
     [engine] and [sim_jobs] are deliberately absent from the spec: both
@@ -37,6 +38,8 @@ type t = {
   block_dim : int;
   elems : int;  (** elements in synthetic buffer arguments *)
   check_races : bool;
+  trace : bool;
+      (** record and return the SIMT schedule of every launch *)
   noise_seed : int64 option;
       (** enable the memory-jitter model with this seed *)
   engine : Uu_gpusim.Kernel.engine;  (** not part of the request identity *)
@@ -50,6 +53,7 @@ val make :
   ?block_dim:int ->
   ?elems:int ->
   ?check_races:bool ->
+  ?trace:bool ->
   ?noise_seed:int64 ->
   ?engine:Uu_gpusim.Kernel.engine ->
   ?sim_jobs:int ->
@@ -57,7 +61,8 @@ val make :
   Pipelines.config ->
   t
 (** Defaults mirror [uu run]: mode [Run], grid 4, block 128, elems 1024,
-    no race check, no noise, [Decoded] engine, server-chosen [sim_jobs]. *)
+    no race check, no trace, no noise, [Decoded] engine, server-chosen
+    [sim_jobs]. *)
 
 val source_name : source -> string
 

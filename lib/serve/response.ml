@@ -7,6 +7,7 @@ type measurement = {
   code_bytes : int;
   metrics : Uu_gpusim.Metrics.t;
   races : string option;
+  trace : string option;
 }
 
 type body =
@@ -34,9 +35,12 @@ let render_measurement ~config buf (m : measurement) =
        (Pipelines.config_name config)
        m.kernel_cycles m.code_bytes
        (Format.asprintf "%a" Uu_gpusim.Metrics.pp m.metrics));
-  match m.races with
+  (match m.races with
   | None -> ()
-  | Some report -> Buffer.add_string buf (Printf.sprintf "  %s\n" report)
+  | Some report -> Buffer.add_string buf (Printf.sprintf "  %s\n" report));
+  match m.trace with
+  | None -> ()
+  | Some t -> Buffer.add_string buf t
 
 let render = function
   | Error msg -> Printf.sprintf "error: %s\n" msg
@@ -56,6 +60,7 @@ let measurement_to_json m =
       ("code_bytes", Json.Int m.code_bytes);
       ("metrics", Uu_gpusim.Metrics.to_json m.metrics);
       ("races", match m.races with None -> Json.Null | Some r -> Json.Str r);
+      ("trace", match m.trace with None -> Json.Null | Some t -> Json.Str t);
     ]
 
 let to_json = function
@@ -108,7 +113,16 @@ let measurement_of_json j =
       | Some r -> Ok (Some r)
       | None -> Error "response: bad field \"races\"")
   in
-  Ok { label; kernel_cycles; code_bytes; metrics; races }
+  (* Absent means untraced: pre-trace responses keep round-tripping. *)
+  let* trace =
+    match Json.member "trace" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_str v with
+      | Some t -> Ok (Some t)
+      | None -> Error "response: bad field \"trace\"")
+  in
+  Ok { label; kernel_cycles; code_bytes; metrics; races; trace }
 
 let of_json j =
   match Option.bind (Json.member "error" j) Json.to_str with

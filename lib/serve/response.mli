@@ -17,6 +17,9 @@ type measurement = {
   code_bytes : int;
   metrics : Uu_gpusim.Metrics.t;
   races : string option;  (** racecheck report, when the request asked *)
+  trace : string option;
+      (** rendered SIMT schedule ({!Uu_gpusim.Trace.render}), when the
+          request asked *)
 }
 
 type body =

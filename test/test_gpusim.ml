@@ -346,8 +346,11 @@ let test_kernel_time_concurrency () =
 
 (* --- block-scoped shared memory ------------------------------------ *)
 
+(* Promote locals first: alloca arenas live in the shared bank too, and
+   these tests pin exact counters for the declared arrays alone. *)
 let run_shared ?(engine = Kernel.Decoded) ?(grid = 2) src =
   let fn = Ir_helpers.compile_one src in
+  ignore (Uu_opt.Pass.exec [ Uu_opt.Mem2reg.pass ] fn);
   let mem = Memory.create () in
   let out = Memory.zeros_f64 mem (grid * 32) in
   let r =

@@ -21,15 +21,16 @@ let complex =
 
 let test_registry () =
   (* The paper's 16 Table I applications plus the shared-memory wave
-     (dbuf, stencil1d, stencil2d, treduce) and the multi-warp variants
-     of stencil1d and treduce at block_dim 64/128/256. *)
-  check int "26 applications" 26 (List.length Uu_benchmarks.Registry.all);
+     (dbuf, stencil1d, stencil2d, treduce), the multi-warp variants
+     of stencil1d and treduce at block_dim 64/128/256, and the atomic
+     wave (histogram). *)
+  check int "27 applications" 27 (List.length Uu_benchmarks.Registry.all);
   check bool "find works" true (Uu_benchmarks.Registry.find "XSBench" <> None);
   check bool "unknown app" true (Uu_benchmarks.Registry.find "nope" = None);
   check (Alcotest.list Alcotest.string) "names"
     [
       "bezier-surface"; "bn"; "bspline-vgh"; "ccs"; "clink"; "complex"; "contract";
-      "coordinates"; "dbuf"; "haccmk"; "lavaMD"; "libor"; "mandelbrot";
+      "coordinates"; "dbuf"; "haccmk"; "histogram"; "lavaMD"; "libor"; "mandelbrot";
       "qtclustering"; "quicksort"; "rainflow"; "stencil1d"; "stencil1d-64";
       "stencil1d-128"; "stencil1d-256"; "stencil2d"; "treduce"; "treduce-64";
       "treduce-128"; "treduce-256"; "XSBench";

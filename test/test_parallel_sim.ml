@@ -116,15 +116,23 @@ let test_app_deterministic (app : App.t) () =
               (Pipelines.config_to_string config)
           in
           let ms, mems, checks = run_sharded ~sim_jobs:1 engine app config in
-          let mp, memp, checkp = run_sharded ~sim_jobs:wide engine app config in
-          if ms <> mp then
-            Alcotest.failf "%s: metrics diverge at sim_jobs %d@.serial: %s@.sharded: %s"
-              name wide
-              (Format.asprintf "%a" Metrics.pp ms)
-              (Format.asprintf "%a" Metrics.pp mp);
-          check bool (name ^ " memory identical") true (same_memory mems memp);
-          check bool (name ^ " oracle passes at both widths") true
-            (checks = Ok () && checkp = Ok ()))
+          check bool (name ^ " oracle passes serially") true (checks = Ok ());
+          List.iter
+            (fun jobs ->
+              let mp, memp, checkp = run_sharded ~sim_jobs:jobs engine app config in
+              if ms <> mp then
+                Alcotest.failf
+                  "%s: metrics diverge at sim_jobs %d@.serial: %s@.sharded: %s"
+                  name jobs
+                  (Format.asprintf "%a" Metrics.pp ms)
+                  (Format.asprintf "%a" Metrics.pp mp);
+              check bool
+                (Printf.sprintf "%s memory identical at sim_jobs %d" name jobs)
+                true (same_memory mems memp);
+              check bool
+                (Printf.sprintf "%s oracle passes at sim_jobs %d" name jobs)
+                true (checkp = Ok ()))
+            [ 2; wide ])
         configs)
     [ Kernel.Reference; Kernel.Decoded ]
 
@@ -146,13 +154,17 @@ let test_noisy_deterministic () =
 
 (* --- the race checker ---------------------------------------------- *)
 
-let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) ?(block = 32) src =
+(* Promote locals first: alloca arenas are shared-bank traffic too, and
+   these tests pin the recorder's view of the declared arrays alone. *)
+let launch_with_races ?(engine = Kernel.Decoded) ?(grid = 4) ?(block = 32)
+    ?(sim_jobs = 8) src =
   let fn = Ir_helpers.compile_one src in
+  ignore (Uu_opt.Pass.exec [ Uu_opt.Mem2reg.pass ] fn);
   let mem = Memory.create () in
   let out = Memory.zeros_f64 mem 512 in
   let races = Racecheck.create () in
   let r =
-    Kernel.exec ~config:(Kernel.config ~engine ~races ~sim_jobs:8 ()) mem fn ~grid_dim:grid ~block_dim:block
+    Kernel.exec ~config:(Kernel.config ~engine ~races ~sim_jobs ()) mem fn ~grid_dim:grid ~block_dim:block
       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]
   in
   (r, races)
@@ -184,8 +196,8 @@ let test_racecheck () =
   check bool "report mentions the cell" true
     (Astring.String.is_infix ~affix:"offset 0" (Racecheck.report races))
 
-(* A race-checked launch is forced serial, so attaching the collector
-   never changes the measurement. *)
+(* A race-checked launch shards like any other; the per-shard collectors
+   must never change the measurement. *)
 let test_racecheck_preserves_metrics () =
   let fn = Ir_helpers.compile_one disjoint in
   let run ?races () =
@@ -326,6 +338,88 @@ let test_shared_epoch_block_global () =
         (List.length (Racecheck.shared_races clean)))
     [ Kernel.Reference; Kernel.Decoded ]
 
+(* --- byte-identical reports and traces at any shard width ----------- *)
+
+(* Global atomics from every block beside the per-block plain writes:
+   the report gains an atomics line and every line must be identical at
+   any width — atomic-only cells never overlap, and the per-shard
+   collectors merge back to the serial bytes. *)
+let atomic_mix =
+  {|kernel k(float* restrict out, int n) {
+      int tid = threadIdx.x + blockIdx.x * blockDim.x;
+      float old = atomicAdd(&out[0], 1.0);
+      if (tid + 1 < n) { out[tid + 1] = old * 0.0 + 1.0; }
+    }|}
+
+let test_report_bytes_deterministic () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun src ->
+          let _, serial = launch_with_races ~engine ~sim_jobs:1 src in
+          let want = Racecheck.report serial in
+          List.iter
+            (fun sim_jobs ->
+              let _, sharded = launch_with_races ~engine ~sim_jobs src in
+              check Alcotest.string
+                (Printf.sprintf "report bytes at sim_jobs %d" sim_jobs)
+                want
+                (Racecheck.report sharded))
+            [ 2; 3 ])
+        [ racy; shared_racy_writes; shared_clean; atomic_mix ])
+    [ Kernel.Reference; Kernel.Decoded ];
+  (* The atomics line is present exactly when atomics ran. *)
+  let _, races = launch_with_races atomic_mix in
+  check bool "atomics line present" true
+    (Astring.String.is_infix ~affix:"committed in block order"
+       (Racecheck.report races));
+  check bool "atomic-only cell is not an overlap" true
+    (Racecheck.overlaps races
+    |> List.for_all (fun o -> o.Racecheck.offset <> 0))
+
+(* Traced launches shard too: per-shard buffers spliced in block order
+   must reproduce the serial stream byte for byte, including the cutoff
+   of a small [limit]. *)
+let run_traced ?(engine = Kernel.Decoded) ?limit ~sim_jobs src =
+  let fn = Ir_helpers.compile_one src in
+  ignore (Uu_opt.Pass.exec [ Uu_opt.Mem2reg.pass ] fn);
+  let mem = Memory.create () in
+  let out = Memory.zeros_f64 mem 512 in
+  let tracer = Trace.create ?limit () in
+  ignore
+    (Kernel.exec ~config:(Kernel.config ~engine ~tracer ~sim_jobs ()) mem fn
+       ~grid_dim:4 ~block_dim:32
+       ~args:[ Kernel.Buf out; Kernel.Int_arg 128L ]);
+  (Trace.render fn tracer, List.length (Trace.events tracer))
+
+let test_trace_bytes_deterministic () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun src ->
+          let want, _ = run_traced ~engine ~sim_jobs:1 src in
+          check bool "trace recorded" true (want <> "");
+          List.iter
+            (fun sim_jobs ->
+              let got, _ = run_traced ~engine ~sim_jobs src in
+              check Alcotest.string
+                (Printf.sprintf "trace bytes at sim_jobs %d" sim_jobs)
+                want got)
+            [ 2; 3 ])
+        [ disjoint; shared_racy_writes ])
+    [ Kernel.Reference; Kernel.Decoded ];
+  (* Truncation parity: a limit smaller than the stream cuts the sharded
+     splice at exactly the serial prefix. *)
+  let want, n = run_traced ~limit:10 ~sim_jobs:1 disjoint in
+  check int "limit honoured" 10 n;
+  List.iter
+    (fun sim_jobs ->
+      let got, _ = run_traced ~limit:10 ~sim_jobs disjoint in
+      check Alcotest.string
+        (Printf.sprintf "truncated trace bytes at sim_jobs %d" sim_jobs)
+        want got)
+    [ 2; 3 ]
+
 (* Kernels with no shared memory must not grow a shared section: the
    global-only report is unchanged from the pre-shared simulator. *)
 let test_shared_report_absent () =
@@ -363,12 +457,12 @@ let bezier =
 
 let test_sim_version_in_key () =
   (* Shared memory bumped the version past the pre-shared "2"; the
-     barrier scheduler (multi-warp blocks, barrier_wait_cycles, block-
-     global epochs) bumped it again to "4" — cached entries measured
-     under single-warp scheduling must never be served to the new
+     barrier scheduler bumped it to "4"; deferred block-ordered atomics
+     and bank-resident alloca arenas bumped it to "5" — cached entries
+     measured under the old machines must never be served to the new
      simulator. *)
-  check bool "semantics version covers the barrier scheduler" true
-    (Kernel.semantics_version >= "4");
+  check bool "semantics version covers deferred atomics and arenas" true
+    (Kernel.semantics_version >= "5");
   let j = Jobs.job bezier Pipelines.Baseline in
   check bool "spec names the simulator version" true
     (Astring.String.is_infix
@@ -403,6 +497,10 @@ let suite =
       test_shared_epoch_block_global;
     Alcotest.test_case "shared report absent without shared memory" `Quick
       test_shared_report_absent;
+    Alcotest.test_case "race report bytes shard-deterministic" `Quick
+      test_report_bytes_deterministic;
+    Alcotest.test_case "trace bytes shard-deterministic" `Quick
+      test_trace_bytes_deterministic;
     Alcotest.test_case "racecheck preserves metrics" `Quick
       test_racecheck_preserves_metrics;
     Alcotest.test_case "noisy shard determinism" `Quick test_noisy_deterministic;

@@ -44,6 +44,7 @@ let request_gen =
   let* block_dim = int_range 1 256 in
   let* elems = int_range 1 65536 in
   let* check_races = bool in
+  let* trace = bool in
   let* noise_seed = opt (map Int64.of_int int) in
   let* engine = oneofl [ Uu_gpusim.Kernel.Decoded; Uu_gpusim.Kernel.Reference ] in
   let* sim_jobs = opt (int_range 1 16) in
@@ -57,6 +58,7 @@ let request_gen =
       block_dim;
       elems;
       check_races;
+      trace;
       noise_seed;
       engine;
       sim_jobs;
@@ -83,7 +85,8 @@ let measurement_gen =
   let* code_bytes = nat in
   let* metrics = metrics_gen in
   let* races = opt string_printable in
-  return { Response.label; kernel_cycles; code_bytes; metrics; races }
+  let* trace = opt string_printable in
+  return { Response.label; kernel_cycles; code_bytes; metrics; races; trace }
 
 let response_gen =
   let open QCheck2.Gen in
