@@ -425,19 +425,25 @@ let main () =
 
 (* --- serve daemon load generator ------------------------------------ *)
 
-(* Sustained load against an in-process serve daemon: [clients] client
-   threads each issue the whole request mix, rotated per client so
-   identical requests overlap in flight (exercising the in-flight
-   dedupe), first against an empty response cache (cold) and then again
-   (warm, which must be served entirely from the cache). Asserts the
-   core serve contract — byte-identical response documents for
-   identical requests, whichever of the three paths served them — and
-   records throughput and latency percentiles in BENCH_serve.json. *)
+(* Sustained load against an in-process serve daemon: client threads
+   each issue the whole request mix, rotated per client so identical
+   requests overlap in flight (exercising the in-flight dedupe), first
+   against an empty response cache (cold) and then again (warm, which
+   must be served entirely from the cache), then a warm client-count
+   scaling sweep (1 -> 8 -> 32 connections against the one reactor
+   thread). Asserts the core serve contract — byte-identical response
+   documents for identical requests, whichever of the three paths
+   served them — and records throughput, latency percentiles, and a
+   per-wave response digest in BENCH_serve.json. Throughput on a
+   1-domain container measures reactor overhead, not parallel serving,
+   so such a run refuses to overwrite an existing baseline — the
+   contract checks still run and still fail the build. *)
 let serve_report path =
   let tmp = Filename.get_temp_dir_name () in
   let pid = Unix.getpid () in
   let socket = Filename.concat tmp (Printf.sprintf "uu-serve-bench-%d.sock" pid) in
   let cache_dir = Filename.concat tmp (Printf.sprintf "uu-serve-bench-%d.cache" pid) in
+  let avail = Uu_support.Parallel.available_domains () in
   let server = Uu_harness.Server.create ~socket ~cache_dir () in
   let server_thread = Thread.create Uu_harness.Server.serve_forever server in
   let mix =
@@ -457,12 +463,13 @@ let serve_report path =
   let n_mix = Array.length mix in
   let clients = 8 in
   print_endline "== serve: daemon load generator ==";
-  Printf.printf "  %d clients x %d distinct requests per wave, socket %s\n%!" clients
-    n_mix socket;
-  let wave () =
-    let latencies = Array.make (clients * n_mix) 0.0 in
-    let served = Array.make (clients * n_mix) Uu_serve.Protocol.Executed in
-    let texts = Array.make (clients * n_mix) "" in
+  Printf.printf
+    "  %d clients x %d distinct requests per wave, %d domains, socket %s\n%!"
+    clients n_mix avail socket;
+  let wave nclients =
+    let latencies = Array.make (nclients * n_mix) 0.0 in
+    let served = Array.make (nclients * n_mix) Uu_serve.Protocol.Executed in
+    let texts = Array.make (nclients * n_mix) "" in
     let t0 = Unix.gettimeofday () in
     let worker c =
       let client = Uu_serve.Client.connect ~socket () in
@@ -479,7 +486,7 @@ let serve_report path =
             texts.(slot) <- Uu_serve.Response.to_string response
           done)
     in
-    let threads = List.init clients (fun c -> Thread.create worker c) in
+    let threads = List.init nclients (fun c -> Thread.create worker c) in
     List.iter Thread.join threads;
     (Unix.gettimeofday () -. t0, latencies, served, texts)
   in
@@ -492,11 +499,17 @@ let serve_report path =
   let count s served =
     Array.fold_left (fun acc x -> if x = s then acc + 1 else acc) 0 served
   in
-  let describe label (seconds, latencies, served, _) =
-    let total = clients * n_mix in
+  (* One digest per wave: the concatenated response documents in slot
+     order. Two runs serving identical bytes carry identical digests,
+     so baselines can be compared without shipping the documents. *)
+  let digest (_, _, _, texts) =
+    Digest.to_hex (Digest.string (String.concat "" (Array.to_list texts)))
+  in
+  let describe label nclients (seconds, latencies, served, _) =
+    let total = nclients * n_mix in
     let rps = float_of_int total /. seconds in
     Printf.printf
-      "  %-4s %3d requests in %6.2f s: %7.1f req/s, p50 %.2f ms, p99 %.2f ms \
+      "  %-8s %4d requests in %6.2f s: %7.1f req/s, p50 %.2f ms, p99 %.2f ms \
        (executed %d, joined %d, cache %d)\n%!"
       label total seconds rps
       (percentile latencies 0.50)
@@ -506,10 +519,10 @@ let serve_report path =
       (count Uu_serve.Protocol.Cache served);
     rps
   in
-  let cold = wave () in
-  let warm = wave () in
-  let cold_rps = describe "cold" cold in
-  let warm_rps = describe "warm" warm in
+  let cold = wave clients in
+  let warm = wave clients in
+  let cold_rps = describe "cold" clients cold in
+  let warm_rps = describe "warm" clients warm in
   (* Every identical request must have produced identical response
      bytes — across clients, waves, and served paths. *)
   let _, _, _, cold_texts = cold in
@@ -529,6 +542,28 @@ let serve_report path =
   let warm_all_cached = count Uu_serve.Protocol.Cache warm_served = clients * n_mix in
   if not warm_all_cached then
     Printf.eprintf "serve: warm wave was not served entirely from the cache\n";
+  (* Connection scaling: the same warm (fully cache-served) wave at
+     growing client counts, all multiplexed onto the one reactor
+     thread. Each wave's bytes must still match the cold wave's. *)
+  let scaling =
+    List.map
+      (fun nclients ->
+        let w = wave nclients in
+        let rps = describe (Printf.sprintf "scale-%d" nclients) nclients w in
+        let _, _, _, texts = w in
+        for c = 0 to nclients - 1 do
+          for i = 0 to n_mix - 1 do
+            if texts.((c * n_mix) + i) <> cold_texts.(i) then begin
+              byte_identical := false;
+              Printf.eprintf
+                "serve: scaling wave (%d clients) bytes diverge for request %d\n"
+                nclients i
+            end
+          done
+        done;
+        (nclients, rps, w))
+      [ 1; 8; 32 ]
+  in
   let stats =
     let client = Uu_serve.Client.connect ~socket () in
     Fun.protect
@@ -541,39 +576,61 @@ let serve_report path =
   Thread.join server_thread;
   let ratio = warm_rps /. cold_rps in
   Printf.printf "  warm/cold throughput: %.1fx\n%!" ratio;
-  let wave_json (seconds, latencies, served, _) rps =
+  let wave_json nclients ((seconds, latencies, served, _) as w) rps =
     Printf.sprintf
-      {|{ "seconds": %.3f, "req_per_s": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "executed": %d, "joined": %d, "cache": %d }|}
-      seconds rps
+      {|{ "clients": %d, "seconds": %.3f, "req_per_s": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "executed": %d, "joined": %d, "cache": %d, "response_digest": "%s" }|}
+      nclients seconds rps
       (percentile latencies 0.50)
       (percentile latencies 0.99)
       (count Uu_serve.Protocol.Executed served)
       (count Uu_serve.Protocol.Joined served)
       (count Uu_serve.Protocol.Cache served)
+      (digest w)
   in
-  let oc = open_out path in
-  Printf.fprintf oc
-    {|{
-  "benchmark": "uu serve load generator: %d clients x %d distinct requests per wave (4 apps x 2 configs x 2 shapes), rotated per client, cold then warm",
+  let skip_write = avail = 1 && Sys.file_exists path in
+  if skip_write then
+    Printf.eprintf
+      "serve: WARNING: only 1 domain available — this run measures reactor \
+       overhead, not parallel serving.\n\
+       serve: refusing to overwrite the baseline %s; rebaseline on a multicore \
+       machine.\n%!"
+      path
+  else begin
+    if avail = 1 then
+      Printf.eprintf
+        "serve: WARNING: only 1 domain available — writing a fresh baseline, \
+         but its throughput reflects a serial pool.\n%!";
+    let oc = open_out path in
+    Printf.fprintf oc
+      {|{
+  "benchmark": "uu serve load generator: %d clients x %d distinct requests per wave (4 apps x 2 configs x 2 shapes), rotated per client, cold then warm, then a warm client-scaling sweep",
+  "available_domains": %d,
   "clients": %d,
   "distinct_requests": %d,
   "requests_per_wave": %d,
   "cold": %s,
   "warm": %s,
   "warm_over_cold": %.1f,
+  "scaling": [
+    %s
+  ],
   "byte_identical": %b,
   "warm_fully_cache_served": %b,
   "server": { %s }
 }
 |}
-    clients n_mix clients n_mix (clients * n_mix)
-    (wave_json cold cold_rps)
-    (wave_json warm warm_rps)
-    ratio !byte_identical warm_all_cached
-    (String.concat ", "
-       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) stats));
-  close_out oc;
-  Printf.printf "  wrote %s\n%!" path;
+      clients n_mix avail clients n_mix (clients * n_mix)
+      (wave_json clients cold cold_rps)
+      (wave_json clients warm warm_rps)
+      ratio
+      (String.concat ",\n    "
+         (List.map (fun (nclients, rps, w) -> wave_json nclients w rps) scaling))
+      !byte_identical warm_all_cached
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) stats));
+    close_out oc;
+    Printf.printf "  wrote %s\n%!" path
+  end;
   if not !byte_identical then exit 1;
   if not warm_all_cached then exit 1;
   if ratio < 5.0 then begin

@@ -105,6 +105,22 @@ let socket_arg =
           "Unix socket of the serve daemon (default: $(b,UU_SERVE_SOCKET) or \
            <tmpdir>/uu-serve.sock)")
 
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "TCP endpoint of the serve daemon (e.g. $(b,127.0.0.1:7070); an empty \
+           host means 127.0.0.1). Takes precedence over $(b,--socket)")
+
+let parse_tcp_opt = function
+  | None -> None
+  | Some spec -> (
+    match Uu_serve.Protocol.parse_tcp spec with
+    | Ok endpoint -> Some endpoint
+    | Error msg -> failwith msg)
+
 let handle_errors f =
   try f () with
   | Uu_frontend.Lexer.Error (msg, pos) ->
@@ -122,6 +138,10 @@ let handle_errors f =
   | Uu_serve.Protocol.Protocol_error msg ->
     Printf.eprintf "protocol error: %s\n" msg;
     exit 1
+  | Uu_serve.Client.Busy { queued; limit } ->
+    Printf.eprintf "busy: daemon shed the request (%d queued, limit %d)\n" queued
+      limit;
+    exit 7
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
@@ -391,22 +411,52 @@ let serve_cmd =
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:"Response cache directory, shared with the experiment job graph")
   in
-  let run socket domains cache_dir =
+  let max_running_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-running" ] ~docv:"N"
+          ~doc:
+            "Admission control: requests executing at once (default: the pool \
+             width)")
+  in
+  let max_queued_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queued" ] ~docv:"N"
+          ~doc:
+            "Admission control: requests waiting for a slot before new ones are \
+             shed with a busy frame (default 256; 0 sheds anything that cannot \
+             start immediately)")
+  in
+  let run socket tcp domains cache_dir max_running max_queued =
     handle_errors (fun () ->
-        let server = Uu_harness.Server.create ?socket ?domains ~cache_dir () in
-        Printf.eprintf "uu serve: listening on %s (cache %s)\n%!"
+        let tcp = parse_tcp_opt tcp in
+        let server =
+          Uu_harness.Server.create ?socket ?tcp ?domains ~cache_dir ?max_running
+            ?max_queued ()
+        in
+        Printf.eprintf "uu serve: listening on %s%s (cache %s)\n%!"
           (Uu_harness.Server.socket server)
+          (match Uu_harness.Server.tcp server with
+          | Some (host, port) -> Printf.sprintf " and %s:%d" host port
+          | None -> "")
           cache_dir;
         Uu_harness.Server.serve_forever server)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the compile-and-simulate daemon: a unix-socket server that keeps \
-          compiled modules and decode caches warm across requests, dedupes identical \
-          in-flight requests, and serves repeated requests from the on-disk response \
-          cache. Stop it with $(b,uu serve-ctl shutdown)")
-    Term.(const run $ socket_arg $ domains_arg $ cache_dir_arg)
+         "Run the compile-and-simulate daemon: an event-loop server (unix socket, \
+          plus TCP with $(b,--tcp)) that keeps compiled modules and decode caches \
+          warm across requests, dedupes identical in-flight requests, serves \
+          repeated requests from the on-disk response cache, and sheds overload \
+          deterministically once its admission queue is full. Several daemons may \
+          share one $(b,--cache-dir). Stop it with $(b,uu serve-ctl shutdown)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ domains_arg $ cache_dir_arg
+      $ max_running_arg $ max_queued_arg)
 
 let request_cmd =
   let compile_flag =
@@ -416,7 +466,7 @@ let request_cmd =
           ~doc:"Request the optimized IR instead of running the simulator")
   in
   let run source config factor loop grid block elems engine sim_jobs check_races
-      trace socket compile_only =
+      trace socket tcp compile_only =
     handle_errors (fun () ->
         let request =
           let r =
@@ -425,7 +475,7 @@ let request_cmd =
           in
           if compile_only then { r with Uu_serve.Request.mode = Compile } else r
         in
-        let client = Uu_serve.Client.connect ?socket () in
+        let client = Uu_serve.Client.connect ?socket ?tcp:(parse_tcp_opt tcp) () in
         Fun.protect
           ~finally:(fun () -> Uu_serve.Client.close client)
           (fun () ->
@@ -442,11 +492,12 @@ let request_cmd =
        ~doc:
          "Ship one compile-or-run request to the serve daemon and print the response \
           — the same bytes the equivalent $(b,uu run) or $(b,uu compile) prints \
-          locally (the served-status goes to stderr)")
+          locally (the served-status goes to stderr). Exits 7 when the daemon \
+          sheds the request under overload")
     Term.(
       const run $ file_arg $ config_arg $ factor_arg $ loop_arg $ grid_arg $ block_arg
       $ elems_arg $ engine_arg $ sim_jobs_arg $ races_arg $ trace_arg $ socket_arg
-      $ compile_flag)
+      $ tcp_arg $ compile_flag)
 
 let serve_ctl_cmd =
   let op_arg =
@@ -455,9 +506,9 @@ let serve_ctl_cmd =
       & pos 0 (some (enum [ ("stats", `Stats); ("ping", `Ping); ("shutdown", `Shutdown) ])) None
       & info [] ~docv:"OP" ~doc:"One of $(b,stats), $(b,ping), $(b,shutdown)")
   in
-  let run op socket =
+  let run op socket tcp =
     handle_errors (fun () ->
-        let client = Uu_serve.Client.connect ?socket () in
+        let client = Uu_serve.Client.connect ?socket ?tcp:(parse_tcp_opt tcp) () in
         Fun.protect
           ~finally:(fun () -> Uu_serve.Client.close client)
           (fun () ->
@@ -475,7 +526,7 @@ let serve_ctl_cmd =
   in
   Cmd.v
     (Cmd.info "serve-ctl" ~doc:"Query or stop a running serve daemon")
-    Term.(const run $ op_arg $ socket_arg)
+    Term.(const run $ op_arg $ socket_arg $ tcp_arg)
 
 let () =
   let info =

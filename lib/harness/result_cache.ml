@@ -135,7 +135,39 @@ let decode text =
 
 (* --- the store ----------------------------------------------------- *)
 
-let path_of t ~key = Filename.concat t.cache_dir (key ^ ".json")
+(* Entries fan out over 256 shard directories keyed by the first two hex
+   digits of the key — [<dir>/ab/<key>.json] — so the store stays a
+   small-directory workload at millions of entries. Keys are content
+   hashes (hex digests), so the fan-out is uniform by construction. *)
+let shard_of key = if String.length key >= 2 then String.sub key 0 2 else key
+
+let path_of t ~key =
+  Filename.concat (Filename.concat t.cache_dir (shard_of key)) (key ^ ".json")
+
+(* Pre-shard caches stored entries flat as [<dir>/<key>.json]; those are
+   migrated into their shard on first lookup (a rename, so the bytes a
+   warm rerun reads are exactly the bytes the cold run wrote). *)
+let legacy_path_of t ~key = Filename.concat t.cache_dir (key ^ ".json")
+
+(* The path holding this key's entry, after read-through migration:
+   prefer the sharded path; a legacy flat entry is renamed into its
+   shard. Another process racing the same migration is benign — rename
+   failure falls back to whichever path survived. *)
+let locate t ~key =
+  let sharded = path_of t ~key in
+  if Sys.file_exists sharded then Some sharded
+  else
+    let legacy = legacy_path_of t ~key in
+    if not (Sys.file_exists legacy) then None
+    else begin
+      (try
+         Report.mkdirs (Filename.dirname sharded);
+         Sys.rename legacy sharded
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      if Sys.file_exists sharded then Some sharded
+      else if Sys.file_exists legacy then Some legacy
+      else None
+    end
 
 let read_file path =
   let ic = open_in_bin path in
@@ -144,12 +176,11 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let lookup t ~key =
-  let path = path_of t ~key in
-  if not (Sys.file_exists path) then begin
+  match locate t ~key with
+  | None ->
     t.miss_count <- t.miss_count + 1;
     None
-  end
-  else
+  | Some path -> (
     match decode (read_file path) with
     | Ok measurements ->
       t.hit_count <- t.hit_count + 1;
@@ -162,11 +193,20 @@ let lookup t ~key =
     | exception Sys_error msg ->
       Printf.eprintf "warning: unreadable cache entry %s: %s\n%!" path msg;
       t.miss_count <- t.miss_count + 1;
-      None
+      None)
 
-let store t ~key ~spec measurements =
-  Report.write_text ~path:(path_of t ~key ^ ".tmp") (encode ~spec measurements);
-  Sys.rename (path_of t ~key ^ ".tmp") (path_of t ~key)
+(* Atomic store: write to a process-unique temporary in the shard
+   directory, then rename. Several daemons may share one cache
+   directory; identical keys hold identical bytes (keys are content
+   hashes of the request identity and responses are deterministic), so
+   a lost rename race still installs the right content. *)
+let write_atomic t ~key text =
+  let path = path_of t ~key in
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  Report.write_text ~path:tmp text;
+  Sys.rename tmp path
+
+let store t ~key ~spec measurements = write_atomic t ~key (encode ~spec measurements)
 
 (* Raw entries: the serve daemon persists whole response documents under
    its own content-hash keys. Same directory, same atomic
@@ -175,12 +215,11 @@ let store t ~key ~spec measurements =
    "serve;" while a job key hashes a "v<version>;..." spec. *)
 
 let lookup_raw t ~key =
-  let path = path_of t ~key in
-  if not (Sys.file_exists path) then begin
+  match locate t ~key with
+  | None ->
     t.miss_count <- t.miss_count + 1;
     None
-  end
-  else
+  | Some path -> (
     match read_file path with
     | text ->
       t.hit_count <- t.hit_count + 1;
@@ -188,8 +227,6 @@ let lookup_raw t ~key =
     | exception Sys_error msg ->
       Printf.eprintf "warning: unreadable cache entry %s: %s\n%!" path msg;
       t.miss_count <- t.miss_count + 1;
-      None
+      None)
 
-let store_raw t ~key text =
-  Report.write_text ~path:(path_of t ~key ^ ".tmp") text;
-  Sys.rename (path_of t ~key ^ ".tmp") (path_of t ~key)
+let store_raw = write_atomic

@@ -1,8 +1,14 @@
 (** On-disk cache of experiment measurements.
 
-    Layout: one file per job under [<dir>/<key>.json] (canonically
+    Layout: one file per job under [<dir>/<ab>/<key>.json] (canonically
     [results/cache/]), where [key] is the job's content hash (see
-    [Uu_harness.Jobs.key]). Each file holds the job's serialized
+    [Uu_harness.Jobs.key]) and [ab] its first two hex digits — a 256-way
+    directory fan-out, so the store stays a small-directory workload at
+    millions of entries. Entries written by pre-shard versions as flat
+    [<dir>/<key>.json] files are migrated into their shard transparently
+    on first lookup (a rename — the bytes are untouched, so warm reruns
+    remain byte-identical across the migration). Each file holds the
+    job's serialized
     [Runner.measurement] list — every field, including metrics, remarks,
     and statistic deltas — so a warm re-run reproduces the cold run's
     results byte for byte without compiling or simulating anything.
@@ -18,8 +24,11 @@
     Lookups and stores are performed by the job scheduler on the
     coordinating domain only, never inside pool workers, so the mutable
     hit/miss counters need no synchronization. Stores write to a
-    temporary file and rename, so a crash mid-write never leaves a
-    truncated entry behind. *)
+    process-unique temporary file in the shard directory and rename, so
+    a crash mid-write never leaves a truncated entry behind and several
+    daemons can share one cache directory (identical keys always carry
+    identical bytes, so a lost rename race still installs the right
+    content). *)
 
 type t
 

@@ -6,23 +6,73 @@ type t = {
   mutable next_id : int;
 }
 
-let connect ?socket () =
-  let path = match socket with Some p -> p | None -> Protocol.default_socket () in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> ()
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    failwith
-      (Printf.sprintf "cannot connect to uu serve at %s: %s (is the daemon running?)"
-         path (Unix.error_message err)));
+exception Busy of { queued : int; limit : int }
+
+let endpoint_string = function
+  | `Unix path -> path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* A daemon that was just forked needs a moment to bind its socket, so a
+   refused or not-yet-existing endpoint is retried with a short bounded
+   backoff instead of failing the first race. [retries = 0] fails fast. *)
+let connect_fd ~retries endpoint =
+  let addr, domain =
+    match endpoint with
+    | `Unix path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | `Tcp hp -> (Protocol.resolve_tcp hp, Unix.PF_INET)
+  in
+  let transient = function
+    | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.ECONNRESET
+    | Unix.EINTR ->
+      true
+    | _ -> false
+  in
+  let rec attempt k =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      (match endpoint with
+      | `Tcp _ -> (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ())
+      | `Unix _ -> ());
+      fd
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if k < retries && transient err then begin
+        (* 20 ms, 40 ms, ... capped at 250 ms per attempt. *)
+        Unix.sleepf (Float.min 0.25 (0.02 *. float_of_int (k + 1)));
+        attempt (k + 1)
+      end
+      else
+        failwith
+          (Printf.sprintf
+             "cannot connect to uu serve at %s: %s (is the daemon running?)"
+             (endpoint_string endpoint)
+             (Unix.error_message err))
+  in
+  attempt 0
+
+let connect ?socket ?tcp ?(retries = 25) () =
+  let endpoint =
+    match tcp with
+    | Some hp -> `Tcp hp
+    | None ->
+      `Unix (match socket with Some p -> p | None -> Protocol.default_socket ())
+  in
+  let fd = connect_fd ~retries endpoint in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   match Protocol.read_server ic with
   | Some (Protocol.Hello _ as hello) -> { fd; ic; oc; hello; next_id = 0 }
   | Some _ | None ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    failwith (Printf.sprintf "%s did not greet with a hello frame" path)
+    failwith
+      (Printf.sprintf "%s did not greet with a hello frame"
+         (endpoint_string endpoint))
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 let hello t =
   match t.hello with
@@ -47,6 +97,8 @@ let request t req =
   | Protocol.Result { id = rid; served; response } when rid = id -> (served, response)
   | Protocol.Result { id = rid; _ } ->
     Protocol.fail "result for request %d while waiting for %d" rid id
+  | Protocol.Busy { id = rid; queued; limit } when rid = id ->
+    raise (Busy { queued; limit })
   | Protocol.Error_msg { message; _ } -> Protocol.fail "server error: %s" message
   | _ -> Protocol.fail "unexpected frame while waiting for result %d" id
 

@@ -7,9 +7,18 @@
 
 type t
 
-val connect : ?socket:string -> unit -> t
-(** Connect and consume the daemon's hello frame. [socket] defaults to
-    [Protocol.default_socket ()]. *)
+exception Busy of { queued : int; limit : int }
+(** The daemon's admission control shed the request (its queue held
+    [queued] entries against a capacity of [limit]). The request was not
+    executed; back off and retry. *)
+
+val connect : ?socket:string -> ?tcp:string * int -> ?retries:int -> unit -> t
+(** Connect and consume the daemon's hello frame. [tcp] targets a TCP
+    daemon and takes precedence over [socket], which defaults to
+    [Protocol.default_socket ()]. A refused or not-yet-bound endpoint is
+    retried up to [retries] times (default 25, ~3 s total) with bounded
+    backoff, so clients racing a daemon's startup don't flake; pass
+    [~retries:0] to fail fast. *)
 
 val hello : t -> string * string * string
 (** The daemon's [(version, pipelines, semantics)] triple, as greeted. *)
@@ -18,7 +27,8 @@ val request : t -> Request.t -> Protocol.served * Response.t
 (** Submit one request and block for its result. [served] says whether
     the daemon executed it, read the result cache, or joined an
     identical in-flight request; the response bytes are the same either
-    way. *)
+    way.
+    @raise Busy when the daemon shed the request under overload. *)
 
 val stats : t -> (string * int) list
 val ping : t -> unit

@@ -13,17 +13,20 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
 (* --- framing: 4-byte big-endian length, then that many JSON bytes --- *)
 
-let write_frame oc json =
+let encode_frame json =
   let payload = Json.to_string json in
   let n = String.length payload in
   if n > max_frame then fail "frame too large (%d bytes)" n;
-  let header = Bytes.create 4 in
-  Bytes.set_uint8 header 0 ((n lsr 24) land 0xff);
-  Bytes.set_uint8 header 1 ((n lsr 16) land 0xff);
-  Bytes.set_uint8 header 2 ((n lsr 8) land 0xff);
-  Bytes.set_uint8 header 3 (n land 0xff);
-  output_bytes oc header;
-  output_string oc payload;
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let write_frame oc json =
+  output_string oc (encode_frame json);
   flush oc
 
 (* [None] on clean EOF at a frame boundary; mid-frame EOF, an oversized
@@ -47,6 +50,101 @@ let read_frame ic =
     | Ok json -> Some json
     | Error msg -> fail "bad frame payload: %s" msg)
 
+(* --- incremental codec ---------------------------------------------- *)
+
+(* The reactor reads whatever the kernel has — which can split a frame
+   anywhere, including inside the 4-byte length prefix — so decoding
+   must be resumable: bytes are appended as they arrive and frames are
+   extracted as soon as they are whole. One codec per connection. *)
+module Codec = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;  (* first unconsumed byte *)
+    mutable stop : int;  (* one past the last valid byte *)
+  }
+
+  let create () = { buf = Bytes.create 4096; start = 0; stop = 0 }
+  let buffered t = t.stop - t.start
+
+  let compact t =
+    if t.start > 0 then begin
+      let n = buffered t in
+      Bytes.blit t.buf t.start t.buf 0 n;
+      t.start <- 0;
+      t.stop <- n
+    end
+
+  let ensure t extra =
+    if t.stop + extra > Bytes.length t.buf then begin
+      compact t;
+      if t.stop + extra > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf) in
+        while t.stop + extra > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit t.buf 0 bigger 0 t.stop;
+        t.buf <- bigger
+      end
+    end
+
+  let feed t s ~off ~len =
+    if off < 0 || len < 0 || off + len > String.length s then
+      invalid_arg "Codec.feed";
+    ensure t len;
+    Bytes.blit_string s off t.buf t.stop len;
+    t.stop <- t.stop + len
+
+  (* [Some frame] when a whole frame is buffered, [None] when more bytes
+     are needed. The length prefix is validated as soon as its 4 bytes
+     are in, so an oversized frame is rejected before its body is ever
+     accumulated. *)
+  let next t =
+    if buffered t < 4 then None
+    else begin
+      let byte i = Bytes.get_uint8 t.buf (t.start + i) in
+      let n =
+        (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+      in
+      if n > max_frame then fail "frame too large (%d bytes)" n;
+      if buffered t < 4 + n then None
+      else begin
+        let payload = Bytes.sub_string t.buf (t.start + 4) n in
+        t.start <- t.start + 4 + n;
+        if t.start = t.stop then begin
+          t.start <- 0;
+          t.stop <- 0
+        end;
+        match Json.of_string payload with
+        | Ok json -> Some json
+        | Error msg -> fail "bad frame payload: %s" msg
+      end
+    end
+end
+
+(* --- TCP addresses -------------------------------------------------- *)
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "%s: expected HOST:PORT" spec)
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let host = if host = "" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+    | Some port when port >= 0 && port < 65536 -> Ok (host, port)
+    | Some _ | None -> Error (Printf.sprintf "%s: bad port" spec))
+
+let resolve_tcp (host, port) =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        failwith (Printf.sprintf "cannot resolve host %s" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+  in
+  Unix.ADDR_INET (addr, port)
+
 (* --- typed messages ------------------------------------------------- *)
 
 type client_msg =
@@ -60,6 +158,7 @@ type served = Executed | Cache | Joined
 type server_msg =
   | Hello of { version : string; pipelines : string; semantics : string }
   | Result of { id : int; served : served; response : Response.t }
+  | Busy of { id : int; queued : int; limit : int }
   | Stats_reply of (string * int) list
   | Pong
   | Bye
@@ -127,6 +226,14 @@ let server_to_json = function
         ("served", Json.Str (served_string served));
         ("response", Response.to_json response);
       ]
+  | Busy { id; queued; limit } ->
+    Json.Obj
+      [
+        ("frame", Json.Str "busy");
+        ("id", Json.Int id);
+        ("queued", Json.Int queued);
+        ("limit", Json.Int limit);
+      ]
   | Stats_reply stats ->
     Json.Obj
       [
@@ -174,6 +281,16 @@ let server_of_json j =
       | Some r -> Response.of_json r
     in
     Ok (Result { id; served; response })
+  | Some "busy" ->
+    let int name =
+      match Option.bind (Json.member name j) Json.to_int with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "busy frame: bad or missing %S" name)
+    in
+    let* id = int "id" in
+    let* queued = int "queued" in
+    let* limit = int "limit" in
+    Ok (Busy { id; queued; limit })
   | Some "stats" ->
     let* fields =
       match Option.bind (Json.member "stats" j) Json.to_obj with

@@ -30,12 +30,48 @@ val max_frame : int
 (** Refuse frames above this payload size (64 MiB) in both directions —
     a corrupt length prefix must not trigger a giant allocation. *)
 
+val encode_frame : Uu_support.Json.t -> string
+(** The frame's wire bytes (length prefix + payload) as one string —
+    what the reactor appends to a connection's write buffer.
+    @raise Protocol_error if oversized. *)
+
 val write_frame : out_channel -> Uu_support.Json.t -> unit
 (** Write one frame and flush. @raise Protocol_error if oversized. *)
 
 val read_frame : in_channel -> Uu_support.Json.t option
 (** [None] on clean EOF at a frame boundary.
     @raise Protocol_error on malformed traffic. *)
+
+(** Resumable frame decoding for nonblocking reads: the reactor feeds a
+    connection's codec whatever bytes the kernel delivered — frames may
+    be split anywhere, including inside the length prefix — and pulls
+    whole frames out as they complete. One codec per connection. *)
+module Codec : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> off:int -> len:int -> unit
+  (** Append [len] raw bytes of [s] starting at [off].
+      @raise Invalid_argument on an out-of-bounds slice. *)
+
+  val next : t -> Uu_support.Json.t option
+  (** [Some frame] when a whole frame is buffered (call again — one read
+      can complete several frames), [None] when more bytes are needed.
+      An oversized length prefix is rejected as soon as its 4 bytes are
+      in, before any body accumulates.
+      @raise Protocol_error on oversized frames or unparsable payloads. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed by {!next}. *)
+end
+
+val parse_tcp : string -> (string * int, string) result
+(** Parse a [HOST:PORT] listener spec; an empty host means 127.0.0.1. *)
+
+val resolve_tcp : string * int -> Unix.sockaddr
+(** Resolve a host/port pair to a connectable address.
+    @raise Failure when the host does not resolve. *)
 
 (** {1 Typed messages} *)
 
@@ -50,6 +86,11 @@ type served = Executed | Cache | Joined
 type server_msg =
   | Hello of { version : string; pipelines : string; semantics : string }
   | Result of { id : int; served : served; response : Response.t }
+  | Busy of { id : int; queued : int; limit : int }
+      (** admission control shed this request: the daemon's queue held
+          [queued] entries against a capacity of [limit]. The request was
+          not executed and will not be; the client should back off and
+          retry. *)
   | Stats_reply of (string * int) list
   | Pong
   | Bye

@@ -133,6 +133,9 @@ let server_msg_gen =
         (fun stats -> Protocol.Stats_reply stats)
         (list_size (int_bound 4) (pair (oneofl [ "x"; "y.z" ]) nat));
       oneofl [ Protocol.Pong; Protocol.Bye ];
+      map3
+        (fun id queued limit -> Protocol.Busy { id; queued; limit })
+        nat nat nat;
       map2
         (fun id message -> Protocol.Error_msg { id; message })
         (opt nat) string_printable;
@@ -158,6 +161,45 @@ let props =
       (fun m -> Protocol.client_of_json (Protocol.client_to_json m) = Ok m);
     QCheck2.Test.make ~name:"server frames round-trip" ~count:300 server_msg_gen
       (fun m -> Protocol.server_of_json (Protocol.server_to_json m) = Ok m);
+    (* The incremental codec must reassemble any frame stream however the
+       transport slices it: random frames, random chunk sizes. *)
+    QCheck2.Test.make ~name:"codec decodes frames under arbitrary chunking"
+      ~count:100
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 4) server_msg_gen)
+          (list_size (int_range 1 64) (int_range 1 13)))
+      (fun (msgs, chunks) ->
+        let stream =
+          String.concat ""
+            (List.map (fun m -> Protocol.encode_frame (Protocol.server_to_json m)) msgs)
+        in
+        let codec = Protocol.Codec.create () in
+        let decoded = ref [] in
+        let drain () =
+          let rec go () =
+            match Protocol.Codec.next codec with
+            | Some j -> decoded := j :: !decoded; go ()
+            | None -> ()
+          in
+          go ()
+        in
+        let pos = ref 0 in
+        let chunk_sizes = ref chunks in
+        while !pos < String.length stream do
+          let size =
+            match !chunk_sizes with
+            | s :: rest -> chunk_sizes := rest; s
+            | [] -> 1
+          in
+          let len = min size (String.length stream - !pos) in
+          Protocol.Codec.feed codec stream ~off:!pos ~len;
+          drain ();
+          pos := !pos + len
+        done;
+        Protocol.Codec.buffered codec = 0
+        && List.map Json.to_string (List.rev !decoded)
+           = List.map (fun m -> Json.to_string (Protocol.server_to_json m)) msgs);
     QCheck2.Test.make ~name:"engine and sim_jobs never enter the request key"
       ~count:100 request_gen (fun r ->
         let flip = function
@@ -192,6 +234,85 @@ let test_frame_io () =
   check bool "clean EOF" true (Protocol.read_frame ic = None);
   close_in ic;
   Sys.remove path
+
+(* --- the incremental codec ------------------------------------------ *)
+
+(* Two frames split into exactly two reads at every possible offset —
+   including inside the first frame's 4-byte length prefix and on the
+   frame boundary — must decode identically to one contiguous read. *)
+let test_codec_every_split () =
+  let msgs =
+    [
+      Json.Obj [ ("op", Json.Str "ping") ];
+      Json.Arr [ Json.Int 7; Json.Str (String.make 300 'q') ];
+    ]
+  in
+  let expect = List.map Json.to_string msgs in
+  let stream = String.concat "" (List.map Protocol.encode_frame msgs) in
+  for split = 0 to String.length stream do
+    let codec = Protocol.Codec.create () in
+    let decoded = ref [] in
+    let drain () =
+      let rec go () =
+        match Protocol.Codec.next codec with
+        | Some j -> decoded := Json.to_string j :: !decoded; go ()
+        | None -> ()
+      in
+      go ()
+    in
+    Protocol.Codec.feed codec stream ~off:0 ~len:split;
+    drain ();
+    Protocol.Codec.feed codec stream ~off:split ~len:(String.length stream - split);
+    drain ();
+    check bool (Printf.sprintf "all frames decoded at split %d" split) true
+      (List.rev !decoded = expect);
+    check int (Printf.sprintf "nothing left buffered at split %d" split) 0
+      (Protocol.Codec.buffered codec)
+  done
+
+(* An oversized length prefix must be rejected as soon as the header is
+   complete — before any body bytes accumulate. *)
+let test_codec_oversized () =
+  let header n =
+    let b = Bytes.create 4 in
+    Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+    Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+    Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+    Bytes.set_uint8 b 3 (n land 0xff);
+    Bytes.to_string b
+  in
+  let codec = Protocol.Codec.create () in
+  (* three header bytes: not yet decidable *)
+  Protocol.Codec.feed codec (header (Protocol.max_frame + 1)) ~off:0 ~len:3;
+  check bool "incomplete header yields no frame" true
+    (Protocol.Codec.next codec = None);
+  (* the fourth byte completes an oversized header *)
+  Protocol.Codec.feed codec (header (Protocol.max_frame + 1)) ~off:3 ~len:1;
+  (match Protocol.Codec.next codec with
+  | exception Protocol.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "oversized header was not rejected");
+  (* and a bad feed slice is the caller's bug, not silent corruption *)
+  (match Protocol.Codec.feed (Protocol.Codec.create ()) "abc" ~off:2 ~len:5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-bounds feed slice accepted")
+
+(* --- TCP endpoint parsing ------------------------------------------- *)
+
+let test_parse_tcp () =
+  List.iter
+    (fun (spec, expect) ->
+      check bool (Printf.sprintf "parse %s" spec) true
+        (Protocol.parse_tcp spec = expect))
+    [
+      ("127.0.0.1:7070", Ok ("127.0.0.1", 7070));
+      (":7070", Ok ("127.0.0.1", 7070));
+      ("localhost:0", Ok ("localhost", 0));
+      ("nope", Error "nope: expected HOST:PORT");
+    ];
+  check bool "port out of range rejected" true
+    (match Protocol.parse_tcp "h:70000" with Error _ -> true | Ok _ -> false);
+  check bool "non-numeric port rejected" true
+    (match Protocol.parse_tcp "h:x" with Error _ -> true | Ok _ -> false)
 
 (* --- config-string aliases ------------------------------------------ *)
 
@@ -382,13 +503,209 @@ let test_inflight_dedupe () =
       check int "the rest joined in flight or hit the cache" (n - 1)
         (joined + cache))
 
+(* The same daemon is reachable over TCP: bind port 0 (kernel picks),
+   read the bound port back, and get the same bytes a local
+   run_request produces. *)
+let test_tcp_end_to_end () =
+  let socket, cache_dir = fresh_paths "tcp" in
+  let server =
+    Uu_harness.Server.create ~socket ~tcp:("127.0.0.1", 0) ~domains:1 ~cache_dir ()
+  in
+  let th = Thread.create Uu_harness.Server.serve_forever server in
+  Fun.protect
+    ~finally:(fun () ->
+      Uu_harness.Server.request_stop server;
+      Thread.join th)
+    (fun () ->
+      let host, port =
+        match Uu_harness.Server.tcp server with
+        | Some endpoint -> endpoint
+        | None -> Alcotest.fail "no TCP endpoint bound"
+      in
+      check bool "kernel assigned a real port" true (port > 0);
+      let r =
+        Request.make ~grid_dim:16 ~block_dim:32 ~elems:2048
+          (Request.App "stencil1d") Uu_core.Pipelines.Baseline
+      in
+      let local = Uu_harness.Runner.run_request r in
+      let client = Client.connect ~tcp:(host, port) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let served, resp = Client.request client r in
+          check bool "executed" true (served = Protocol.Executed);
+          check string "tcp response = local run_request"
+            (Response.to_string local)
+            (Response.to_string resp);
+          (* and the unix listener serves the same daemon: this repeat
+             must be cache-served with identical bytes *)
+          let unix_client = Client.connect ~socket () in
+          Fun.protect
+            ~finally:(fun () -> Client.close unix_client)
+            (fun () ->
+              let served2, resp2 = Client.request unix_client r in
+              check bool "cache-served over unix" true
+                (served2 = Protocol.Cache);
+              check string "same bytes over both transports"
+                (Response.to_string resp)
+                (Response.to_string resp2))))
+
+(* Overload: one running slot, zero queue slots. Concurrent distinct
+   requests must either execute or be shed with a busy frame — no
+   errors, no hangs — and every survivor's bytes must match a local
+   run. *)
+let test_overload_shed () =
+  let socket, cache_dir = fresh_paths "shed" in
+  let server =
+    Uu_harness.Server.create ~socket ~domains:1 ~cache_dir ~max_running:1
+      ~max_queued:0 ()
+  in
+  let th = Thread.create Uu_harness.Server.serve_forever server in
+  Fun.protect
+    ~finally:(fun () ->
+      Uu_harness.Server.request_stop server;
+      Thread.join th)
+    (fun () ->
+      (* Distinct keys (different grids), one shared compile identity:
+         cold compilation makes the first request slow enough for the
+         rest to arrive while it runs. *)
+      let requests =
+        List.map
+          (fun grid ->
+            Request.make ~grid_dim:grid ~block_dim:32 ~elems:2048
+              (Request.App "bezier-surface") (Uu_core.Pipelines.Uu 4))
+          [ 16; 24; 32; 48; 64 ]
+      in
+      let n = List.length requests in
+      let outcomes = Array.make n `Pending in
+      let threads =
+        List.mapi
+          (fun i r ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect ~socket () in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    match Client.request c r with
+                    | _, resp -> outcomes.(i) <- `Served (Response.to_string resp)
+                    | exception Client.Busy _ -> outcomes.(i) <- `Shed))
+              ())
+          requests
+      in
+      List.iter Thread.join threads;
+      let served, shed =
+        Array.fold_left
+          (fun (sv, sh) -> function
+            | `Served _ -> (sv + 1, sh)
+            | `Shed -> (sv, sh + 1)
+            | `Pending -> (sv, sh))
+          (0, 0) outcomes
+      in
+      check int "every request either served or shed" n (served + shed);
+      check bool "at least one served" true (served >= 1);
+      check bool "at least one shed" true (shed >= 1);
+      let stats = Uu_harness.Server.stats server in
+      check int "shed counted" shed (List.assoc "serve.shed" stats);
+      check int "no errors" 0 (List.assoc "serve.errors" stats);
+      (* survivors carry exactly the bytes a one-shot run produces *)
+      List.iteri
+        (fun i r ->
+          match outcomes.(i) with
+          | `Served text ->
+            check string
+              (Printf.sprintf "survivor %d byte-identical to run_request" i)
+              (Response.to_string (Uu_harness.Runner.run_request r))
+              text
+          | `Shed | `Pending -> ())
+        requests)
+
+(* Pipelining: one connection writes N request frames back-to-back
+   before reading anything. The reactor must decode them all from the
+   buffered stream and answer each; replies arrive in admission order
+   with the client's frame ids. *)
+let test_pipelined_requests () =
+  with_server "pipeline" (fun ~socket ~server:_ ->
+      let r =
+        Request.make ~grid_dim:16 ~block_dim:32 ~elems:2048
+          (Request.App "stencil1d") Uu_core.Pipelines.Baseline
+      in
+      let local = Response.to_string (Uu_harness.Runner.run_request r) in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          (match Protocol.read_server ic with
+          | Some (Protocol.Hello _) -> ()
+          | _ -> Alcotest.fail "expected hello");
+          let n = 5 in
+          for id = 0 to n - 1 do
+            output_string oc
+              (Protocol.encode_frame
+                 (Protocol.client_to_json (Protocol.Request { id; request = r })))
+          done;
+          flush oc;
+          for expect_id = 0 to n - 1 do
+            match Protocol.read_server ic with
+            | Some (Protocol.Result { id; response; _ }) ->
+              check int "replies in request order" expect_id id;
+              check string "pipelined bytes identical" local
+                (Response.to_string response)
+            | _ -> Alcotest.fail "expected a result frame"
+          done))
+
+(* Shutdown must drain: a request admitted before the shutdown op still
+   gets its full response, and the daemon exits afterwards. *)
+let test_drain_shutdown () =
+  let socket, cache_dir = fresh_paths "drain" in
+  let server = Uu_harness.Server.create ~socket ~domains:1 ~cache_dir () in
+  let th = Thread.create Uu_harness.Server.serve_forever server in
+  let r =
+    Request.make ~grid_dim:64 ~block_dim:32 ~elems:2048
+      (Request.App "bezier-surface") (Uu_core.Pipelines.Uu 4)
+  in
+  let result = ref None in
+  let requester =
+    Thread.create
+      (fun () ->
+        let c = Client.connect ~socket () in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> result := Some (Client.request c r)))
+      ()
+  in
+  (* let the slow request get admitted, then ask for shutdown *)
+  Thread.delay 0.3;
+  let ctl = Client.connect ~socket () in
+  Client.shutdown ctl;
+  Client.close ctl;
+  Thread.join requester;
+  Thread.join th;
+  (match !result with
+  | Some (_, resp) ->
+    check string "in-flight response delivered across shutdown"
+      (Response.to_string (Uu_harness.Runner.run_request r))
+      (Response.to_string resp)
+  | None -> Alcotest.fail "request thread got no response");
+  check bool "socket file removed" false (Sys.file_exists socket)
+
 let suite =
   List.map (QCheck_alcotest.to_alcotest ~long:false) props
   @ [
       ("frame io over a channel", `Quick, test_frame_io);
+      ("codec survives every split offset", `Quick, test_codec_every_split);
+      ("codec rejects oversized frames", `Quick, test_codec_oversized);
+      ("tcp endpoint parsing", `Quick, test_parse_tcp);
       ("config_of_string aliases", `Quick, test_config_aliases);
       ("launch_config defaults", `Quick, test_launch_defaults);
       ("noise-seed delegation", `Quick, test_noise_seed);
       ("daemon end to end", `Quick, test_end_to_end);
       ("in-flight dedupe: N requests, one execution", `Quick, test_inflight_dedupe);
+      ("daemon over tcp", `Quick, test_tcp_end_to_end);
+      ("overload sheds with busy frames", `Quick, test_overload_shed);
+      ("pipelined requests on one connection", `Quick, test_pipelined_requests);
+      ("shutdown drains in-flight work", `Quick, test_drain_shutdown);
     ]
